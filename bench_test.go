@@ -1,0 +1,772 @@
+package graphblas_test
+
+// The benchmark harness regenerating the per-table / per-figure experiments
+// of EXPERIMENTS.md:
+//
+//	BenchmarkTableI_*     — the five semirings over one fixed matrix
+//	BenchmarkTableII_*    — every fundamental operation
+//	BenchmarkFig2_*       — masked vs unmasked mxm (Figure 2 semantics)
+//	BenchmarkFig3_*       — batched BC vs classic Brandes (Figure 3)
+//	BenchmarkExecMode_*   — blocking vs nonblocking engine (Section IV, E6)
+//	BenchmarkE8_*         — algorithm suite vs direct baselines
+//	BenchmarkAblation_*   — the DESIGN.md §4 design-choice ablations
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"graphblas"
+	"graphblas/internal/algorithms"
+	"graphblas/internal/generate"
+	"graphblas/internal/parallel"
+	"graphblas/internal/refalgo"
+	"graphblas/internal/sparse"
+)
+
+const (
+	benchScale = 12
+	benchEF    = 8
+	benchSeed  = 42
+)
+
+type workload struct {
+	g    *generate.Graph
+	sym  *generate.Graph
+	adj  *refalgo.Adjacency
+	sadj *refalgo.Adjacency
+	af   *graphblas.Matrix[float64]
+	ab   *graphblas.Matrix[bool]
+	ai   *graphblas.Matrix[int32]
+	sb   *graphblas.Matrix[bool]
+	csr  *sparse.CSR[float64]
+	// frontier vectors at several densities (fraction of n).
+	frontiers map[string]*graphblas.Vector[float64]
+}
+
+var (
+	wlOnce sync.Once
+	wl     *workload
+)
+
+func benchWorkload(b *testing.B) *workload {
+	b.Helper()
+	wlOnce.Do(func() {
+		g := generate.RMAT(benchScale, benchEF, benchSeed).Dedup(true)
+		sym := generate.RMAT(benchScale, benchEF, benchSeed).Symmetrize().Dedup(true)
+		w := &workload{
+			g:    g,
+			sym:  sym,
+			adj:  refalgo.NewAdjacency(g),
+			sadj: refalgo.NewAdjacency(sym),
+		}
+		rows, cols, wts := g.Tuples()
+		w.af, _ = graphblas.NewMatrix[float64](g.N, g.N)
+		if err := w.af.Build(rows, cols, wts, graphblas.First[float64]()); err != nil {
+			panic(err)
+		}
+		bv := make([]bool, len(rows))
+		iv := make([]int32, len(rows))
+		for i := range bv {
+			bv[i] = true
+			iv[i] = 1
+		}
+		w.ab, _ = graphblas.NewMatrix[bool](g.N, g.N)
+		if err := w.ab.Build(rows, cols, bv, graphblas.LOr()); err != nil {
+			panic(err)
+		}
+		w.ai, _ = graphblas.NewMatrix[int32](g.N, g.N)
+		if err := w.ai.Build(rows, cols, iv, graphblas.First[int32]()); err != nil {
+			panic(err)
+		}
+		srows, scols, _ := sym.Tuples()
+		sv := make([]bool, len(srows))
+		for i := range sv {
+			sv[i] = true
+		}
+		w.sb, _ = graphblas.NewMatrix[bool](sym.N, sym.N)
+		if err := w.sb.Build(srows, scols, sv, graphblas.LOr()); err != nil {
+			panic(err)
+		}
+		var ok bool
+		w.csr, ok = sparse.BuildCSR(g.N, g.N, rows, cols, wts, func(a, _ float64) float64 { return a })
+		if !ok {
+			panic("BuildCSR")
+		}
+		w.frontiers = map[string]*graphblas.Vector[float64]{}
+		rng := generate.NewRNG(benchSeed + 9)
+		for _, f := range []struct {
+			name string
+			frac int // one entry per frac vertices
+		}{{"dense", 1}, {"p25", 4}, {"p03", 32}, {"sparse", 512}} {
+			v, _ := graphblas.NewVector[float64](g.N)
+			for i := 0; i < g.N/f.frac; i++ {
+				_ = v.SetElement(1, rng.Intn(g.N))
+			}
+			w.frontiers[f.name] = v
+		}
+		if err := graphblas.Wait(); err != nil {
+			panic(err)
+		}
+		wl = w
+	})
+	return wl
+}
+
+// --- Table I: one matrix, five semirings -------------------------------
+
+func benchSemiringMxV(b *testing.B, s graphblas.Semiring[float64, float64, float64]) {
+	w := benchWorkload(b)
+	u := w.frontiers["p25"]
+	out, _ := graphblas.NewVector[float64](w.g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.MxV(out, graphblas.NoMaskV, graphblas.NoAccum[float64](), s, w.af, u, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI_Arithmetic(b *testing.B) { benchSemiringMxV(b, graphblas.PlusTimes[float64]()) }
+func BenchmarkTableI_MaxPlus(b *testing.B)    { benchSemiringMxV(b, graphblas.MaxPlus[float64]()) }
+func BenchmarkTableI_MinMax(b *testing.B)     { benchSemiringMxV(b, graphblas.MinMax[float64]()) }
+
+func BenchmarkTableI_GF2(b *testing.B) {
+	w := benchWorkload(b)
+	u, _ := graphblas.NewVector[bool](w.g.N)
+	rng := generate.NewRNG(1)
+	for i := 0; i < w.g.N/4; i++ {
+		_ = u.SetElement(true, rng.Intn(w.g.N))
+	}
+	out, _ := graphblas.NewVector[bool](w.g.N)
+	s := graphblas.XorAnd()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.MxV(out, graphblas.NoMaskV, graphblas.NoAccum[bool](), s, w.ab, u, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI_PowerSet(b *testing.B) {
+	w := benchWorkload(b)
+	const uni = 32
+	full := graphblas.FullIntSet(uni)
+	setA, _ := graphblas.NewMatrix[graphblas.IntSet](w.g.N, w.g.N)
+	lift, _ := graphblas.NewUnaryOp("toU", func(bool) graphblas.IntSet { return full })
+	if err := graphblas.ApplyM(setA, graphblas.NoMask, graphblas.NoAccum[graphblas.IntSet](), lift, w.ab, nil); err != nil {
+		b.Fatal(err)
+	}
+	u, _ := graphblas.NewVector[graphblas.IntSet](w.g.N)
+	rng := generate.NewRNG(2)
+	for k := 0; k < uni; k++ {
+		_ = u.SetElement(graphblas.IntSetOf(uni, k), rng.Intn(w.g.N))
+	}
+	out, _ := graphblas.NewVector[graphblas.IntSet](w.g.N)
+	s := graphblas.UnionIntersect(uni)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.VxM(out, graphblas.NoMaskV, graphblas.NoAccum[graphblas.IntSet](), s, u, setA, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table II: every fundamental operation ------------------------------
+
+func BenchmarkTableII_MxM(b *testing.B) {
+	w := benchWorkload(b)
+	c, _ := graphblas.NewMatrix[float64](w.g.N, w.g.N)
+	s := graphblas.PlusTimes[float64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.MxM(c, graphblas.NoMask, graphblas.NoAccum[float64](), s, w.af, w.af, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_MxV(b *testing.B) {
+	w := benchWorkload(b)
+	out, _ := graphblas.NewVector[float64](w.g.N)
+	s := graphblas.PlusTimes[float64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.MxV(out, graphblas.NoMaskV, graphblas.NoAccum[float64](), s, w.af, w.frontiers["p25"], nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_VxM(b *testing.B) {
+	w := benchWorkload(b)
+	out, _ := graphblas.NewVector[float64](w.g.N)
+	s := graphblas.PlusTimes[float64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.VxM(out, graphblas.NoMaskV, graphblas.NoAccum[float64](), s, w.frontiers["p25"], w.af, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_EWiseMult(b *testing.B) {
+	w := benchWorkload(b)
+	c, _ := graphblas.NewMatrix[float64](w.g.N, w.g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.EWiseMultM(c, graphblas.NoMask, graphblas.NoAccum[float64](), graphblas.Times[float64](), w.af, w.af, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_EWiseAdd(b *testing.B) {
+	w := benchWorkload(b)
+	c, _ := graphblas.NewMatrix[float64](w.g.N, w.g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.EWiseAddM(c, graphblas.NoMask, graphblas.NoAccum[float64](), graphblas.Plus[float64](), w.af, w.af, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_Reduce(b *testing.B) {
+	w := benchWorkload(b)
+	out, _ := graphblas.NewVector[float64](w.g.N)
+	m := graphblas.PlusMonoid[float64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.ReduceMatrixToVector(out, graphblas.NoMaskV, graphblas.NoAccum[float64](), m, w.af, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_Apply(b *testing.B) {
+	w := benchWorkload(b)
+	c, _ := graphblas.NewMatrix[float64](w.g.N, w.g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.ApplyM(c, graphblas.NoMask, graphblas.NoAccum[float64](), graphblas.AInv[float64](), w.af, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_Transpose(b *testing.B) {
+	w := benchWorkload(b)
+	c, _ := graphblas.NewMatrix[float64](w.g.N, w.g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Transpose caching would hide the kernel; alternate a mutation to
+		// keep the transpose cold, matching a fresh-input regime.
+		if err := graphblas.Transpose(c, graphblas.NoMask, graphblas.NoAccum[float64](), w.af, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_Extract(b *testing.B) {
+	w := benchWorkload(b)
+	half := make([]int, w.g.N/2)
+	for i := range half {
+		half[i] = 2 * i
+	}
+	c, _ := graphblas.NewMatrix[float64](len(half), len(half))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.ExtractSubmatrix(c, graphblas.NoMask, graphblas.NoAccum[float64](), w.af, half, half, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_Assign(b *testing.B) {
+	w := benchWorkload(b)
+	c, _ := graphblas.NewMatrix[float64](w.g.N, w.g.N)
+	quarter := make([]int, w.g.N/4)
+	for i := range quarter {
+		quarter[i] = 4 * i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.AssignMatrixScalar(c, graphblas.NoMask, graphblas.NoAccum[float64](), 1, quarter, quarter, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 2: masked vs unmasked mxm ------------------------------------
+
+func BenchmarkFig2_MxMUnmasked(b *testing.B) {
+	w := benchWorkload(b)
+	c, _ := graphblas.NewMatrix[float64](w.g.N, w.g.N)
+	s := graphblas.PlusTimes[float64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.MxM(c, graphblas.NoMask, graphblas.NoAccum[float64](), s, w.af, w.af, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2_MxMMasked(b *testing.B) {
+	w := benchWorkload(b)
+	c, _ := graphblas.NewMatrix[float64](w.g.N, w.g.N)
+	s := graphblas.PlusTimes[float64]()
+	d := graphblas.Desc().ReplaceOutput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := graphblas.MxM(c, w.af, graphblas.NoAccum[float64](), s, w.af, w.af, d); err != nil {
+			b.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 3: batched BC vs Brandes --------------------------------------
+
+func BenchmarkFig3_BCGraphBLAS(b *testing.B) {
+	w := benchWorkload(b)
+	sources := generate.NewRNG(benchSeed + 1).Perm(w.g.N)[:16]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta, err := algorithms.BCUpdate(w.ai, sources)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := delta.ExtractTuples(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_BCBrandes(b *testing.B) {
+	w := benchWorkload(b)
+	sources := generate.NewRNG(benchSeed + 1).Perm(w.g.N)[:16]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = refalgo.BrandesBC(w.adj, sources)
+	}
+}
+
+// --- Section IV: execution modes (E6) --------------------------------------
+
+func benchOverwriteSequence(b *testing.B, elide bool) {
+	w := benchWorkload(b)
+	prev := graphblas.SetElision(elide)
+	defer graphblas.SetElision(prev)
+	s := graphblas.PlusTimes[float64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := graphblas.NewMatrix[float64](w.g.N, w.g.N)
+		for k := 0; k < 4; k++ {
+			if err := graphblas.MxM(c, graphblas.NoMask, graphblas.NoAccum[float64](), s, w.af, w.af, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := graphblas.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecMode_NonblockingElision(b *testing.B)   { benchOverwriteSequence(b, true) }
+func BenchmarkExecMode_NonblockingNoElision(b *testing.B) { benchOverwriteSequence(b, false) }
+
+// --- E8: algorithm suite vs baselines --------------------------------------
+
+func BenchmarkE8_BFSGraphBLAS(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lv, err := algorithms.BFSLevels(w.ab, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := lv.ExtractTuples(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_BFSBaseline(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = refalgo.BFSLevels(w.adj, 0)
+	}
+}
+
+func BenchmarkE8_SSSPGraphBLAS(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := algorithms.SSSP(w.af, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := d.ExtractTuples(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_SSSPBaseline(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = refalgo.Dijkstra(w.adj, 0)
+	}
+}
+
+func BenchmarkE8_PageRankGraphBLAS(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _, err := algorithms.PageRank(w.af, 0.85, 1e-8, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.ExtractTuples(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_PageRankBaseline(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = refalgo.PageRank(w.adj, 0.85, 1e-8, 100)
+	}
+}
+
+func BenchmarkE8_TrianglesGraphBLAS(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := algorithms.TriangleCount(w.sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_TrianglesBaseline(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = refalgo.TriangleCount(w.sadj)
+	}
+}
+
+func BenchmarkE8_ComponentsGraphBLAS(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := algorithms.ConnectedComponents(w.sb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := l.ExtractTuples(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_ComponentsBaseline(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = refalgo.ConnectedComponents(w.sym)
+	}
+}
+
+// --- DESIGN.md §4 ablations -------------------------------------------------
+
+func BenchmarkAblation_SpGEMM_SPA(b *testing.B) {
+	w := benchWorkload(b)
+	mul := func(x, y float64) float64 { return x * y }
+	add := func(x, y float64) float64 { return x + y }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sparse.SpGEMM(w.csr, w.csr, mul, add, nil)
+	}
+}
+
+func BenchmarkAblation_SpGEMM_Heap(b *testing.B) {
+	w := benchWorkload(b)
+	mul := func(x, y float64) float64 { return x * y }
+	add := func(x, y float64) float64 { return x + y }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sparse.SpGEMMHeap(w.csr, w.csr, mul, add)
+	}
+}
+
+func BenchmarkAblation_MaskFusion_InKernel(b *testing.B) {
+	w := benchWorkload(b)
+	mul := func(x, y float64) float64 { return x * y }
+	add := func(x, y float64) float64 { return x + y }
+	mask := &sparse.MatMask{
+		NCols:  w.g.N,
+		EffPtr: w.csr.Ptr, EffIdx: w.csr.ColIdx,
+		StrPtr: w.csr.Ptr, StrIdx: w.csr.ColIdx,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := sparse.SpGEMM(w.csr, w.csr, mul, add, mask)
+		_ = sparse.MaskMergeCSR(w.csr, t, mask, true)
+	}
+}
+
+func BenchmarkAblation_MaskFusion_PostHoc(b *testing.B) {
+	w := benchWorkload(b)
+	mul := func(x, y float64) float64 { return x * y }
+	add := func(x, y float64) float64 { return x + y }
+	mask := &sparse.MatMask{
+		NCols:  w.g.N,
+		EffPtr: w.csr.Ptr, EffIdx: w.csr.ColIdx,
+		StrPtr: w.csr.Ptr, StrIdx: w.csr.ColIdx,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := sparse.SpGEMM(w.csr, w.csr, mul, add, nil) // full product
+		_ = sparse.MaskMergeCSR(w.csr, t, mask, true)   // then filter
+	}
+}
+
+func BenchmarkAblation_Partition_NNZBalanced(b *testing.B) {
+	w := benchWorkload(b)
+	work := func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			for p := w.csr.Ptr[i]; p < w.csr.Ptr[i+1]; p++ {
+				s += w.csr.Val[p]
+			}
+		}
+		_ = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parallel.ForWeighted(w.csr.NRows, w.csr.Ptr, work)
+	}
+}
+
+func BenchmarkAblation_Partition_EqualRows(b *testing.B) {
+	w := benchWorkload(b)
+	work := func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			for p := w.csr.Ptr[i]; p < w.csr.Ptr[i+1]; p++ {
+				s += w.csr.Val[p]
+			}
+		}
+		_ = s
+	}
+	rowsPerChunk := w.csr.NRows / parallel.MaxWorkers()
+	if rowsPerChunk < 1 {
+		rowsPerChunk = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parallel.For(w.csr.NRows, rowsPerChunk, work)
+	}
+}
+
+func BenchmarkAblation_MxVDensity(b *testing.B) {
+	w := benchWorkload(b)
+	mul := func(x, y float64) float64 { return x * y }
+	add := func(x, y float64) float64 { return x + y }
+	tr := w.csr.Transpose()
+	for _, density := range []string{"dense", "p25", "p03", "sparse"} {
+		u := w.frontiers[density]
+		idx, val, err := u.ExtractTuples()
+		if err != nil {
+			b.Fatal(err)
+		}
+		uv := &sparse.Vec[float64]{N: w.g.N, Idx: idx, Val: val}
+		b.Run("dot_"+density, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = sparse.DotMxV(w.csr, uv, mul, add, nil)
+			}
+		})
+		b.Run("push_"+density, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = sparse.PushMxV(tr, uv, mul, add, nil)
+			}
+		})
+	}
+}
+
+// --- extended algorithm suite benches ---------------------------------------
+
+func BenchmarkE8_BFSDirectionOptimizing(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lv, err := algorithms.BFSLevelsDO(w.ab, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := lv.ExtractTuples(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_CoreNumbersGraphBLAS(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := algorithms.CoreNumbers(w.sb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c.ExtractTuples(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_CoreNumbersBaseline(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = refalgo.CoreNumbers(w.sadj)
+	}
+}
+
+func BenchmarkE8_JaccardGraphBLAS(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := algorithms.Jaccard(w.sb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := j.NVals(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_KTrussGraphBLAS(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := algorithms.KTruss(w.sb, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.NVals(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- serialization path ------------------------------------------------------
+
+func BenchmarkSerialize_Matrix(b *testing.B) {
+	w := benchWorkload(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := graphblas.MatrixSerialize(w.af, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkSerialize_MatrixRoundTrip(b *testing.B) {
+	w := benchWorkload(b)
+	var buf bytes.Buffer
+	if err := graphblas.MatrixSerialize(w.af, &buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphblas.MatrixDeserialize[float64](bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSetElementPendingTuples(b *testing.B) {
+	// 50k random point updates into a large matrix: the pending-tuple buffer
+	// makes this O(k log k + nnz) total instead of O(k·nnz).
+	const n = 20000
+	rng := generate.NewRNG(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := graphblas.NewMatrix[float64](n, n)
+		for k := 0; k < 50000; k++ {
+			_ = m.SetElement(1, rng.Intn(n), rng.Intn(n))
+		}
+		if _, err := m.NVals(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8_ColoringGraphBLAS(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := algorithms.GreedyColor(w.sb, 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

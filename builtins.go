@@ -1,0 +1,202 @@
+package graphblas
+
+import "graphblas/internal/builtins"
+
+// This file re-exports the predefined operator/monoid/semiring catalog
+// (Table IV and the Table I semirings). Instantiate with a domain:
+// Plus[int32](), MinPlus[float64](), ….
+
+// Number constrains the built-in numeric GraphBLAS domains.
+type Number = builtins.Number
+
+// Integer constrains the integer domains.
+type Integer = builtins.Integer
+
+// FloatDomain constrains the floating-point domains.
+type FloatDomain = builtins.Float
+
+// --- binary operators ---
+
+// Plus returns x + y (GrB_PLUS_T).
+func Plus[T Number]() BinaryOp[T, T, T] { return builtins.Plus[T]() }
+
+// Times returns x * y (GrB_TIMES_T).
+func Times[T Number]() BinaryOp[T, T, T] { return builtins.Times[T]() }
+
+// Minus returns x - y (GrB_MINUS_T).
+func Minus[T Number]() BinaryOp[T, T, T] { return builtins.Minus[T]() }
+
+// Div returns x / y (GrB_DIV_T).
+func Div[T Number]() BinaryOp[T, T, T] { return builtins.Div[T]() }
+
+// Min returns min(x, y) (GrB_MIN_T).
+func Min[T Number]() BinaryOp[T, T, T] { return builtins.Min[T]() }
+
+// Max returns max(x, y) (GrB_MAX_T).
+func Max[T Number]() BinaryOp[T, T, T] { return builtins.Max[T]() }
+
+// First returns x (GrB_FIRST_T).
+func First[T any]() BinaryOp[T, T, T] { return builtins.First[T]() }
+
+// Second returns y (GrB_SECOND_T).
+func Second[T any]() BinaryOp[T, T, T] { return builtins.Second[T]() }
+
+// Eq returns x == y (GrB_EQ_T).
+func Eq[T Number]() BinaryOp[T, T, bool] { return builtins.Eq[T]() }
+
+// Ne returns x != y (GrB_NE_T).
+func Ne[T Number]() BinaryOp[T, T, bool] { return builtins.Ne[T]() }
+
+// Lt returns x < y (GrB_LT_T).
+func Lt[T Number]() BinaryOp[T, T, bool] { return builtins.Lt[T]() }
+
+// Gt returns x > y (GrB_GT_T).
+func Gt[T Number]() BinaryOp[T, T, bool] { return builtins.Gt[T]() }
+
+// Le returns x <= y (GrB_LE_T).
+func Le[T Number]() BinaryOp[T, T, bool] { return builtins.Le[T]() }
+
+// Ge returns x >= y (GrB_GE_T).
+func Ge[T Number]() BinaryOp[T, T, bool] { return builtins.Ge[T]() }
+
+// LOr returns x ∨ y (GrB_LOR).
+func LOr() BinaryOp[bool, bool, bool] { return builtins.LOr() }
+
+// LAnd returns x ∧ y (GrB_LAND).
+func LAnd() BinaryOp[bool, bool, bool] { return builtins.LAnd() }
+
+// LXor returns x ⊻ y (GrB_LXOR).
+func LXor() BinaryOp[bool, bool, bool] { return builtins.LXor() }
+
+// --- unary operators ---
+
+// Identity returns the identity operator (GrB_IDENTITY_T).
+func Identity[T any]() UnaryOp[T, T] { return builtins.Identity[T]() }
+
+// AInv returns -x (GrB_AINV_T).
+func AInv[T Number]() UnaryOp[T, T] { return builtins.AInv[T]() }
+
+// MInv returns 1/x (GrB_MINV_T; Figure 3 line 57).
+func MInv[T FloatDomain]() UnaryOp[T, T] { return builtins.MInv[T]() }
+
+// LNot returns ¬x (GrB_LNOT).
+func LNot() UnaryOp[bool, bool] { return builtins.LNot() }
+
+// Abs returns |x| (extension).
+func Abs[T Number]() UnaryOp[T, T] { return builtins.Abs[T]() }
+
+// One returns the constant 1 (extension).
+func One[T Number]() UnaryOp[T, T] { return builtins.One[T]() }
+
+// Cast converts between numeric domains (the explicit form of the C API's
+// implicit typecasts).
+func Cast[From, To Number]() UnaryOp[From, To] { return builtins.Cast[From, To]() }
+
+// CastToBool converts a numeric domain to bool (v != 0) — the Figure 3
+// line 41 GrB_IDENTITY_BOOL cast.
+func CastToBool[From Number]() UnaryOp[From, bool] { return builtins.CastToBool[From]() }
+
+// CastBoolTo converts bool to a numeric domain (false→0, true→1).
+func CastBoolTo[To Number]() UnaryOp[bool, To] { return builtins.CastBoolTo[To]() }
+
+// --- monoids ---
+
+// PlusMonoid returns ⟨T, +, 0⟩ (Figure 3 line 10).
+func PlusMonoid[T Number]() Monoid[T] { return builtins.PlusMonoid[T]() }
+
+// TimesMonoid returns ⟨T, ×, 1⟩ (Figure 3 line 51).
+func TimesMonoid[T Number]() Monoid[T] { return builtins.TimesMonoid[T]() }
+
+// MinMonoid returns ⟨T, min, +∞⟩.
+func MinMonoid[T Number]() Monoid[T] { return builtins.MinMonoid[T]() }
+
+// MaxMonoid returns ⟨T, max, -∞⟩.
+func MaxMonoid[T Number]() Monoid[T] { return builtins.MaxMonoid[T]() }
+
+// LOrMonoid returns ⟨bool, ∨, false⟩.
+func LOrMonoid() Monoid[bool] { return builtins.LOrMonoid() }
+
+// LAndMonoid returns ⟨bool, ∧, true⟩.
+func LAndMonoid() Monoid[bool] { return builtins.LAndMonoid() }
+
+// LXorMonoid returns ⟨bool, ⊻, false⟩ (GF(2) addition).
+func LXorMonoid() Monoid[bool] { return builtins.LXorMonoid() }
+
+// --- semirings (Table I) ---
+
+// PlusTimes returns standard arithmetic ⟨+, ×, 0⟩ — Table I row 1.
+func PlusTimes[T Number]() Semiring[T, T, T] { return builtins.PlusTimes[T]() }
+
+// MaxPlus returns the max-plus algebra ⟨max, +, -∞⟩ — Table I row 2.
+func MaxPlus[T Number]() Semiring[T, T, T] { return builtins.MaxPlus[T]() }
+
+// MinPlus returns the tropical semiring ⟨min, +, +∞⟩ (shortest paths).
+func MinPlus[T Number]() Semiring[T, T, T] { return builtins.MinPlus[T]() }
+
+// MinMax returns the min-max algebra ⟨min, max, +∞⟩ — Table I row 3.
+func MinMax[T Number]() Semiring[T, T, T] { return builtins.MinMax[T]() }
+
+// MaxMin returns the bottleneck semiring ⟨max, min, -∞⟩.
+func MaxMin[T Number]() Semiring[T, T, T] { return builtins.MaxMin[T]() }
+
+// MinTimes returns ⟨min, ×, +∞⟩.
+func MinTimes[T Number]() Semiring[T, T, T] { return builtins.MinTimes[T]() }
+
+// MinFirst returns ⟨min, first, +∞⟩ (BFS parents).
+func MinFirst[T Number]() Semiring[T, T, T] { return builtins.MinFirst[T]() }
+
+// XorAnd returns GF(2) ⟨xor, and, false⟩ — Table I row 4.
+func XorAnd() Semiring[bool, bool, bool] { return builtins.XorAnd() }
+
+// LorLand returns the boolean reachability semiring ⟨∨, ∧, false⟩.
+func LorLand() Semiring[bool, bool, bool] { return builtins.LorLand() }
+
+// PlusFirst returns ⟨+, first, 0⟩.
+func PlusFirst[T Number]() Semiring[T, T, T] { return builtins.PlusFirst[T]() }
+
+// PlusSecond returns ⟨+, second, 0⟩.
+func PlusSecond[T Number]() Semiring[T, T, T] { return builtins.PlusSecond[T]() }
+
+// MaxValue returns the largest value of the domain (Min monoid identity).
+func MaxValue[T Number]() T { return builtins.MaxValue[T]() }
+
+// MinValue returns the smallest value of the domain (Max monoid identity).
+func MinValue[T Number]() T { return builtins.MinValue[T]() }
+
+// --- predefined select / index operators (extension) ---
+
+// Tril keeps entries on or below the k-th diagonal.
+func Tril[D any](k int) IndexUnaryOp[D, bool] { return builtins.Tril[D](k) }
+
+// Triu keeps entries on or above the k-th diagonal.
+func Triu[D any](k int) IndexUnaryOp[D, bool] { return builtins.Triu[D](k) }
+
+// DiagSel keeps entries on the k-th diagonal.
+func DiagSel[D any](k int) IndexUnaryOp[D, bool] { return builtins.DiagSel[D](k) }
+
+// OffDiag keeps entries off the k-th diagonal.
+func OffDiag[D any](k int) IndexUnaryOp[D, bool] { return builtins.OffDiag[D](k) }
+
+// ValueEQ keeps entries equal to x.
+func ValueEQ[D Number](x D) IndexUnaryOp[D, bool] { return builtins.ValueEQ(x) }
+
+// ValueNE keeps entries not equal to x.
+func ValueNE[D Number](x D) IndexUnaryOp[D, bool] { return builtins.ValueNE(x) }
+
+// ValueLT keeps entries less than x.
+func ValueLT[D Number](x D) IndexUnaryOp[D, bool] { return builtins.ValueLT(x) }
+
+// ValueLE keeps entries at most x.
+func ValueLE[D Number](x D) IndexUnaryOp[D, bool] { return builtins.ValueLE(x) }
+
+// ValueGT keeps entries greater than x.
+func ValueGT[D Number](x D) IndexUnaryOp[D, bool] { return builtins.ValueGT(x) }
+
+// ValueGE keeps entries at least x.
+func ValueGE[D Number](x D) IndexUnaryOp[D, bool] { return builtins.ValueGE(x) }
+
+// RowIndex returns each entry's row index.
+func RowIndex[D any]() IndexUnaryOp[D, int64] { return builtins.RowIndex[D]() }
+
+// ColIndex returns each entry's column index.
+func ColIndex[D any]() IndexUnaryOp[D, int64] { return builtins.ColIndex[D]() }

@@ -1,0 +1,217 @@
+// Command algos runs any algorithm of the suite on a generated graph or a
+// Matrix Market file, via the graph convenience layer.
+//
+//	algos -alg bfs -scale 12 -source 0
+//	algos -alg pagerank -in web.mtx -top 20
+//	algos -alg ktruss -k 5 -kind gnm -n 2000 -m 20000
+//
+// Algorithms: bfs sssp pagerank bc tc cc scc kcore ktruss cluster mis color
+// reach degrees.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"graphblas"
+	"graphblas/internal/generate"
+	"graphblas/internal/graph"
+)
+
+func main() {
+	alg := flag.String("alg", "bfs", "algorithm: bfs | sssp | pagerank | bc | bcall | tc | cc | scc | kcore | ktruss | cluster | mis | color | reach | degrees")
+	in := flag.String("in", "", "Matrix Market input (otherwise generate)")
+	kind := flag.String("kind", "rmat", "generator when no -in: rmat | gnm | gnp | grid | cycle | path")
+	scale := flag.Int("scale", 11, "rmat scale")
+	ef := flag.Int("ef", 8, "rmat edge factor")
+	n := flag.Int("n", 1000, "gnm/gnp/cycle/path size; grid side")
+	m := flag.Int("m", 8000, "gnm edges")
+	p := flag.Float64("p", 0.01, "gnp probability")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	source := flag.Int("source", 0, "bfs/sssp source; bc batch start")
+	batch := flag.Int("batch", 16, "bc batch size")
+	k := flag.Int("k", 4, "ktruss k")
+	top := flag.Int("top", 10, "how many top entries to print")
+	flag.Parse()
+
+	if err := graphblas.Init(graphblas.NonBlocking); err != nil {
+		log.Fatal(err)
+	}
+	defer graphblas.Finalize()
+
+	var g *graph.Graph
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err = graph.FromMatrixMarket(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var eg *generate.Graph
+		switch *kind {
+		case "rmat":
+			eg = generate.RMAT(*scale, *ef, *seed).Dedup(true)
+		case "gnm":
+			eg = generate.ErdosRenyiGnm(*n, *m, *seed)
+		case "gnp":
+			eg = generate.ErdosRenyiGnp(*n, *p, *seed)
+		case "grid":
+			eg = generate.Grid2D(*n, *n)
+		case "cycle":
+			eg = generate.Cycle(*n)
+		case "path":
+			eg = generate.Path(*n)
+		default:
+			log.Fatalf("unknown generator %q", *kind)
+		}
+		g = graph.FromEdges(eg)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.NumEdges())
+
+	start := time.Now()
+	switch *alg {
+	case "bfs":
+		levels, err := g.BFS(*source)
+		must(err)
+		reached, maxd := 0, 0
+		for _, l := range levels {
+			if l >= 0 {
+				reached++
+				if l > maxd {
+					maxd = l
+				}
+			}
+		}
+		fmt.Printf("bfs from %d: reached %d vertices, eccentricity %d\n", *source, reached, maxd)
+	case "sssp":
+		dist, reachedV, err := g.SSSP(*source)
+		must(err)
+		reached, far := 0, 0.0
+		for v := range dist {
+			if reachedV[v] {
+				reached++
+				if dist[v] > far {
+					far = dist[v]
+				}
+			}
+		}
+		fmt.Printf("sssp from %d: reached %d vertices, max distance %.3f\n", *source, reached, far)
+	case "pagerank":
+		rank, iters, err := g.PageRank(0.85, 1e-9, 500)
+		must(err)
+		fmt.Printf("pagerank converged in %d sweeps\n", iters)
+		printTop(rank, *top, "rank")
+	case "bc":
+		sources := make([]int, 0, *batch)
+		for i := 0; i < *batch; i++ {
+			sources = append(sources, (*source+i)%g.N())
+		}
+		bc, err := g.BC(sources)
+		must(err)
+		printTop(bc, *top, "betweenness")
+	case "bcall":
+		bc, err := g.BCAll(*batch)
+		must(err)
+		printTop(bc, *top, "betweenness")
+	case "tc":
+		count, err := g.TriangleCount()
+		must(err)
+		fmt.Printf("triangles: %d\n", count)
+	case "cc":
+		labels, err := g.ConnectedComponents()
+		must(err)
+		fmt.Printf("weakly connected components: %d\n", countDistinct(labels))
+	case "scc":
+		labels, err := g.SCC()
+		must(err)
+		fmt.Printf("strongly connected components: %d\n", countDistinct(labels))
+	case "kcore":
+		cores, err := g.CoreNumbers()
+		must(err)
+		maxCore := 0
+		for _, c := range cores {
+			if c > maxCore {
+				maxCore = c
+			}
+		}
+		fmt.Printf("degeneracy (max coreness): %d\n", maxCore)
+	case "ktruss":
+		edges, err := g.KTruss(*k)
+		must(err)
+		fmt.Printf("%d-truss: %d undirected edges\n", *k, len(edges))
+	case "cluster":
+		coef, err := g.ClusteringCoefficients()
+		must(err)
+		sum := 0.0
+		for _, c := range coef {
+			sum += c
+		}
+		fmt.Printf("mean local clustering coefficient: %.4f\n", sum/float64(len(coef)))
+	case "mis":
+		set, err := g.MIS(*seed)
+		must(err)
+		fmt.Printf("maximal independent set: %d vertices\n", len(set))
+	case "color":
+		_, used, err := g.GreedyColor(*seed)
+		must(err)
+		fmt.Printf("greedy coloring: %d colors\n", used)
+	case "reach":
+		sources := []int{*source, (*source + 1) % g.N(), (*source + 2) % g.N()}
+		reach, err := g.Reach(sources)
+		must(err)
+		counts := make([]int, len(sources)+1)
+		for _, sets := range reach {
+			counts[len(sets)]++
+		}
+		fmt.Printf("power-set reach from %v: vertices seeing k sources: %v\n", sources, counts)
+	case "degrees":
+		deg, err := g.OutDegrees()
+		must(err)
+		maxDeg := 0
+		for _, d := range deg {
+			if d > maxDeg {
+				maxDeg = d
+			}
+		}
+		fmt.Printf("max out-degree: %d, mean %.2f\n", maxDeg, float64(g.NumEdges())/float64(g.N()))
+	default:
+		log.Fatalf("unknown algorithm %q", *alg)
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(start))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printTop(score []float64, top int, label string) {
+	order := make([]int, len(score))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return score[order[a]] > score[order[b]] })
+	if top > len(order) {
+		top = len(order)
+	}
+	for _, v := range order[:top] {
+		fmt.Printf("  vertex %6d  %s %.6g\n", v, label, score[v])
+	}
+}
+
+func countDistinct(labels []int) int {
+	seen := map[int]bool{}
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}

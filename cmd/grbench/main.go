@@ -1,0 +1,54 @@
+// Command grbench regenerates the per-experiment tables of EXPERIMENTS.md:
+// the reproduction artifacts for each table and figure of "Design of the
+// GraphBLAS API for C" (see DESIGN.md §3 for the experiment index).
+//
+//	grbench -exp all
+//	grbench -exp E5 -scale 12
+//
+// E4 (API-surface parity) and E7 (error model) are pure test-suite
+// experiments: run `go test -run 'TestAPISurface|TestErrorModel' ./...`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"graphblas"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E8 or all")
+	scale := flag.Int("scale", 11, "RMAT scale for the workload experiments")
+	ef := flag.Int("ef", 8, "RMAT edge factor")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	flag.Parse()
+
+	if err := graphblas.Init(graphblas.NonBlocking); err != nil {
+		log.Fatal(err)
+	}
+	defer graphblas.Finalize()
+
+	run := map[string]func(scale, ef int, seed uint64){
+		"E1": runE1, "E2": runE2, "E3": runE3, "E5": runE5, "E6": runE6, "E8": runE8,
+	}
+	ids := []string{"E1", "E2", "E3", "E5", "E6", "E8"}
+	want := strings.ToUpper(*exp)
+	matched := false
+	for _, id := range ids {
+		if want == "ALL" || want == id {
+			run[id](*scale, *ef, *seed)
+			fmt.Println()
+			matched = true
+		}
+	}
+	if !matched {
+		log.Fatalf("unknown experiment %q (valid: %v, all)", *exp, ids)
+	}
+}
+
+// header prints a section banner.
+func header(id, title string) {
+	fmt.Printf("=== %s — %s ===\n", id, title)
+}

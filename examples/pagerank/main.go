@@ -1,0 +1,81 @@
+// Command pagerank ranks the vertices of an RMAT graph with the
+// GraphBLAS-expressed PageRank and cross-checks the classic power-iteration
+// baseline, demonstrating the algorithm suite layered on the API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	"graphblas"
+	"graphblas/internal/algorithms"
+	"graphblas/internal/generate"
+	"graphblas/internal/refalgo"
+)
+
+func main() {
+	scale := flag.Int("scale", 11, "RMAT scale (2^scale vertices)")
+	ef := flag.Int("ef", 8, "edge factor")
+	damping := flag.Float64("d", 0.85, "damping factor")
+	tol := flag.Float64("tol", 1e-8, "L1 convergence tolerance")
+	seed := flag.Uint64("seed", 123, "generator seed")
+	flag.Parse()
+
+	if err := graphblas.Init(graphblas.NonBlocking); err != nil {
+		log.Fatal(err)
+	}
+	defer graphblas.Finalize()
+
+	g := generate.RMAT(*scale, *ef, *seed).Dedup(true)
+	fmt.Printf("RMAT scale %d: %d vertices, %d edges\n", *scale, g.N, len(g.Edges))
+
+	a, err := graphblas.NewMatrix[float64](g.N, g.N)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, cols, w := g.Tuples()
+	if err := a.Build(rows, cols, w, graphblas.First[float64]()); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	rank, iters, err := algorithms.PageRank(a, *damping, *tol, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, val, _ := rank.ExtractTuples()
+	grbTime := time.Since(start)
+
+	start = time.Now()
+	want, refIters := refalgo.PageRank(refalgo.NewAdjacency(g), *damping, *tol, 500)
+	refTime := time.Since(start)
+
+	got := make([]float64, g.N)
+	for k := range idx {
+		got[idx[k]] = val[k]
+	}
+	maxErr := 0.0
+	for v := 0; v < g.N; v++ {
+		if d := math.Abs(got[v] - want[v]); d > maxErr {
+			maxErr = d
+		}
+	}
+
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return got[order[a]] > got[order[b]] })
+	fmt.Println("\ntop-5 ranked vertices:")
+	for _, v := range order[:5] {
+		fmt.Printf("  vertex %5d  rank %.6f\n", v, got[v])
+	}
+	fmt.Printf("\nGraphBLAS PageRank: %v (%d sweeps)\nbaseline:           %v (%d sweeps)\n",
+		grbTime, iters, refTime, refIters)
+	fmt.Printf("max |Δrank|: %.2e %s\n", maxErr,
+		map[bool]string{true: "(agreement ✓)", false: "(DISAGREEMENT)"}[maxErr < 1e-6])
+}

@@ -1,0 +1,146 @@
+// Command semirings tours Table I of the paper: the same 6-vertex flight
+// network multiplied under five different semirings answers five different
+// questions — cost accumulation, best bottleneck, two-hop reachability over
+// GF(2) parity, classic reachability, and "which origins can route here"
+// over the power-set algebra. The stored matrix never changes; only the
+// algebra does, which is the design point of Section II.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphblas"
+)
+
+const n = 6
+
+var cities = [n]string{"SFO", "DEN", "ORD", "JFK", "ATL", "MIA"}
+
+// buildWeighted builds the fare matrix.
+func buildWeighted() *graphblas.Matrix[float64] {
+	a, err := graphblas.NewMatrix[float64](n, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := []int{0, 0, 1, 1, 2, 3, 4, 4, 5}
+	cols := []int{1, 4, 2, 3, 3, 5, 2, 5, 3}
+	fare := []float64{99, 150, 80, 210, 65, 120, 70, 95, 60}
+	if err := a.Build(rows, cols, fare, graphblas.NoAccum[float64]()); err != nil {
+		log.Fatal(err)
+	}
+	return a
+}
+
+// vecString renders a float vector with city labels.
+func vecString(v *graphblas.Vector[float64]) string {
+	idx, val, _ := v.ExtractTuples()
+	s := ""
+	for k := range idx {
+		if k > 0 {
+			s += "  "
+		}
+		s += fmt.Sprintf("%s:%.0f", cities[idx[k]], val[k])
+	}
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+func main() {
+	if err := graphblas.Init(graphblas.Blocking); err != nil {
+		log.Fatal(err)
+	}
+	defer graphblas.Finalize()
+
+	a := buildWeighted()
+
+	// Row 1 — standard arithmetic ⟨+, ×, 0⟩: total fare mass flowing two
+	// hops out of SFO (path enumeration weight).
+	from := func() *graphblas.Vector[float64] {
+		v, _ := graphblas.NewVector[float64](n)
+		_ = v.SetElement(1, 0) // unit mass at SFO
+		return v
+	}
+	twoHop := func(s graphblas.Semiring[float64, float64, float64]) *graphblas.Vector[float64] {
+		v := from()
+		for hop := 0; hop < 2; hop++ {
+			if err := graphblas.VxM(v, graphblas.NoMaskV, graphblas.NoAccum[float64](), s, v, a, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return v
+	}
+	fmt.Println("Table I semiring tour — the matrix is fixed, the algebra varies")
+	fmt.Println("\n1. standard arithmetic ⟨+,×⟩   (two-hop path-weight products from SFO):")
+	fmt.Println("  ", vecString(twoHop(graphblas.PlusTimes[float64]())))
+
+	// Row 2 — min-plus (the tropical dual of max-plus): cheapest two-hop
+	// fare from SFO.
+	fmt.Println("\n2. tropical ⟨min,+⟩            (cheapest 2-hop fares from SFO):")
+	fmt.Println("  ", vecString(twoHop(graphblas.MinPlus[float64]())))
+
+	// Row 3 — min-max: the minimax fare — minimize the most expensive leg.
+	fmt.Println("\n3. min-max ⟨min,max⟩           (smallest worst-leg over 2-hop routes):")
+	fmt.Println("  ", vecString(twoHop(graphblas.MinMax[float64]())))
+
+	// Row 4 — GF(2) xor/and: parity of the number of distinct 2-hop routes.
+	pattern, _ := graphblas.NewMatrix[bool](n, n)
+	if err := graphblas.ApplyM(pattern, graphblas.NoMask, graphblas.NoAccum[bool](),
+		graphblas.CastToBool[float64](), a, nil); err != nil {
+		log.Fatal(err)
+	}
+	par, _ := graphblas.NewVector[bool](n)
+	_ = par.SetElement(true, 0)
+	for hop := 0; hop < 2; hop++ {
+		if err := graphblas.VxM(par, graphblas.NoMaskV, graphblas.NoAccum[bool](),
+			graphblas.XorAnd(), par, pattern, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pIdx, pVal, _ := par.ExtractTuples()
+	fmt.Println("\n4. GF(2) ⟨xor,and⟩             (odd number of 2-hop routes from SFO):")
+	fmt.Print("   ")
+	for k := range pIdx {
+		if pVal[k] {
+			fmt.Printf("%s ", cities[pIdx[k]])
+		}
+	}
+	fmt.Println()
+
+	// Row 5 — power-set ⟨∪,∩⟩: which of {SFO, ORD, MIA} can route to each
+	// city within two hops. Labels are sets over the source universe; the
+	// adjacency carries the full universe U (the ∩ identity).
+	uni := 3
+	sources := []int{0, 2, 5} // SFO, ORD, MIA
+	labels, _ := graphblas.NewVector[graphblas.IntSet](n)
+	for k, s := range sources {
+		_ = labels.SetElement(graphblas.IntSetOf(uni, k), s)
+	}
+	setA, _ := graphblas.NewMatrix[graphblas.IntSet](n, n)
+	full := graphblas.FullIntSet(uni)
+	lift, _ := graphblas.NewUnaryOp("toU", func(bool) graphblas.IntSet { return full })
+	if err := graphblas.ApplyM(setA, graphblas.NoMask, graphblas.NoAccum[graphblas.IntSet](), lift, pattern, nil); err != nil {
+		log.Fatal(err)
+	}
+	ui := graphblas.UnionIntersect(uni)
+	for hop := 0; hop < 2; hop++ {
+		if err := graphblas.VxM(labels, graphblas.NoMaskV, ui.Add.Op, ui, labels, setA, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lIdx, lVal, _ := labels.ExtractTuples()
+	fmt.Println("\n5. power set ⟨∪,∩⟩             (which of {SFO,ORD,MIA} reach each city ≤2 hops):")
+	names := []string{"SFO", "ORD", "MIA"}
+	for k := range lIdx {
+		fmt.Printf("   %s ← {", cities[lIdx[k]])
+		for i, m := range lVal[k].Members() {
+			if i > 0 {
+				fmt.Print(",")
+			}
+			fmt.Print(names[m])
+		}
+		fmt.Println("}")
+	}
+}

@@ -1,0 +1,322 @@
+package graphblas_test
+
+// Delegation coverage: every thin wrapper in operations.go is exercised with
+// a minimal semantic check, so an argument-order mistake in the facade would
+// fail here even though the core package has its own deep tests.
+
+import (
+	"testing"
+
+	"graphblas"
+)
+
+func mat(t *testing.T, nr, nc int, is, js []int, vs []float64) *graphblas.Matrix[float64] {
+	t.Helper()
+	m, err := graphblas.NewMatrix[float64](nr, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Build(is, js, vs, graphblas.NoAccum[float64]()); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func vec(t *testing.T, n int, is []int, vs []float64) *graphblas.Vector[float64] {
+	t.Helper()
+	v, err := graphblas.NewVector[float64](n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Build(is, vs, graphblas.NoAccum[float64]()); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func matHas(t *testing.T, m *graphblas.Matrix[float64], i, j int, want float64, label string) {
+	t.Helper()
+	v, err := m.ExtractElement(i, j)
+	if err != nil || v != want {
+		t.Fatalf("%s: (%d,%d) got %v (%v) want %v", label, i, j, v, err, want)
+	}
+}
+
+func vecHas(t *testing.T, v *graphblas.Vector[float64], i int, want float64, label string) {
+	t.Helper()
+	x, err := v.ExtractElement(i)
+	if err != nil || x != want {
+		t.Fatalf("%s: (%d) got %v (%v) want %v", label, i, x, err, want)
+	}
+}
+
+func TestFacadeDelegation(t *testing.T) {
+	pt := graphblas.PlusTimes[float64]()
+	na := graphblas.NoAccum[float64]()
+
+	t.Run("MxM", func(t *testing.T) {
+		a := mat(t, 2, 2, []int{0, 1}, []int{1, 0}, []float64{2, 3})
+		c, _ := graphblas.NewMatrix[float64](2, 2)
+		if err := graphblas.MxM(c, graphblas.NoMask, na, pt, a, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 0, 6, "MxM")
+	})
+	t.Run("MxV", func(t *testing.T) {
+		a := mat(t, 2, 3, []int{0, 1}, []int{2, 0}, []float64{5, 7})
+		u := vec(t, 3, []int{0, 2}, []float64{10, 100})
+		w, _ := graphblas.NewVector[float64](2)
+		if err := graphblas.MxV(w, graphblas.NoMaskV, na, pt, a, u, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 0, 500, "MxV")
+		vecHas(t, w, 1, 70, "MxV")
+	})
+	t.Run("VxM", func(t *testing.T) {
+		a := mat(t, 2, 3, []int{0, 1}, []int{2, 0}, []float64{5, 7})
+		u := vec(t, 2, []int{0}, []float64{4})
+		w, _ := graphblas.NewVector[float64](3)
+		if err := graphblas.VxM(w, graphblas.NoMaskV, na, pt, u, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 2, 20, "VxM")
+	})
+	t.Run("EWiseAddM and monoid form", func(t *testing.T) {
+		a := mat(t, 2, 2, []int{0}, []int{0}, []float64{1})
+		b := mat(t, 2, 2, []int{0, 1}, []int{0, 1}, []float64{2, 5})
+		c, _ := graphblas.NewMatrix[float64](2, 2)
+		if err := graphblas.EWiseAddM(c, graphblas.NoMask, na, graphblas.Plus[float64](), a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 0, 3, "EWiseAddM")
+		matHas(t, c, 1, 1, 5, "EWiseAddM")
+		if err := graphblas.EWiseAddMonoidM(c, graphblas.NoMask, na, graphblas.PlusMonoid[float64](), a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 0, 3, "EWiseAddMonoidM")
+	})
+	t.Run("EWiseAddV and monoid form", func(t *testing.T) {
+		u := vec(t, 3, []int{0}, []float64{1})
+		v := vec(t, 3, []int{0, 2}, []float64{2, 4})
+		w, _ := graphblas.NewVector[float64](3)
+		if err := graphblas.EWiseAddV(w, graphblas.NoMaskV, na, graphblas.Plus[float64](), u, v, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 0, 3, "EWiseAddV")
+		if err := graphblas.EWiseAddMonoidV(w, graphblas.NoMaskV, na, graphblas.PlusMonoid[float64](), u, v, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 2, 4, "EWiseAddMonoidV")
+	})
+	t.Run("EWiseMult forms", func(t *testing.T) {
+		a := mat(t, 2, 2, []int{0, 1}, []int{0, 1}, []float64{3, 4})
+		b := mat(t, 2, 2, []int{0}, []int{0}, []float64{5})
+		c, _ := graphblas.NewMatrix[float64](2, 2)
+		if err := graphblas.EWiseMultM(c, graphblas.NoMask, na, graphblas.Times[float64](), a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 0, 15, "EWiseMultM")
+		if nv, _ := c.NVals(); nv != 1 {
+			t.Fatalf("EWiseMultM intersection: %d", nv)
+		}
+		if err := graphblas.EWiseMultSemiringM(c, graphblas.NoMask, na, pt, a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 0, 15, "EWiseMultSemiringM")
+		u := vec(t, 2, []int{0, 1}, []float64{3, 9})
+		v := vec(t, 2, []int{1}, []float64{2})
+		w, _ := graphblas.NewVector[float64](2)
+		if err := graphblas.EWiseMultV(w, graphblas.NoMaskV, na, graphblas.Times[float64](), u, v, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 1, 18, "EWiseMultV")
+	})
+	t.Run("Apply family", func(t *testing.T) {
+		a := mat(t, 2, 2, []int{0}, []int{1}, []float64{4})
+		c, _ := graphblas.NewMatrix[float64](2, 2)
+		if err := graphblas.ApplyM(c, graphblas.NoMask, na, graphblas.AInv[float64](), a, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 1, -4, "ApplyM")
+		if err := graphblas.ApplyBindFirstM(c, graphblas.NoMask, na, graphblas.Minus[float64](), 10, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 1, 6, "ApplyBindFirstM") // 10 - 4
+		if err := graphblas.ApplyBindSecondM(c, graphblas.NoMask, na, graphblas.Minus[float64](), a, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 1, 3, "ApplyBindSecondM") // 4 - 1
+		rowcol := graphblas.IndexUnaryOp[float64, float64]{Name: "ij", F: func(v float64, i, j int) float64 { return v + float64(10*i+j) }}
+		if err := graphblas.ApplyIndexOpM(c, graphblas.NoMask, na, rowcol, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 1, 5, "ApplyIndexOpM") // 4 + 0*10 + 1
+
+		u := vec(t, 3, []int{2}, []float64{8})
+		w, _ := graphblas.NewVector[float64](3)
+		if err := graphblas.ApplyV(w, graphblas.NoMaskV, na, graphblas.AInv[float64](), u, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 2, -8, "ApplyV")
+		if err := graphblas.ApplyBindFirstV(w, graphblas.NoMaskV, na, graphblas.Minus[float64](), 10, u, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 2, 2, "ApplyBindFirstV")
+		if err := graphblas.ApplyBindSecondV(w, graphblas.NoMaskV, na, graphblas.Minus[float64](), u, 3, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 2, 5, "ApplyBindSecondV")
+		iu := graphblas.IndexUnaryOp[float64, float64]{Name: "i", F: func(v float64, i, _ int) float64 { return v + float64(i) }}
+		if err := graphblas.ApplyIndexOpV(w, graphblas.NoMaskV, na, iu, u, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 2, 10, "ApplyIndexOpV")
+	})
+	t.Run("Reduce family", func(t *testing.T) {
+		a := mat(t, 2, 3, []int{0, 0, 1}, []int{0, 2, 1}, []float64{1, 2, 5})
+		w, _ := graphblas.NewVector[float64](2)
+		if err := graphblas.ReduceMatrixToVector(w, graphblas.NoMaskV, na, graphblas.PlusMonoid[float64](), a, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 0, 3, "ReduceMatrixToVector")
+		total, err := graphblas.ReduceMatrixToScalar(0, na, graphblas.PlusMonoid[float64](), a)
+		if err != nil || total != 8 {
+			t.Fatalf("ReduceMatrixToScalar %v %v", total, err)
+		}
+		vt, err := graphblas.ReduceVectorToScalar(0, na, graphblas.PlusMonoid[float64](), w)
+		if err != nil || vt != 8 {
+			t.Fatalf("ReduceVectorToScalar %v %v", vt, err)
+		}
+	})
+	t.Run("Transpose", func(t *testing.T) {
+		a := mat(t, 2, 3, []int{0}, []int{2}, []float64{7})
+		c, _ := graphblas.NewMatrix[float64](3, 2)
+		if err := graphblas.Transpose(c, graphblas.NoMask, na, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 2, 0, 7, "Transpose")
+	})
+	t.Run("Extract family", func(t *testing.T) {
+		a := mat(t, 3, 3, []int{0, 1, 2}, []int{0, 1, 2}, []float64{1, 2, 3})
+		c, _ := graphblas.NewMatrix[float64](2, 2)
+		if err := graphblas.ExtractSubmatrix(c, graphblas.NoMask, na, a, []int{1, 2}, []int{1, 2}, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 0, 2, "ExtractSubmatrix")
+		u := vec(t, 4, []int{1, 3}, []float64{10, 30})
+		w, _ := graphblas.NewVector[float64](2)
+		if err := graphblas.ExtractSubvector(w, graphblas.NoMaskV, na, u, []int{3, 0}, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 0, 30, "ExtractSubvector")
+		col, _ := graphblas.NewVector[float64](3)
+		if err := graphblas.ExtractColVector(col, graphblas.NoMaskV, na, a, graphblas.All, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, col, 1, 2, "ExtractColVector")
+	})
+	t.Run("Assign family", func(t *testing.T) {
+		w := vec(t, 4, []int{0}, []float64{1})
+		u := vec(t, 2, []int{0, 1}, []float64{7, 8})
+		if err := graphblas.AssignVector(w, graphblas.NoMaskV, na, u, []int{2, 3}, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 2, 7, "AssignVector")
+		if err := graphblas.AssignVectorScalar(w, graphblas.NoMaskV, na, -1, []int{1}, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 1, -1, "AssignVectorScalar")
+
+		c := mat(t, 3, 3, []int{0}, []int{0}, []float64{9})
+		sub := mat(t, 2, 2, []int{0, 1}, []int{0, 1}, []float64{4, 5})
+		if err := graphblas.AssignMatrix(c, graphblas.NoMask, na, sub, []int{1, 2}, []int{1, 2}, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 1, 1, 4, "AssignMatrix")
+		if err := graphblas.AssignMatrixScalar(c, graphblas.NoMask, na, 6, []int{0}, []int{2}, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 0, 2, 6, "AssignMatrixScalar")
+		rowv := vec(t, 3, []int{0}, []float64{11})
+		if err := graphblas.AssignRow(c, graphblas.NoMaskV, na, rowv, 2, graphblas.All, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 2, 0, 11, "AssignRow")
+		colv := vec(t, 3, []int{1}, []float64{12})
+		if err := graphblas.AssignCol(c, graphblas.NoMaskV, na, colv, graphblas.All, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, c, 1, 0, 12, "AssignCol")
+	})
+	t.Run("Select Kron Diag", func(t *testing.T) {
+		a := mat(t, 2, 2, []int{0, 1}, []int{0, 1}, []float64{-1, 5})
+		c, _ := graphblas.NewMatrix[float64](2, 2)
+		pos := graphblas.IndexUnaryOp[float64, bool]{Name: "pos", F: func(v float64, _, _ int) bool { return v > 0 }}
+		if err := graphblas.SelectM(c, graphblas.NoMask, na, pos, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		if nv, _ := c.NVals(); nv != 1 {
+			t.Fatalf("SelectM kept %d", nv)
+		}
+		u := vec(t, 2, []int{0, 1}, []float64{-1, 5})
+		w, _ := graphblas.NewVector[float64](2)
+		if err := graphblas.SelectV(w, graphblas.NoMaskV, na, pos, u, nil); err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, w, 1, 5, "SelectV")
+		k, _ := graphblas.NewMatrix[float64](4, 4)
+		if err := graphblas.Kronecker(k, graphblas.NoMask, na, graphblas.Times[float64](), a, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, k, 3, 3, 25, "Kronecker")
+		d, err := graphblas.Diag(u, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, d, 1, 1, 5, "Diag")
+	})
+	t.Run("ImportExport", func(t *testing.T) {
+		a := mat(t, 2, 2, []int{1}, []int{0}, []float64{3})
+		ptr, col, vals, err := graphblas.MatrixExportCSR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := graphblas.MatrixImportCSR(2, 2, ptr, col, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matHas(t, back, 1, 0, 3, "MatrixImportCSR")
+		u := vec(t, 3, []int{2}, []float64{4})
+		idx, uv, err := graphblas.VectorExport(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := graphblas.VectorImport(3, idx, uv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecHas(t, vb, 2, 4, "VectorImport")
+	})
+}
+
+func TestFacadeEWiseUnion(t *testing.T) {
+	a := mat(t, 2, 2, []int{0}, []int{0}, []float64{5})
+	b := mat(t, 2, 2, []int{1}, []int{1}, []float64{3})
+	c, _ := graphblas.NewMatrix[float64](2, 2)
+	if err := graphblas.EWiseUnionM(c, graphblas.NoMask, graphblas.NoAccum[float64](),
+		graphblas.Minus[float64](), a, 0, b, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	matHas(t, c, 0, 0, 5, "EWiseUnionM a-side")
+	matHas(t, c, 1, 1, -3, "EWiseUnionM b-side")
+
+	u := vec(t, 3, []int{0}, []float64{5})
+	v := vec(t, 3, []int{2}, []float64{3})
+	w, _ := graphblas.NewVector[float64](3)
+	if err := graphblas.EWiseUnionV(w, graphblas.NoMaskV, graphblas.NoAccum[float64](),
+		graphblas.Minus[float64](), u, 0, v, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	vecHas(t, w, 0, 5, "EWiseUnionV")
+	vecHas(t, w, 2, -3, "EWiseUnionV")
+}

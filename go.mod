@@ -1,0 +1,3 @@
+module graphblas
+
+go 1.24

@@ -1,0 +1,280 @@
+package graphblas_test
+
+import (
+	"os"
+	"testing"
+	"testing/quick"
+
+	"graphblas"
+)
+
+func TestMain(m *testing.M) {
+	graphblas.ResetForTesting()
+	if err := graphblas.Init(graphblas.NonBlocking); err != nil {
+		panic(err)
+	}
+	os.Exit(m.Run())
+}
+
+// TestAPISurface_TableIII checks the data-type row of Table III: every
+// opaque object kind of the C API has a counterpart with the documented
+// lifecycle (new → use → free).
+func TestAPISurface_TableIII(t *testing.T) {
+	// GrB_Matrix / GrB_Vector.
+	m, err := graphblas.NewMatrix[float32](3, 4)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	v, err := graphblas.NewVector[float32](5)
+	if err != nil {
+		t.Fatalf("NewVector: %v", err)
+	}
+	// GrB_Monoid / GrB_Semiring built from lower-level operators (Table VI
+	// constructors).
+	add, err := graphblas.NewMonoid(graphblas.Plus[float32](), 0)
+	if err != nil {
+		t.Fatalf("NewMonoid: %v", err)
+	}
+	s, err := graphblas.NewSemiring(add, graphblas.Times[float32]())
+	if err != nil {
+		t.Fatalf("NewSemiring: %v", err)
+	}
+	if !s.Defined() {
+		t.Fatal("semiring undefined")
+	}
+	// GrB_Descriptor with the Table V fields and values.
+	d, err := graphblas.NewDescriptor()
+	if err != nil {
+		t.Fatalf("NewDescriptor: %v", err)
+	}
+	for _, set := range []struct {
+		f graphblas.Field
+		v graphblas.Value
+	}{
+		{graphblas.OutP, graphblas.Replace},
+		{graphblas.MaskField, graphblas.SCMP},
+		{graphblas.Inp0, graphblas.Tran},
+		{graphblas.Inp1, graphblas.Tran},
+	} {
+		if err := d.Set(set.f, set.v); err != nil {
+			t.Fatalf("Descriptor.Set(%v, %v): %v", set.f, set.v, err)
+		}
+	}
+	if err := d.Set(graphblas.OutP, graphblas.Tran); graphblas.InfoOf(err) != graphblas.InvalidValue {
+		t.Fatalf("invalid descriptor combination accepted: %v", err)
+	}
+	// GrB_Index is int; GrB_Info is the Info type behind errors.
+	if graphblas.InfoOf(nil) != graphblas.Success {
+		t.Fatal("InfoOf(nil)")
+	}
+	if err := m.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := v.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+}
+
+// TestAPISurface_TableIV checks each predefined operator the paper's
+// example uses, by name.
+func TestAPISurface_TableIV(t *testing.T) {
+	if graphblas.Times[int32]().F(6, 7) != 42 {
+		t.Fatal("GrB_TIMES_INT32")
+	}
+	if graphblas.Plus[int32]().F(6, 7) != 13 {
+		t.Fatal("GrB_PLUS_INT32")
+	}
+	if graphblas.Plus[float32]().F(1.25, 0.5) != 1.75 {
+		t.Fatal("GrB_PLUS_FP32")
+	}
+	if graphblas.Times[float32]().F(2, 2.5) != 5 {
+		t.Fatal("GrB_TIMES_FP32")
+	}
+	if graphblas.MInv[float32]().F(8) != 0.125 {
+		t.Fatal("GrB_MINV_FP32")
+	}
+	if graphblas.Identity[bool]().F(true) != true {
+		t.Fatal("GrB_IDENTITY_BOOL")
+	}
+}
+
+// TestAPISurface_TableVI exercises every method row of Table VI through
+// the facade, mirroring their use in Figure 3.
+func TestAPISurface_TableVI(t *testing.T) {
+	// GrB_Monoid_new, GrB_Semiring_new.
+	int32Add, err := graphblas.NewMonoid(graphblas.Plus[int32](), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int32AddMul, err := graphblas.NewSemiring(int32Add, graphblas.Times[int32]())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GrB_Vector_new, GrB_Matrix_new.
+	n := 6
+	a, err := graphblas.NewMatrix[int32](n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GrB_Matrix_build with a dup operator.
+	if err := a.Build(
+		[]int{0, 0, 1, 2, 3, 4, 4},
+		[]int{1, 1, 2, 3, 4, 5, 5},
+		[]int32{1, 1, 1, 1, 1, 1, 1},
+		graphblas.Plus[int32](),
+	); err != nil {
+		t.Fatal(err)
+	}
+	// GrB_Matrix_nrows, GrB_Matrix_nvals.
+	if nr, _ := a.NRows(); nr != n {
+		t.Fatalf("nrows %d", nr)
+	}
+	if nv, _ := a.NVals(); nv != 5 { // duplicates combined
+		t.Fatalf("nvals %d", nv)
+	}
+	if x, _ := a.ExtractElement(0, 1); x != 2 {
+		t.Fatalf("dup combine: %d", x)
+	}
+	// GrB_Descriptor_new / _set.
+	desc, _ := graphblas.NewDescriptor()
+	_ = desc.Set(graphblas.Inp0, graphblas.Tran)
+	_ = desc.Set(graphblas.MaskField, graphblas.SCMP)
+	_ = desc.Set(graphblas.OutP, graphblas.Replace)
+	// GrB_mxm with mask and the descriptor.
+	c, _ := graphblas.NewMatrix[int32](n, n)
+	if err := graphblas.MxM(c, a, graphblas.NoAccum[int32](), int32AddMul, a, a, desc); err != nil {
+		t.Fatalf("mxm: %v", err)
+	}
+	// GrB_eWiseMult / GrB_eWiseAdd.
+	if err := graphblas.EWiseMultM(c, graphblas.NoMask, graphblas.NoAccum[int32](), graphblas.Times[int32](), a, a, nil); err != nil {
+		t.Fatalf("eWiseMult: %v", err)
+	}
+	if err := graphblas.EWiseAddM(c, graphblas.NoMask, graphblas.NoAccum[int32](), graphblas.Plus[int32](), a, a, nil); err != nil {
+		t.Fatalf("eWiseAdd: %v", err)
+	}
+	// GrB_extract.
+	sub, _ := graphblas.NewMatrix[int32](n, 2)
+	if err := graphblas.ExtractSubmatrix(sub, graphblas.NoMask, graphblas.NoAccum[int32](), a, graphblas.All, []int{1, 2}, nil); err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	// GrB_assign (scalar form, GrB_ALL).
+	if err := graphblas.AssignMatrixScalar(c, graphblas.NoMask, graphblas.NoAccum[int32](), 7, graphblas.All, graphblas.All, nil); err != nil {
+		t.Fatalf("assign: %v", err)
+	}
+	// GrB_apply.
+	if err := graphblas.ApplyM(c, graphblas.NoMask, graphblas.NoAccum[int32](), graphblas.AInv[int32](), c, nil); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	// GrB_reduce (row reduce into a vector, with accumulator).
+	delta, _ := graphblas.NewVector[int32](n)
+	if err := graphblas.AssignVectorScalar(delta, graphblas.NoMaskV, graphblas.NoAccum[int32](), -1, graphblas.All, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := graphblas.ReduceMatrixToVector(delta, graphblas.NoMaskV, graphblas.Plus[int32](), int32Add, c, nil); err != nil {
+		t.Fatalf("reduce: %v", err)
+	}
+	if x, _ := delta.ExtractElement(0); x != -7*int32(n)-1 {
+		t.Fatalf("reduce+accum value %d", x)
+	}
+	// GrB_wait terminates the sequence.
+	if err := graphblas.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+}
+
+// TestTableI_SemiringLawsThroughAPI property-checks the defining laws of
+// the five Table I semirings via actual GraphBLAS reductions: folding a
+// vector with the additive monoid is order-insensitive, and ⊗ distributes
+// over ⊕ elementwise.
+func TestTableI_SemiringLaws(t *testing.T) {
+	bound := func(v int32) float64 { return float64(v % 1024) }
+	f := func(x0, y0, z0 int32) bool {
+		x, y, z := bound(x0), bound(y0), bound(z0)
+		check := func(s graphblas.Semiring[float64, float64, float64]) bool {
+			add, mul := s.Add.Op.F, s.Mul.F
+			if add(x, y) != add(y, x) {
+				return false
+			}
+			if add(add(x, y), z) != add(x, add(y, z)) {
+				return false
+			}
+			if add(s.Add.Identity, x) != x {
+				return false
+			}
+			return mul(x, add(y, z)) == add(mul(x, y), mul(x, z))
+		}
+		if !check(graphblas.PlusTimes[float64]()) ||
+			!check(graphblas.MinPlus[float64]()) ||
+			!check(graphblas.MaxPlus[float64]()) ||
+			!check(graphblas.MinMax[float64]()) {
+			return false
+		}
+		g := graphblas.XorAnd()
+		bx, by, bz := x0%2 == 0, y0%2 == 0, z0%2 == 0
+		if g.Mul.F(bx, g.Add.Op.F(by, bz)) != g.Add.Op.F(g.Mul.F(bx, by), g.Mul.F(bx, bz)) {
+			return false
+		}
+		u := int(uint32(x0) % 64)
+		a := graphblas.IntSetOf(64, u, u/2)
+		b := graphblas.IntSetOf(64, int(uint32(y0)%64))
+		c := graphblas.IntSetOf(64, int(uint32(z0)%64), u/3)
+		ps := graphblas.UnionIntersect(64)
+		return ps.Mul.F(a, ps.Add.Op.F(b, c)).Equal(ps.Add.Op.F(ps.Mul.F(a, b), ps.Mul.F(a, c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableI_MatrixSemanticsSwap: the same stored matrix gives different
+// results as the semiring changes, with no rebuild — the central claim of
+// Section II.
+func TestTableI_MatrixSemanticsSwap(t *testing.T) {
+	// 0→1 (3), 1→2 (4), 0→2 (10): two-hop 0→1→2 costs 3·4=12 arithmetic,
+	// 3+4=7 tropical; direct edge 10.
+	a, _ := graphblas.NewMatrix[float64](3, 3)
+	if err := a.Build([]int{0, 1, 0}, []int{1, 2, 2}, []float64{3, 4, 10}, graphblas.NoAccum[float64]()); err != nil {
+		t.Fatal(err)
+	}
+	sq := func(s graphblas.Semiring[float64, float64, float64]) (float64, bool) {
+		c, _ := graphblas.NewMatrix[float64](3, 3)
+		if err := graphblas.MxM(c, graphblas.NoMask, graphblas.NoAccum[float64](), s, a, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		v, err := c.ExtractElement(0, 2)
+		return v, err == nil
+	}
+	if v, ok := sq(graphblas.PlusTimes[float64]()); !ok || v != 12 {
+		t.Fatalf("arithmetic A² (0,2): %v %v", v, ok)
+	}
+	if v, ok := sq(graphblas.MinPlus[float64]()); !ok || v != 7 {
+		t.Fatalf("tropical A² (0,2): %v %v", v, ok)
+	}
+	if v, ok := sq(graphblas.MaxMin[float64]()); !ok || v != 3 {
+		t.Fatalf("bottleneck A² (0,2): %v %v", v, ok)
+	}
+	// The matrix never changed.
+	if nv, _ := a.NVals(); nv != 3 {
+		t.Fatalf("matrix mutated: %d", nv)
+	}
+}
+
+// TestFacadeQuickstart runs the package-doc quickstart shape end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	const n = 4
+	a, _ := graphblas.NewMatrix[float64](n, n)
+	if err := a.Build([]int{0, 1, 2}, []int{1, 2, 3}, []float64{1, 1, 1}, graphblas.NoAccum[float64]()); err != nil {
+		t.Fatal(err)
+	}
+	frontier, _ := graphblas.NewVector[float64](n)
+	_ = frontier.SetElement(0, 0)
+	for i := 0; i < 3; i++ {
+		if err := graphblas.VxM(frontier, graphblas.NoMaskV, graphblas.Min[float64](),
+			graphblas.MinPlus[float64](), frontier, a, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d, err := frontier.ExtractElement(3); err != nil || d != 3 {
+		t.Fatalf("dist to 3: %v %v", d, err)
+	}
+}

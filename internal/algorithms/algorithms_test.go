@@ -1,0 +1,472 @@
+package algorithms
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"graphblas/internal/builtins"
+	"graphblas/internal/core"
+	"graphblas/internal/generate"
+	"graphblas/internal/refalgo"
+)
+
+func TestMain(m *testing.M) {
+	core.ResetForTesting()
+	if err := core.Init(core.NonBlocking); err != nil {
+		panic(err)
+	}
+	os.Exit(m.Run())
+}
+
+// boolMatrix builds a Matrix[bool] adjacency from a graph.
+func boolMatrix(t testing.TB, g *generate.Graph) *core.Matrix[bool] {
+	t.Helper()
+	m, err := core.NewMatrix[bool](g.N, g.N)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	rows, cols, _ := g.Tuples()
+	vals := make([]bool, len(rows))
+	for i := range vals {
+		vals[i] = true
+	}
+	if err := m.Build(rows, cols, vals, builtins.LOr()); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+// int32Matrix builds the Figure 3 style integer adjacency (stored 1s).
+func int32Matrix(t testing.TB, g *generate.Graph) *core.Matrix[int32] {
+	t.Helper()
+	m, err := core.NewMatrix[int32](g.N, g.N)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	rows, cols, _ := g.Tuples()
+	vals := make([]int32, len(rows))
+	for i := range vals {
+		vals[i] = 1
+	}
+	if err := m.Build(rows, cols, vals, builtins.First[int32]()); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+// floatMatrix builds a weighted adjacency.
+func floatMatrix(t testing.TB, g *generate.Graph) *core.Matrix[float64] {
+	t.Helper()
+	m, err := core.NewMatrix[float64](g.N, g.N)
+	if err != nil {
+		t.Fatalf("NewMatrix: %v", err)
+	}
+	rows, cols, w := g.Tuples()
+	if err := m.Build(rows, cols, w, builtins.First[float64]()); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+// testGraphs is the workload battery shared by the cross-validation tests.
+func testGraphs() map[string]*generate.Graph {
+	return map[string]*generate.Graph{
+		"path16":    generate.Path(16),
+		"cycle9":    generate.Cycle(9),
+		"star12":    generate.Star(12),
+		"grid4x5":   generate.Grid2D(4, 5),
+		"tree4":     generate.BinaryTree(4),
+		"er200":     generate.ErdosRenyiGnm(200, 800, 1).Dedup(true),
+		"er50dense": generate.ErdosRenyiGnp(50, 0.15, 2).Dedup(true),
+		"rmat8":     generate.RMAT(8, 4, 3).Dedup(true),
+	}
+}
+
+func TestBC_AgainstBrandes(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			a := int32Matrix(t, g)
+			sources := []int{0}
+			if g.N > 8 {
+				sources = []int{0, 3, g.N / 2, g.N - 1}
+			}
+			want := refalgo.BrandesBC(adj, sources)
+			delta, err := BCUpdate(a, sources)
+			if err != nil {
+				t.Fatalf("BCUpdate: %v", err)
+			}
+			idx, val, err := delta.ExtractTuples()
+			if err != nil {
+				t.Fatalf("ExtractTuples: %v", err)
+			}
+			got := make([]float64, g.N)
+			for k := range idx {
+				got[idx[k]] = float64(val[k])
+			}
+			for v := 0; v < g.N; v++ {
+				diff := math.Abs(got[v] - want[v])
+				scale := math.Max(1, math.Abs(want[v]))
+				if diff/scale > 2e-4 {
+					t.Errorf("BC[%d]: got %v want %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestBFSLevels_AgainstQueueBFS(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			a := boolMatrix(t, g)
+			for _, src := range []int{0, g.N - 1} {
+				want := refalgo.BFSLevels(adj, src)
+				levels, err := BFSLevels(a, src)
+				if err != nil {
+					t.Fatalf("BFSLevels: %v", err)
+				}
+				idx, val, _ := levels.ExtractTuples()
+				got := make([]int, g.N)
+				for i := range got {
+					got[i] = -1
+				}
+				for k := range idx {
+					got[idx[k]] = int(val[k])
+				}
+				for v := 0; v < g.N; v++ {
+					if got[v] != want[v] {
+						t.Errorf("src %d level[%d]: got %d want %d", src, v, got[v], want[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBFSParents_ValidTree(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			a := boolMatrix(t, g)
+			src := 0
+			levels := refalgo.BFSLevels(adj, src)
+			parents, err := BFSParents(a, src)
+			if err != nil {
+				t.Fatalf("BFSParents: %v", err)
+			}
+			idx, val, _ := parents.ExtractTuples()
+			got := make([]int, g.N)
+			for i := range got {
+				got[i] = -1
+			}
+			for k := range idx {
+				got[idx[k]] = int(val[k])
+			}
+			for v := 0; v < g.N; v++ {
+				if levels[v] < 0 {
+					if got[v] != -1 {
+						t.Errorf("unreached %d has parent %d", v, got[v])
+					}
+					continue
+				}
+				if v == src {
+					if got[v] != src {
+						t.Errorf("source parent %d", got[v])
+					}
+					continue
+				}
+				p := got[v]
+				if p < 0 {
+					t.Errorf("reached %d has no parent", v)
+					continue
+				}
+				// Parent must be exactly one level above and adjacent.
+				if levels[p] != levels[v]-1 {
+					t.Errorf("parent %d of %d at level %d, vertex at %d", p, v, levels[p], levels[v])
+				}
+				found := false
+				for _, u := range adj.Neighbors(p) {
+					if u == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("parent %d not adjacent to %d", p, v)
+				}
+			}
+		})
+	}
+}
+
+func TestSSSP_AgainstDijkstra(t *testing.T) {
+	for name, g := range testGraphs() {
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			a := floatMatrix(t, g)
+			for _, src := range []int{0, g.N / 2} {
+				want := refalgo.Dijkstra(adj, src)
+				bf := refalgo.BellmanFord(adj, src)
+				for v := range want {
+					if math.Abs(want[v]-bf[v]) > 1e-9 && !(math.IsInf(want[v], 1) && math.IsInf(bf[v], 1)) {
+						t.Fatalf("baselines disagree at %d: %v vs %v", v, want[v], bf[v])
+					}
+				}
+				dist, err := SSSP(a, src)
+				if err != nil {
+					t.Fatalf("SSSP: %v", err)
+				}
+				idx, val, _ := dist.ExtractTuples()
+				got := make([]float64, g.N)
+				for i := range got {
+					got[i] = math.Inf(1)
+				}
+				for k := range idx {
+					got[idx[k]] = val[k]
+				}
+				for v := 0; v < g.N; v++ {
+					if math.IsInf(want[v], 1) != math.IsInf(got[v], 1) {
+						t.Errorf("src %d reach[%d]: got %v want %v", src, v, got[v], want[v])
+						continue
+					}
+					if !math.IsInf(want[v], 1) && math.Abs(got[v]-want[v]) > 1e-9 {
+						t.Errorf("src %d dist[%d]: got %v want %v", src, v, got[v], want[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPageRank_AgainstPowerIteration(t *testing.T) {
+	for _, name := range []string{"cycle9", "star12", "er200", "rmat8", "path16"} {
+		g := testGraphs()[name]
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			a := floatMatrix(t, g)
+			want, _ := refalgo.PageRank(adj, 0.85, 1e-10, 200)
+			rank, _, err := PageRank(a, 0.85, 1e-10, 200)
+			if err != nil {
+				t.Fatalf("PageRank: %v", err)
+			}
+			idx, val, _ := rank.ExtractTuples()
+			got := make([]float64, g.N)
+			for k := range idx {
+				got[idx[k]] = val[k]
+			}
+			sum := 0.0
+			for v := 0; v < g.N; v++ {
+				sum += got[v]
+				if math.Abs(got[v]-want[v]) > 1e-6 {
+					t.Errorf("rank[%d]: got %v want %v", v, got[v], want[v])
+				}
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Errorf("ranks sum to %v", sum)
+			}
+		})
+	}
+}
+
+func TestTriangleCount_AgainstIntersection(t *testing.T) {
+	graphs := map[string]*generate.Graph{
+		"triangle":  {N: 3, Edges: []generate.Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}, {Src: 0, Dst: 2, Weight: 1}}},
+		"complete6": generate.Complete(6),
+		"grid5x5":   generate.Grid2D(5, 5),
+		"er100":     generate.ErdosRenyiGnm(100, 900, 7),
+		"rmat7":     generate.RMAT(7, 6, 9),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			g = g.Symmetrize().Dedup(true)
+			adj := refalgo.NewAdjacency(g)
+			want := refalgo.TriangleCount(adj)
+			a := boolMatrix(t, g)
+			got, err := TriangleCount(a)
+			if err != nil {
+				t.Fatalf("TriangleCount: %v", err)
+			}
+			if got != want {
+				t.Errorf("got %d want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestConnectedComponents_AgainstUnionFind(t *testing.T) {
+	// Disconnected graph: two cliques plus isolated vertices.
+	g := &generate.Graph{N: 12}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				g.Edges = append(g.Edges, generate.Edge{Src: i, Dst: j, Weight: 1})
+			}
+		}
+	}
+	for i := 5; i < 9; i++ {
+		for j := 5; j < 9; j++ {
+			if i != j {
+				g.Edges = append(g.Edges, generate.Edge{Src: i, Dst: j, Weight: 1})
+			}
+		}
+	}
+	g.Edges = append(g.Edges, generate.Edge{Src: 9, Dst: 10, Weight: 1}, generate.Edge{Src: 10, Dst: 9, Weight: 1})
+	want := refalgo.ConnectedComponents(g)
+	a := boolMatrix(t, g)
+	labels, err := ConnectedComponents(a)
+	if err != nil {
+		t.Fatalf("ConnectedComponents: %v", err)
+	}
+	idx, val, _ := labels.ExtractTuples()
+	got := make([]int, g.N)
+	for k := range idx {
+		got[idx[k]] = int(val[k])
+	}
+	if len(idx) != g.N {
+		t.Fatalf("labels incomplete: %d of %d", len(idx), g.N)
+	}
+	for v := 0; v < g.N; v++ {
+		if got[v] != want[v] {
+			t.Errorf("label[%d]: got %d want %d", v, got[v], want[v])
+		}
+	}
+
+	// Random symmetric graph.
+	rg := generate.ErdosRenyiGnm(150, 200, 11).Symmetrize().Dedup(true)
+	want = refalgo.ConnectedComponents(rg)
+	ra := boolMatrix(t, rg)
+	labels, err = ConnectedComponents(ra)
+	if err != nil {
+		t.Fatalf("ConnectedComponents: %v", err)
+	}
+	idx, val, _ = labels.ExtractTuples()
+	got = make([]int, rg.N)
+	for k := range idx {
+		got[idx[k]] = int(val[k])
+	}
+	for v := 0; v < rg.N; v++ {
+		if got[v] != want[v] {
+			t.Errorf("random label[%d]: got %d want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestMIS_IsMaximalIndependent(t *testing.T) {
+	for _, name := range []string{"grid4x5", "er50dense", "star12", "complete"} {
+		var g *generate.Graph
+		if name == "complete" {
+			g = generate.Complete(8)
+		} else {
+			g = testGraphs()[name]
+		}
+		t.Run(name, func(t *testing.T) {
+			g = g.Symmetrize().Dedup(true)
+			adj := refalgo.NewAdjacency(g)
+			a := boolMatrix(t, g)
+			set, err := MIS(a, 12345)
+			if err != nil {
+				t.Fatalf("MIS: %v", err)
+			}
+			idx, val, _ := set.ExtractTuples()
+			in := make([]bool, g.N)
+			for k := range idx {
+				if val[k] {
+					in[idx[k]] = true
+				}
+			}
+			// Independence: no edge within the set.
+			for _, e := range g.Edges {
+				if in[e.Src] && in[e.Dst] {
+					t.Fatalf("edge (%d,%d) inside MIS", e.Src, e.Dst)
+				}
+			}
+			// Maximality: every vertex outside has a neighbor inside.
+			for v := 0; v < g.N; v++ {
+				if in[v] {
+					continue
+				}
+				hasNbrIn := false
+				for _, u := range adj.Neighbors(v) {
+					if in[u] {
+						hasNbrIn = true
+						break
+					}
+				}
+				if !hasNbrIn {
+					t.Fatalf("vertex %d outside MIS with no neighbor inside", v)
+				}
+			}
+		})
+	}
+}
+
+func TestReach_PowerSetSemiring(t *testing.T) {
+	// Diamond: 0→1, 0→2, 1→3, 2→3; plus isolated 4; source batch {0, 1, 4}.
+	g := &generate.Graph{N: 5, Edges: []generate.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 0, Dst: 2, Weight: 1},
+		{Src: 1, Dst: 3, Weight: 1}, {Src: 2, Dst: 3, Weight: 1},
+	}}
+	a := boolMatrix(t, g)
+	sources := []int{0, 1, 4}
+	labels, err := Reach(a, sources)
+	if err != nil {
+		t.Fatalf("Reach: %v", err)
+	}
+	idx, val, _ := labels.ExtractTuples()
+	got := map[int][]int{}
+	for k := range idx {
+		got[idx[k]] = val[k].Members()
+	}
+	want := map[int][]int{
+		0: {0},    // source 0 reaches itself
+		1: {0, 1}, // from 0 and source 1 itself
+		2: {0},    // only via 0
+		3: {0, 1}, // via both branches and from 1
+		4: {2},    // source index 2 (vertex 4) reaches itself only
+	}
+	for v, members := range want {
+		g := got[v]
+		if len(g) != len(members) {
+			t.Fatalf("reach[%d]: got %v want %v", v, g, members)
+		}
+		for i := range members {
+			if g[i] != members[i] {
+				t.Fatalf("reach[%d]: got %v want %v", v, g, members)
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestBCAll_AgainstFullBrandes(t *testing.T) {
+	for _, name := range []string{"grid4x5", "cycle9", "er50dense"} {
+		g := testGraphs()[name]
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			all := make([]int, g.N)
+			for i := range all {
+				all[i] = i
+			}
+			want := refalgo.BrandesBC(adj, all)
+			a := int32Matrix(t, g)
+			bc, err := BCAll(a, 7) // deliberately odd batch size
+			if err != nil {
+				t.Fatalf("BCAll: %v", err)
+			}
+			idx, val, _ := bc.ExtractTuples()
+			got := make([]float64, g.N)
+			for k := range idx {
+				got[idx[k]] = float64(val[k])
+			}
+			for v := 0; v < g.N; v++ {
+				if math.Abs(got[v]-want[v])/math.Max(1, math.Abs(want[v])) > 1e-3 {
+					t.Errorf("bc[%d] got %v want %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}

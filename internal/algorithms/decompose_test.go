@@ -1,0 +1,227 @@
+package algorithms
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"graphblas/internal/generate"
+	"graphblas/internal/refalgo"
+)
+
+func symGraphs() map[string]*generate.Graph {
+	return map[string]*generate.Graph{
+		"path10":    generate.Path(10).Symmetrize().Dedup(true),
+		"cycle8":    generate.Cycle(8).Symmetrize().Dedup(true),
+		"complete7": generate.Complete(7).Symmetrize().Dedup(true),
+		"star9":     generate.Star(9).Symmetrize().Dedup(true),
+		"grid5x4":   generate.Grid2D(5, 4).Symmetrize().Dedup(true),
+		"er120":     generate.ErdosRenyiGnm(120, 700, 5).Symmetrize().Dedup(true),
+		"rmat7":     generate.RMAT(7, 6, 11).Symmetrize().Dedup(true),
+	}
+}
+
+func TestCoreNumbers_AgainstPeeling(t *testing.T) {
+	for name, g := range symGraphs() {
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			want := refalgo.CoreNumbers(adj)
+			a := boolMatrix(t, g)
+			cores, err := CoreNumbers(a)
+			if err != nil {
+				t.Fatalf("CoreNumbers: %v", err)
+			}
+			idx, val, _ := cores.ExtractTuples()
+			if len(idx) != g.N {
+				t.Fatalf("coreness incomplete: %d of %d", len(idx), g.N)
+			}
+			got := make([]int, g.N)
+			for k := range idx {
+				got[idx[k]] = int(val[k])
+			}
+			for v := 0; v < g.N; v++ {
+				if got[v] != want[v] {
+					t.Errorf("core[%d]: got %d want %d", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestCoreNumbers_Known(t *testing.T) {
+	// K4 plus a pendant vertex: K4 members have coreness 3, pendant 1.
+	g := generate.Complete(4)
+	g.N = 5
+	g.Edges = append(g.Edges,
+		generate.Edge{Src: 3, Dst: 4, Weight: 1}, generate.Edge{Src: 4, Dst: 3, Weight: 1})
+	g = g.Symmetrize().Dedup(true)
+	a := boolMatrix(t, g)
+	cores, err := CoreNumbers(a)
+	if err != nil {
+		t.Fatalf("CoreNumbers: %v", err)
+	}
+	idx, val, _ := cores.ExtractTuples()
+	got := make([]int64, g.N)
+	for k := range idx {
+		got[idx[k]] = val[k]
+	}
+	want := []int64{3, 3, 3, 3, 1}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("coreness %v want %v", got, want)
+		}
+	}
+}
+
+func TestKTruss_AgainstPeeling(t *testing.T) {
+	for name, g := range symGraphs() {
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			a := boolMatrix(t, g)
+			for _, k := range []int{3, 4} {
+				wantEdges := refalgo.TrussEdges(adj, k)
+				truss, err := KTruss(a, k)
+				if err != nil {
+					t.Fatalf("KTruss(%d): %v", k, err)
+				}
+				is, js, _, _ := truss.ExtractTuples()
+				var got [][2]int
+				for p := range is {
+					if is[p] < js[p] {
+						got = append(got, [2]int{is[p], js[p]})
+					}
+				}
+				sortPairs(got)
+				sortPairs(wantEdges)
+				if len(got) != len(wantEdges) {
+					t.Fatalf("k=%d: %d edges, want %d", k, len(got), len(wantEdges))
+				}
+				for i := range got {
+					if got[i] != wantEdges[i] {
+						t.Fatalf("k=%d edge %d: got %v want %v", k, i, got[i], wantEdges[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func sortPairs(ps [][2]int) {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a][0] != ps[b][0] {
+			return ps[a][0] < ps[b][0]
+		}
+		return ps[a][1] < ps[b][1]
+	})
+}
+
+func TestKTruss_Known(t *testing.T) {
+	// Two triangles sharing an edge = 4-clique minus one edge. The 3-truss
+	// keeps everything; the 4-truss of K4 keeps K4; of the shared-edge
+	// bowtie keeps nothing.
+	k4 := generate.Complete(4).Symmetrize().Dedup(true)
+	a := boolMatrix(t, k4)
+	truss4, err := KTruss(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv, _ := truss4.NVals(); nv != 12 { // all of K4 survives (support 2 ≥ 2)
+		t.Fatalf("K4 4-truss edges %d want 12", nv)
+	}
+	truss5, err := KTruss(a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv, _ := truss5.NVals(); nv != 0 {
+		t.Fatalf("K4 5-truss should be empty, got %d", nv)
+	}
+}
+
+func TestClusteringCoefficients_AgainstDirect(t *testing.T) {
+	for name, g := range symGraphs() {
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			want := refalgo.ClusteringCoefficients(adj)
+			a := boolMatrix(t, g)
+			cc, err := ClusteringCoefficients(a)
+			if err != nil {
+				t.Fatalf("ClusteringCoefficients: %v", err)
+			}
+			idx, val, _ := cc.ExtractTuples()
+			if len(idx) != g.N {
+				t.Fatalf("cc incomplete: %d of %d", len(idx), g.N)
+			}
+			got := make([]float64, g.N)
+			for k := range idx {
+				got[idx[k]] = val[k]
+			}
+			for v := 0; v < g.N; v++ {
+				if math.Abs(got[v]-want[v]) > 1e-9 {
+					t.Errorf("cc[%d]: got %v want %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+	// Known values: complete graph cc=1 everywhere; path cc=0.
+	k5 := generate.Complete(5).Symmetrize().Dedup(true)
+	cc, err := ClusteringCoefficients(boolMatrix(t, k5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, val, _ := cc.ExtractTuples()
+	for _, v := range val {
+		if v != 1 {
+			t.Fatalf("K5 cc %v", val)
+		}
+	}
+}
+
+func TestGreedyColor_ProperColoring(t *testing.T) {
+	for name, g := range symGraphs() {
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			a := boolMatrix(t, g)
+			colors, used, err := GreedyColor(a, 321)
+			if err != nil {
+				t.Fatalf("GreedyColor: %v", err)
+			}
+			idx, val, _ := colors.ExtractTuples()
+			if len(idx) != g.N {
+				t.Fatalf("colored %d of %d", len(idx), g.N)
+			}
+			col := make([]int64, g.N)
+			for k := range idx {
+				col[idx[k]] = val[k]
+			}
+			// Proper: no edge joins equal colors.
+			for v := 0; v < g.N; v++ {
+				for _, u := range adj.Neighbors(v) {
+					if u != v && col[u] == col[v] {
+						t.Fatalf("edge (%d,%d) same color %d", v, u, col[v])
+					}
+				}
+			}
+			// Bounded by Δ+1.
+			maxDeg := 0
+			for v := 0; v < g.N; v++ {
+				if d := len(adj.Neighbors(v)); d > maxDeg {
+					maxDeg = d
+				}
+			}
+			if used > maxDeg+1 {
+				t.Fatalf("used %d colors, Δ+1 = %d", used, maxDeg+1)
+			}
+		})
+	}
+	// Known: complete graph needs exactly n colors; bipartite grid needs 2.
+	k6 := generate.Complete(6).Symmetrize().Dedup(true)
+	_, used, err := GreedyColor(boolMatrix(t, k6), 1)
+	if err != nil || used != 6 {
+		t.Fatalf("K6 colors %d (%v)", used, err)
+	}
+	grid := generate.Grid2D(4, 4).Symmetrize().Dedup(true)
+	_, used, err = GreedyColor(boolMatrix(t, grid), 1)
+	if err != nil || used < 2 || used > 4 {
+		t.Fatalf("grid colors %d (%v)", used, err)
+	}
+}

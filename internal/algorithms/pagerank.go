@@ -1,0 +1,130 @@
+package algorithms
+
+import (
+	"math"
+
+	"graphblas/internal/builtins"
+	"graphblas/internal/core"
+)
+
+// PageRank computes the damped PageRank vector of the directed graph A
+// (any positive edge values; only the structure matters) by power
+// iteration expressed in GraphBLAS primitives:
+//
+//	outdeg = ⊕_j A(i, j) structure count     (reduce)
+//	share  = r ./ outdeg                     (eWiseMult)
+//	r'     = (1-d)/n + d·dangling/n + d·(shareᵀ A)   (vxm over +.×)
+//
+// Dangling mass (vertices with no out-edges) is redistributed uniformly,
+// matching the classic formulation. Iteration stops when the L1 change
+// drops below tol or after maxIter sweeps; the achieved sweep count is
+// returned.
+func PageRank(a *core.Matrix[float64], damping, tol float64, maxIter int) (*core.Vector[float64], int, error) {
+	n, err := a.NRows()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Out-degree as a count of stored entries: reduce over ⟨+,0⟩ after
+	// mapping every entry to 1.
+	ones, err := core.NewMatrix[float64](n, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := core.ApplyM(ones, core.NoMask, core.NoAccum[float64](), builtins.One[float64](), a, nil); err != nil {
+		return nil, 0, err
+	}
+	outdeg, err := core.NewVector[float64](n)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := core.ReduceMatrixToVector(outdeg, core.NoMaskV, core.NoAccum[float64](), builtins.PlusMonoid[float64](), ones, nil); err != nil {
+		return nil, 0, err
+	}
+
+	rank, err := core.NewVector[float64](n)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := core.AssignVectorScalar(rank, core.NoMaskV, core.NoAccum[float64](), 1/float64(n), core.All, nil); err != nil {
+		return nil, 0, err
+	}
+
+	plusTimes := builtins.PlusTimes[float64]()
+	plusMonoid := builtins.PlusMonoid[float64]()
+	div := builtins.Div[float64]()
+
+	share, err := core.NewVector[float64](n)
+	if err != nil {
+		return nil, 0, err
+	}
+	next, err := core.NewVector[float64](n)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// share = rank ./ outdeg — intersection semantics drop dangling
+		// vertices (no outdeg entry), which is exactly what we want.
+		if err := core.EWiseMultV(share, core.NoMaskV, core.NoAccum[float64](), div, rank, outdeg, core.Desc().ReplaceOutput()); err != nil {
+			return nil, 0, err
+		}
+		// Dangling mass: total rank minus mass that has out-edges.
+		total, err := core.ReduceVectorToScalar(0, core.NoAccum[float64](), plusMonoid, rank)
+		if err != nil {
+			return nil, 0, err
+		}
+		withEdges, err := core.NewVector[float64](n)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := core.EWiseMultV(withEdges, core.NoMaskV, core.NoAccum[float64](), builtins.First[float64](), rank, outdeg, nil); err != nil {
+			return nil, 0, err
+		}
+		linked, err := core.ReduceVectorToScalar(0, core.NoAccum[float64](), plusMonoid, withEdges)
+		if err != nil {
+			return nil, 0, err
+		}
+		dangling := total - linked
+
+		// next = shareᵀ A over +.× : inbound contributions.
+		if err := next.Clear(); err != nil {
+			return nil, 0, err
+		}
+		if err := core.VxM(next, core.NoMaskV, core.NoAccum[float64](), plusTimes, share, ones, nil); err != nil {
+			return nil, 0, err
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		// next = base + damping * next over all n positions: scale then fill-
+		// accumulate so absent entries also get the base value.
+		scale := core.UnaryOp[float64, float64]{Name: "damp", F: func(x float64) float64 { return damping * x }}
+		if err := core.ApplyV(next, core.NoMaskV, core.NoAccum[float64](), scale, next, nil); err != nil {
+			return nil, 0, err
+		}
+		if err := core.AssignVectorScalar(next, core.NoMaskV, builtins.Plus[float64](), base, core.All, nil); err != nil {
+			return nil, 0, err
+		}
+		// L1 change.
+		diffV, err := core.NewVector[float64](n)
+		if err != nil {
+			return nil, 0, err
+		}
+		absdiff := core.BinaryOp[float64, float64, float64]{Name: "absdiff", F: func(x, y float64) float64 { return math.Abs(x - y) }}
+		if err := core.EWiseAddV(diffV, core.NoMaskV, core.NoAccum[float64](), absdiff, next, rank, nil); err != nil {
+			return nil, 0, err
+		}
+		diff, err := core.ReduceVectorToScalar(0, core.NoAccum[float64](), plusMonoid, diffV)
+		if err != nil {
+			return nil, 0, err
+		}
+		// rank = next (swap by assign).
+		if err := core.AssignVector(rank, core.NoMaskV, core.NoAccum[float64](), next, core.All, nil); err != nil {
+			return nil, 0, err
+		}
+		if diff < tol {
+			iters++
+			break
+		}
+	}
+	return rank, iters, nil
+}

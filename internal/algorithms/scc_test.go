@@ -1,0 +1,94 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"graphblas/internal/generate"
+	"graphblas/internal/refalgo"
+)
+
+func TestSCC_AgainstTarjan(t *testing.T) {
+	graphs := map[string]*generate.Graph{
+		"two cycles bridged": {N: 7, Edges: []generate.Edge{
+			{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}, {Src: 2, Dst: 0, Weight: 1},
+			{Src: 2, Dst: 3, Weight: 1}, // bridge (one-way)
+			{Src: 3, Dst: 4, Weight: 1}, {Src: 4, Dst: 5, Weight: 1}, {Src: 5, Dst: 3, Weight: 1},
+			// 6 isolated
+		}},
+		"path (all singleton)": generate.Path(12),
+		"cycle (one big)":      generate.Cycle(12),
+		"er150":                generate.ErdosRenyiGnm(150, 450, 17),
+		"rmat8":                generate.RMAT(8, 4, 21).Dedup(true),
+		"er dense":             generate.ErdosRenyiGnp(60, 0.08, 23),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			want := refalgo.TarjanSCC(refalgo.NewAdjacency(g))
+			a := boolMatrix(t, g)
+			labels, err := SCC(a)
+			if err != nil {
+				t.Fatalf("SCC: %v", err)
+			}
+			idx, val, _ := labels.ExtractTuples()
+			if len(idx) != g.N {
+				t.Fatalf("labels incomplete: %d of %d", len(idx), g.N)
+			}
+			got := make([]int, g.N)
+			for k := range idx {
+				got[idx[k]] = int(val[k])
+			}
+			for v := 0; v < g.N; v++ {
+				if got[v] != want[v] {
+					t.Errorf("scc[%d]: got %d want %d", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+func TestAPSP_AgainstDijkstraAllSources(t *testing.T) {
+	graphs := map[string]*generate.Graph{
+		"diamond": {N: 4, Edges: []generate.Edge{
+			{Src: 0, Dst: 1, Weight: 5}, {Src: 0, Dst: 2, Weight: 1},
+			{Src: 2, Dst: 1, Weight: 1}, {Src: 1, Dst: 3, Weight: 1},
+		}},
+		"er80":   generate.ErdosRenyiGnm(80, 400, 29),
+		"grid":   generate.Grid2D(6, 6),
+		"cycle9": generate.Cycle(9),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			adj := refalgo.NewAdjacency(g)
+			a := floatMatrix(t, g)
+			d, err := APSP(a)
+			if err != nil {
+				t.Fatalf("APSP: %v", err)
+			}
+			is, js, vs, _ := d.ExtractTuples()
+			got := map[[2]int]float64{}
+			for k := range is {
+				got[[2]int{is[k], js[k]}] = vs[k]
+			}
+			for src := 0; src < g.N; src++ {
+				want := refalgo.Dijkstra(adj, src)
+				for dst := 0; dst < g.N; dst++ {
+					gv, ok := got[[2]int{src, dst}]
+					if math.IsInf(want[dst], 1) {
+						if ok {
+							t.Errorf("(%d,%d): spurious distance %v", src, dst, gv)
+						}
+						continue
+					}
+					if !ok {
+						t.Errorf("(%d,%d): missing distance, want %v", src, dst, want[dst])
+						continue
+					}
+					if math.Abs(gv-want[dst]) > 1e-9 {
+						t.Errorf("(%d,%d): got %v want %v", src, dst, gv, want[dst])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,238 @@
+package algorithms
+
+import (
+	"graphblas/internal/builtins"
+	"graphblas/internal/core"
+	"graphblas/internal/setalg"
+)
+
+// BFSLevels computes hop distances from source over the boolean ∨.∧
+// semiring: the frontier expands with a masked vxm (the mask prunes
+// discovered vertices, the paper's central mask idiom), and each new
+// frontier is assigned its level. Unreached vertices have no entry.
+func BFSLevels(a *core.Matrix[bool], source int) (*core.Vector[int32], error) {
+	n, err := a.NRows()
+	if err != nil {
+		return nil, err
+	}
+	levels, err := core.NewVector[int32](n)
+	if err != nil {
+		return nil, err
+	}
+	frontier, err := core.NewVector[bool](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := frontier.SetElement(true, source); err != nil {
+		return nil, err
+	}
+	lorLand := builtins.LorLand()
+	descRC := core.Desc().ReplaceOutput().CompMask()
+	for depth := int32(0); ; depth++ {
+		// levels<frontier> = depth (merge mode: earlier levels kept).
+		fIdx, _, err := frontier.ExtractTuples()
+		if err != nil {
+			return nil, err
+		}
+		if len(fIdx) == 0 {
+			break
+		}
+		if err := core.AssignVectorScalar(levels, frontier, core.NoAccum[int32](), depth, core.All, nil); err != nil {
+			return nil, err
+		}
+		// frontier<!levels> = frontier ∨.∧ A  (discover, pruning visited).
+		if err := core.VxM(frontier, levels, core.NoAccum[bool](), lorLand, frontier, a, descRC); err != nil {
+			return nil, err
+		}
+	}
+	return levels, nil
+}
+
+// BFSParents computes a shortest-hop-tree parent for every reached vertex
+// using the min-first semiring over vertex ids (smallest-index parent
+// wins); the source is its own parent. Ids are stored 1-based internally so
+// vertex 0 is distinguishable from "no entry", then shifted back.
+func BFSParents(a *core.Matrix[bool], source int) (*core.Vector[int64], error) {
+	n, err := a.NRows()
+	if err != nil {
+		return nil, err
+	}
+	parents, err := core.NewVector[int64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := parents.SetElement(int64(source)+1, source); err != nil {
+		return nil, err
+	}
+	// frontier carries candidate parent ids (1-based).
+	frontier, err := core.NewVector[int64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := frontier.SetElement(int64(source)+1, source); err != nil {
+		return nil, err
+	}
+	// id ⊗ A: propagate the source vertex's id along edges — min.first with
+	// a mixed-domain ⊗ : int64 × bool → int64 selecting the id.
+	mul := core.BinaryOp[int64, bool, int64]{Name: "first∘cast", F: func(id int64, _ bool) int64 { return id }}
+	minFirst, err := core.NewSemiring(builtins.MinMonoid[int64](), mul)
+	if err != nil {
+		return nil, err
+	}
+	descRC := core.Desc().ReplaceOutput().CompMask()
+	// The frontier must carry each vertex's own id to its neighbors, so
+	// after discovery we overwrite values with the vertex indices.
+	setOwnID := core.IndexUnaryOp[int64, int64]{Name: "rowid", F: func(_ int64, i, _ int) int64 { return int64(i) + 1 }}
+	for {
+		// Candidates' values become their own ids before expansion.
+		if err := core.ApplyIndexOpV(frontier, core.NoMaskV, core.NoAccum[int64](), setOwnID, frontier, nil); err != nil {
+			return nil, err
+		}
+		// frontier<!parents> = frontier min.first A.
+		if err := core.VxM(frontier, parents, core.NoAccum[int64](), minFirst, frontier, a, descRC); err != nil {
+			return nil, err
+		}
+		nv, err := frontier.NVals()
+		if err != nil {
+			return nil, err
+		}
+		if nv == 0 {
+			break
+		}
+		// parents<frontier> = frontier (record parent ids).
+		if err := core.AssignVector(parents, frontier, core.NoAccum[int64](), frontier, core.All, nil); err != nil {
+			return nil, err
+		}
+	}
+	// Shift ids back to 0-based.
+	shift := core.UnaryOp[int64, int64]{Name: "minus1", F: func(x int64) int64 { return x - 1 }}
+	if err := core.ApplyV(parents, core.NoMaskV, core.NoAccum[int64](), shift, parents, nil); err != nil {
+		return nil, err
+	}
+	return parents, nil
+}
+
+// SSSP computes single-source shortest-path distances over the min-plus
+// (tropical) semiring of Table I by Bellman-Ford iteration:
+// d ⊙min= d min.+ A until a fixed point. Unreachable vertices have no
+// entry. Weights must be nonnegative.
+func SSSP(a *core.Matrix[float64], source int) (*core.Vector[float64], error) {
+	n, err := a.NRows()
+	if err != nil {
+		return nil, err
+	}
+	dist, err := core.NewVector[float64](n)
+	if err != nil {
+		return nil, err
+	}
+	if err := dist.SetElement(0, source); err != nil {
+		return nil, err
+	}
+	minPlus := builtins.MinPlus[float64]()
+	minOp := builtins.Min[float64]()
+	for iter := 0; iter < n; iter++ {
+		before, beforeVals, err := dist.ExtractTuples()
+		if err != nil {
+			return nil, err
+		}
+		// dist ⊙min= dist min.+ A (relax every edge out of the reached set).
+		if err := core.VxM(dist, core.NoMaskV, minOp, minPlus, dist, a, nil); err != nil {
+			return nil, err
+		}
+		after, afterVals, err := dist.ExtractTuples()
+		if err != nil {
+			return nil, err
+		}
+		if equalTuples(before, beforeVals, after, afterVals) {
+			break
+		}
+	}
+	return dist, nil
+}
+
+func equalTuples(ai []int, av []float64, bi []int, bv []float64) bool {
+	if len(ai) != len(bi) {
+		return false
+	}
+	for k := range ai {
+		if ai[k] != bi[k] || av[k] != bv[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reach computes, for every vertex, the set of the given source vertices
+// that can reach it (including each source reaching itself), over the
+// power-set semiring ⟨∪, ∩, ∅⟩ of Table I: each vertex carries a label set
+// over the universe [0, len(sources)); the adjacency entries carry the full
+// universe U (the ∩ identity), so l ∪.∩ A propagates each vertex's label
+// set unchanged to its out-neighbors, and ∪ merges labels arriving over
+// different edges. Iteration stops at the fixed point (≤ n sweeps).
+func Reach(a *core.Matrix[bool], sources []int) (*core.Vector[setalg.Set], error) {
+	n, err := a.NRows()
+	if err != nil {
+		return nil, err
+	}
+	uni := len(sources)
+	labels, err := core.NewVector[setalg.Set](n)
+	if err != nil {
+		return nil, err
+	}
+	for k, s := range sources {
+		prev, perr := labels.ExtractElement(s)
+		if perr != nil && !core.IsNoValue(perr) {
+			return nil, perr
+		}
+		cur := setalg.SetOf(uni, k)
+		if perr == nil {
+			cur = cur.Union(prev)
+		}
+		if err := labels.SetElement(cur, s); err != nil {
+			return nil, err
+		}
+	}
+	// Lift the boolean adjacency into the set domain: every stored edge
+	// carries U, the multiplicative identity.
+	full := setalg.FullSet(uni)
+	setA, err := core.NewMatrix[setalg.Set](n, n)
+	if err != nil {
+		return nil, err
+	}
+	lift := core.UnaryOp[bool, setalg.Set]{Name: "toU", F: func(bool) setalg.Set { return full }}
+	if err := core.ApplyM(setA, core.NoMask, core.NoAccum[setalg.Set](), lift, a, nil); err != nil {
+		return nil, err
+	}
+	unionIntersect := setalg.UnionIntersect(uni)
+	unionOp := setalg.UnionOp(uni)
+	for iter := 0; iter < n; iter++ {
+		beforeIdx, beforeVals, err := labels.ExtractTuples()
+		if err != nil {
+			return nil, err
+		}
+		// labels ⊙∪= labels ∪.∩ A.
+		if err := core.VxM(labels, core.NoMaskV, unionOp, unionIntersect, labels, setA, nil); err != nil {
+			return nil, err
+		}
+		afterIdx, afterVals, err := labels.ExtractTuples()
+		if err != nil {
+			return nil, err
+		}
+		if equalSetTuples(beforeIdx, beforeVals, afterIdx, afterVals) {
+			break
+		}
+	}
+	return labels, nil
+}
+
+func equalSetTuples(ai []int, av []setalg.Set, bi []int, bv []setalg.Set) bool {
+	if len(ai) != len(bi) {
+		return false
+	}
+	for k := range ai {
+		if ai[k] != bi[k] || !av[k].Equal(bv[k]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,221 @@
+package builtins
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryOps(t *testing.T) {
+	if Plus[int32]().F(3, 4) != 7 {
+		t.Fatal("plus")
+	}
+	if Times[float64]().F(3, 4) != 12 {
+		t.Fatal("times")
+	}
+	if Minus[int]().F(3, 4) != -1 {
+		t.Fatal("minus")
+	}
+	if Div[float64]().F(3, 4) != 0.75 {
+		t.Fatal("div")
+	}
+	if Min[int8]().F(3, -4) != -4 || Min[int8]().F(-4, 3) != -4 {
+		t.Fatal("min")
+	}
+	if Max[uint16]().F(3, 4) != 4 {
+		t.Fatal("max")
+	}
+	if First[string]().F("a", "b") != "a" || Second[string]().F("a", "b") != "b" {
+		t.Fatal("first/second")
+	}
+	if !Eq[int]().F(2, 2) || Eq[int]().F(2, 3) {
+		t.Fatal("eq")
+	}
+	if !Ne[int]().F(2, 3) || Ne[int]().F(2, 2) {
+		t.Fatal("ne")
+	}
+	if !Lt[float32]().F(1, 2) || !Gt[float32]().F(2, 1) || !Le[int]().F(2, 2) || !Ge[int]().F(2, 2) {
+		t.Fatal("comparisons")
+	}
+	if !LOr().F(true, false) || LAnd().F(true, false) || !LXor().F(true, false) || LXor().F(true, true) {
+		t.Fatal("logical")
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	if Identity[int]().F(5) != 5 {
+		t.Fatal("identity")
+	}
+	if AInv[int]().F(5) != -5 {
+		t.Fatal("ainv")
+	}
+	if MInv[float64]().F(4) != 0.25 {
+		t.Fatal("minv")
+	}
+	if !LNot().F(false) || LNot().F(true) {
+		t.Fatal("lnot")
+	}
+	if Abs[int]().F(-7) != 7 || Abs[int]().F(7) != 7 {
+		t.Fatal("abs")
+	}
+	if One[float32]().F(99) != 1 {
+		t.Fatal("one")
+	}
+	if Cast[float64, int32]().F(3.7) != 3 {
+		t.Fatal("cast truncation")
+	}
+	if Cast[int32, float64]().F(3) != 3.0 {
+		t.Fatal("cast widen")
+	}
+	if !CastToBool[int32]().F(-2) || CastToBool[int32]().F(0) {
+		t.Fatal("cast to bool")
+	}
+	if CastBoolTo[int32]().F(true) != 1 || CastBoolTo[int32]().F(false) != 0 {
+		t.Fatal("cast from bool")
+	}
+}
+
+func TestExtremeValues(t *testing.T) {
+	if MaxValue[int8]() != math.MaxInt8 || MinValue[int8]() != math.MinInt8 {
+		t.Fatal("int8 extremes")
+	}
+	if MaxValue[int32]() != math.MaxInt32 || MinValue[int32]() != math.MinInt32 {
+		t.Fatal("int32 extremes")
+	}
+	if MaxValue[uint16]() != math.MaxUint16 || MinValue[uint16]() != 0 {
+		t.Fatal("uint16 extremes")
+	}
+	if MaxValue[uint64]() != math.MaxUint64 {
+		t.Fatal("uint64 max")
+	}
+	if !math.IsInf(MaxValue[float64](), 1) || !math.IsInf(MinValue[float64](), -1) {
+		t.Fatal("float64 extremes")
+	}
+	if !math.IsInf(float64(MaxValue[float32]()), 1) {
+		t.Fatal("float32 max")
+	}
+	if MaxValue[int]() != math.MaxInt || MinValue[int]() != math.MinInt {
+		t.Fatal("int extremes")
+	}
+}
+
+func TestMonoidIdentities(t *testing.T) {
+	f := func(x int32) bool {
+		p := PlusMonoid[int32]()
+		tm := TimesMonoid[int32]()
+		mn := MinMonoid[int32]()
+		mx := MaxMonoid[int32]()
+		return p.Op.F(p.Identity, x) == x &&
+			p.Op.F(x, p.Identity) == x &&
+			tm.Op.F(tm.Identity, x) == x &&
+			mn.Op.F(mn.Identity, x) == x &&
+			mx.Op.F(mx.Identity, x) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	l := LOrMonoid()
+	a := LAndMonoid()
+	x := LXorMonoid()
+	for _, b := range []bool{false, true} {
+		if l.Op.F(l.Identity, b) != b || a.Op.F(a.Identity, b) != b || x.Op.F(x.Identity, b) != b {
+			t.Fatal("bool monoid identity")
+		}
+	}
+}
+
+func TestSemiringStructure(t *testing.T) {
+	// Annihilator: for each Table I semiring, 0 ⊗ x accumulated via ⊕
+	// behaves as the absorbing element under the implicit-zero rules; we
+	// check the defining identities directly on the operator level.
+	// The paper (footnote 1) notes IEEE-754 arithmetic is not strictly
+	// associative/distributive at the extremes; bound the sampled values so
+	// the algebraic laws are exact (integers below 2^26 keep +,× exact).
+	bound := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 1
+		}
+		return float64(int64(v) % (1 << 26))
+	}
+	f := func(x0, y0, z0 float64) bool {
+		x, y, z := bound(x0), bound(y0), bound(z0)
+		pt := PlusTimes[float64]()
+		mp := MinPlus[float64]()
+		mm := MinMax[float64]()
+		mxp := MaxPlus[float64]()
+		// distributivity: x⊗(y⊕z) == (x⊗y)⊕(x⊗z)
+		okPT := pt.Mul.F(x, pt.Add.Op.F(y, z)) == pt.Add.Op.F(pt.Mul.F(x, y), pt.Mul.F(x, z))
+		okMP := mp.Mul.F(x, mp.Add.Op.F(y, z)) == mp.Add.Op.F(mp.Mul.F(x, y), mp.Mul.F(x, z))
+		okMM := mm.Mul.F(x, mm.Add.Op.F(y, z)) == mm.Add.Op.F(mm.Mul.F(x, y), mm.Mul.F(x, z))
+		okMXP := mxp.Mul.F(x, mxp.Add.Op.F(y, z)) == mxp.Add.Op.F(mxp.Mul.F(x, y), mxp.Mul.F(x, z))
+		// additive identity annihilates ⊗ for min-plus: +∞ + x = +∞.
+		okAnn := math.IsInf(mp.Mul.F(mp.Add.Identity, x), 1)
+		return okPT && okMP && okMM && okMXP && okAnn
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// GF(2): xor/and over {0,1} is the field.
+	g := XorAnd()
+	for _, a := range []bool{false, true} {
+		for _, b := range []bool{false, true} {
+			for _, c := range []bool{false, true} {
+				if g.Mul.F(a, g.Add.Op.F(b, c)) != g.Add.Op.F(g.Mul.F(a, b), g.Mul.F(a, c)) {
+					t.Fatal("GF(2) distributivity")
+				}
+			}
+		}
+	}
+	if g.Add.Identity != false {
+		t.Fatal("GF(2) zero")
+	}
+}
+
+func TestTableIVNamedInstances(t *testing.T) {
+	if TimesINT32.F(6, 7) != 42 {
+		t.Fatal("GrB_TIMES_INT32")
+	}
+	if PlusINT32.F(6, 7) != 13 {
+		t.Fatal("GrB_PLUS_INT32")
+	}
+	if PlusFP32.F(1.5, 2.5) != 4 {
+		t.Fatal("GrB_PLUS_FP32")
+	}
+	if TimesFP32.F(1.5, 2) != 3 {
+		t.Fatal("GrB_TIMES_FP32")
+	}
+	if MInvFP32.F(4) != 0.25 {
+		t.Fatal("GrB_MINV_FP32")
+	}
+	if IdentityBOOL.F(true) != true || IdentityBOOL.F(false) != false {
+		t.Fatal("GrB_IDENTITY_BOOL")
+	}
+}
+
+func TestSpecialSemirings(t *testing.T) {
+	mf := MinFirst[int64]()
+	if mf.Mul.F(3, 99) != 3 {
+		t.Fatal("min-first mul")
+	}
+	pf := PlusFirst[int32]()
+	if pf.Mul.F(3, 99) != 3 {
+		t.Fatal("plus-first mul")
+	}
+	ps := PlusSecond[int32]()
+	if ps.Mul.F(3, 99) != 99 {
+		t.Fatal("plus-second mul")
+	}
+	mt := MinTimes[float64]()
+	if mt.Mul.F(2, 3) != 6 || !math.IsInf(mt.Add.Identity, 1) {
+		t.Fatal("min-times")
+	}
+	mxm := MaxMin[float64]()
+	if mxm.Mul.F(2, 3) != 2 || !math.IsInf(mxm.Add.Identity, -1) {
+		t.Fatal("max-min")
+	}
+	ll := LorLand()
+	if !ll.Mul.F(true, true) || ll.Add.Identity {
+		t.Fatal("lor-land")
+	}
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects the execution mode of the GraphBLAS context (Section IV).
+type Mode int
+
+const (
+	// Blocking mode: each method completes its operation and stores the
+	// output object before returning.
+	Blocking Mode = iota
+	// NonBlocking mode: methods that manipulate only opaque objects may
+	// defer execution until the sequence is terminated by Wait or a method
+	// forces completion of an object.
+	NonBlocking
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Blocking {
+		return "Blocking"
+	}
+	return "NonBlocking"
+}
+
+// contextState tracks the once-only lifecycle of Section IV: Init may be
+// called once; after Finalize a subsequent Init is not allowed.
+type contextState int
+
+const (
+	stateUninitialized contextState = iota
+	stateActive
+	stateFinalized
+)
+
+// Stats reports execution-engine counters, used by the execution-model
+// benchmarks (EXPERIMENTS.md E6).
+type Stats struct {
+	OpsEnqueued int64 // operations deferred to the queue
+	OpsExecuted int64 // operations actually run
+	OpsElided   int64 // operations skipped by dead-store elimination
+	Flushes     int64 // queue flushes (Wait or forced completion)
+}
+
+// pendingOp is one deferred method in a nonblocking sequence.
+type pendingOp struct {
+	out        *obj
+	reads      []*obj
+	overwrites bool // completely determines out's new content without reading its old content
+	run        func() error
+	name       string
+}
+
+// context is the GraphBLAS execution context. The paper defines exactly one
+// per program, created by GrB_init; this binding mirrors that with a
+// package-level context.
+type context struct {
+	mu       sync.Mutex
+	state    contextState
+	mode     Mode
+	queue    []*pendingOp
+	execErr  error
+	lastMsg  string
+	stats    Stats
+	elision  bool // dead-store elimination enabled (default true)
+	reinitOK bool // testing escape hatch
+}
+
+var global context
+
+// idCounter hands out object identities for the dependence tracking of the
+// nonblocking engine.
+var idCounter atomic.Uint64
+
+func nextID() uint64 { return idCounter.Add(1) }
+
+// Init establishes the GraphBLAS context in the given mode (GrB_init). Per
+// Section IV it may be called only once in the execution of a program, and
+// not again after Finalize.
+func Init(mode Mode) error {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	switch global.state {
+	case stateActive:
+		return errf(InvalidValue, "Init", "context already initialized")
+	case stateFinalized:
+		if !global.reinitOK {
+			return errf(InvalidValue, "Init", "context finalized; re-initialization is not allowed")
+		}
+	}
+	if mode != Blocking && mode != NonBlocking {
+		return errf(InvalidValue, "Init", "unknown mode %d", int(mode))
+	}
+	global.state = stateActive
+	global.mode = mode
+	global.queue = nil
+	global.execErr = nil
+	global.lastMsg = ""
+	global.stats = Stats{}
+	global.elision = true
+	return nil
+}
+
+// Finalize terminates the GraphBLAS context (GrB_finalize), completing any
+// pending sequence first. The context cannot be re-initialized afterwards.
+func Finalize() error {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.state != stateActive {
+		return errf(UninitializedContext, "Finalize", "context not initialized")
+	}
+	global.stats.Flushes++
+	err := flushLocked()
+	global.state = stateFinalized
+	return err
+}
+
+// ResetForTesting returns the context to its pristine uninitialized state,
+// discarding any pending operations. It exists so test suites and
+// long-running hosts can run multiple Init/Finalize cycles; it is not part
+// of the paper's API, which forbids re-initialization.
+func ResetForTesting() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	global.state = stateUninitialized
+	global.queue = nil
+	global.execErr = nil
+	global.lastMsg = ""
+	global.stats = Stats{}
+	global.reinitOK = true
+}
+
+// CurrentMode reports the context mode.
+func CurrentMode() Mode {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	return global.mode
+}
+
+// SetElision toggles the nonblocking engine's dead-store elimination and
+// returns the previous setting. Used by the E6 ablation benchmarks.
+func SetElision(on bool) bool {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	prev := global.elision
+	global.elision = on
+	return prev
+}
+
+// GetStats returns a snapshot of the execution-engine counters.
+func GetStats() Stats {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	return global.stats
+}
+
+// LastError returns the additional error information of the most recent
+// execution error (the GrB_error() string), or "" if none.
+func LastError() string {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	return global.lastMsg
+}
+
+// checkActive verifies the context is initialized.
+func checkActive(op string) error {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.state != stateActive {
+		return errf(UninitializedContext, op, "call Init before any GraphBLAS method")
+	}
+	return nil
+}
+
+// Wait terminates the current sequence (GrB_wait): all pending operations
+// complete, and the first execution error encountered in the sequence, if
+// any, is returned.
+func Wait() error {
+	global.mu.Lock()
+	if global.state != stateActive {
+		global.mu.Unlock()
+		return errf(UninitializedContext, "Wait", "call Init before any GraphBLAS method")
+	}
+	global.stats.Flushes++
+	err := flushLocked()
+	global.mu.Unlock()
+	return err
+}
+
+// flushLocked drains the queue in program order, applying dead-store
+// elimination first. Caller holds global.mu.
+func flushLocked() error {
+	queue := global.queue
+	global.queue = nil
+	if len(queue) == 0 {
+		return global.takeExecErrLocked()
+	}
+	elide := markElidable(queue, global.elision)
+	for k, op := range queue {
+		if elide[k] {
+			global.stats.OpsElided++
+			continue
+		}
+		if err := runOp(op); err != nil {
+			if global.execErr == nil {
+				global.execErr = err
+				global.lastMsg = err.Error()
+			}
+		}
+		global.stats.OpsExecuted++
+	}
+	return global.takeExecErrLocked()
+}
+
+// takeExecErrLocked returns and clears the recorded execution error.
+func (c *context) takeExecErrLocked() error {
+	err := c.execErr
+	c.execErr = nil
+	return err
+}
+
+// markElidable performs the backward dead-store-elimination pass: an
+// operation whose output is completely overwritten by a later operation,
+// with no intervening read of that object, need not execute. This is the
+// lazy-evaluation freedom Section IV grants nonblocking mode ("methods may
+// be placed in a queue and deferred... as long as the final result agrees
+// with the mathematical definition").
+func markElidable(queue []*pendingOp, enabled bool) []bool {
+	elide := make([]bool, len(queue))
+	if !enabled {
+		return elide
+	}
+	// deadUntilRead[id] is true when a later op fully overwrites the object
+	// and nothing in between reads it.
+	dead := make(map[uint64]bool)
+	for k := len(queue) - 1; k >= 0; k-- {
+		op := queue[k]
+		if dead[op.out.id] {
+			elide[k] = true
+			continue // an elided op neither reads nor writes
+		}
+		readsOwnOutput := false
+		for _, r := range op.reads {
+			dead[r.id] = false
+			if r == op.out {
+				readsOwnOutput = true
+			}
+		}
+		if op.overwrites && !readsOwnOutput {
+			dead[op.out.id] = true
+		} else {
+			// The op reads its own output — either through an accumulator/
+			// merge-mode mask or because an input argument aliases the
+			// output — so the prior content is live.
+			dead[op.out.id] = false
+		}
+	}
+	return elide
+}
+
+// runOp validates object states and executes one operation. An input in an
+// invalid state (from a prior execution error) propagates invalidity to the
+// output, per Section V.
+func runOp(op *pendingOp) error {
+	for _, r := range op.reads {
+		if r.err != nil {
+			err := errf(InvalidObject, op.name, "input object invalid from a previous execution error: %v", r.err)
+			op.out.err = err
+			return err
+		}
+	}
+	if op.out.err != nil && !op.overwrites {
+		// Reading an invalid output (merge/accumulate) is also an error; a
+		// full overwrite rehabilitates the object.
+		err := errf(InvalidObject, op.name, "output object invalid from a previous execution error: %v", op.out.err)
+		return err
+	}
+	if err := runGuarded(op); err != nil {
+		op.out.err = err
+		return err
+	}
+	op.out.err = nil
+	return nil
+}
+
+// runGuarded executes an operation's kernel, converting panics (e.g. from a
+// faulty user-defined operator) into the GrB_PANIC execution error rather
+// than crashing the sequence.
+func runGuarded(op *pendingOp) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errf(PanicInfo, op.name, "unknown internal error: %v", r)
+		}
+	}()
+	return op.run()
+}
+
+// enqueue is the single entry point operations use after passing their API
+// checks. In blocking mode the operation runs immediately; in nonblocking
+// mode it is appended to the sequence queue. name is the method name for
+// diagnostics; overwrites declares that the operation fully determines the
+// output's content without consulting its prior content.
+func enqueue(name string, out *obj, reads []*obj, overwrites bool, run func() error) error {
+	global.mu.Lock()
+	if global.state != stateActive {
+		global.mu.Unlock()
+		return errf(UninitializedContext, name, "call Init before any GraphBLAS method")
+	}
+	if global.mode == Blocking {
+		// Run outside the context lock: the paper permits concurrent
+		// sequences in distinct threads (sharing only read-only objects),
+		// and blocking-mode execution must not serialize them globally.
+		global.stats.OpsExecuted++
+		global.mu.Unlock()
+		op := &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name}
+		err := runOp(op)
+		if err != nil {
+			global.mu.Lock()
+			global.lastMsg = err.Error()
+			global.mu.Unlock()
+		}
+		return err
+	}
+	global.queue = append(global.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name})
+	global.stats.OpsEnqueued++
+	global.mu.Unlock()
+	return nil
+}
+
+// force completes every pending operation because a method is about to read
+// values out of an opaque object (Section IV: such methods may not defer).
+// It returns the first execution error of the flushed sequence.
+func force(name string) error {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if global.state != stateActive {
+		return errf(UninitializedContext, name, "call Init before any GraphBLAS method")
+	}
+	if len(global.queue) == 0 {
+		return global.takeExecErrLocked()
+	}
+	global.stats.Flushes++
+	return flushLocked()
+}

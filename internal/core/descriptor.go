@@ -1,0 +1,122 @@
+package core
+
+// Descriptor support (Section III-C): a descriptor pairs modifier flags with
+// the mask, input, and output arguments of a method. Field and value names
+// mirror the GrB_ literals of Table V.
+
+// Field identifies the method argument a descriptor setting applies to.
+type Field int
+
+const (
+	// OutP is the output parameter field (GrB_OUTP).
+	OutP Field = iota
+	// MaskField is the mask parameter field (GrB_MASK).
+	MaskField
+	// Inp0 is the first input parameter field (GrB_INP0).
+	Inp0
+	// Inp1 is the second input parameter field (GrB_INP1).
+	Inp1
+)
+
+// String returns the C API literal for the field.
+func (f Field) String() string {
+	switch f {
+	case OutP:
+		return "GrB_OUTP"
+	case MaskField:
+		return "GrB_MASK"
+	case Inp0:
+		return "GrB_INP0"
+	case Inp1:
+		return "GrB_INP1"
+	}
+	return "Field(?)"
+}
+
+// Value is a descriptor setting.
+type Value int
+
+const (
+	// Replace clears the output object before the masked result is stored
+	// (GrB_REPLACE; valid for OutP).
+	Replace Value = iota
+	// SCMP uses the structural complement of the mask (GrB_SCMP; valid for
+	// MaskField).
+	SCMP
+	// Tran uses the transpose of the corresponding input matrix (GrB_TRAN;
+	// valid for Inp0/Inp1).
+	Tran
+)
+
+// String returns the C API literal for the value.
+func (v Value) String() string {
+	switch v {
+	case Replace:
+		return "GrB_REPLACE"
+	case SCMP:
+		return "GrB_SCMP"
+	case Tran:
+		return "GrB_TRAN"
+	}
+	return "Value(?)"
+}
+
+// Descriptor modifies the semantics of GraphBLAS methods. The zero value
+// (and a nil *Descriptor) selects all defaults, the analogue of GrB_NULL.
+type Descriptor struct {
+	outpReplace bool
+	maskSCMP    bool
+	inp0Tran    bool
+	inp1Tran    bool
+}
+
+// NewDescriptor creates an empty descriptor (GrB_Descriptor_new).
+func NewDescriptor() (*Descriptor, error) { return &Descriptor{}, nil }
+
+// Set records a value for a field (GrB_Descriptor_set). Invalid
+// field/value combinations return InvalidValue.
+func (d *Descriptor) Set(f Field, v Value) error {
+	if d == nil {
+		return errf(NullPointer, "Descriptor.Set", "nil descriptor")
+	}
+	switch {
+	case f == OutP && v == Replace:
+		d.outpReplace = true
+	case f == MaskField && v == SCMP:
+		d.maskSCMP = true
+	case f == Inp0 && v == Tran:
+		d.inp0Tran = true
+	case f == Inp1 && v == Tran:
+		d.inp1Tran = true
+	default:
+		return errf(InvalidValue, "Descriptor.Set", "value %v is not valid for field %v", v, f)
+	}
+	return nil
+}
+
+// accessors tolerate a nil receiver so operations can treat nil as the
+// default descriptor throughout.
+
+func (d *Descriptor) replace() bool { return d != nil && d.outpReplace }
+func (d *Descriptor) scmp() bool    { return d != nil && d.maskSCMP }
+func (d *Descriptor) tran0() bool   { return d != nil && d.inp0Tran }
+func (d *Descriptor) tran1() bool   { return d != nil && d.inp1Tran }
+
+// Desc starts a chainable descriptor builder:
+//
+//	core.Desc().Transpose0().CompMask().ReplaceOutput()
+//
+// is the Figure 3 desc_tsr descriptor.
+func Desc() *Descriptor { return &Descriptor{} }
+
+// ReplaceOutput sets GrB_OUTP = GrB_REPLACE and returns d.
+func (d *Descriptor) ReplaceOutput() *Descriptor { d.outpReplace = true; return d }
+
+// CompMask sets GrB_MASK = GrB_SCMP and returns d.
+func (d *Descriptor) CompMask() *Descriptor { d.maskSCMP = true; return d }
+
+// Transpose0 sets GrB_INP0 = GrB_TRAN and returns d.
+func (d *Descriptor) Transpose0() *Descriptor { d.inp0Tran = true; return d }
+
+// Transpose1 sets GrB_INP1 = GrB_TRAN and returns d.
+func (d *Descriptor) Transpose1() *Descriptor { d.inp1Tran = true; return d }

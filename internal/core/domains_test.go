@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphblas/internal/parallel"
+)
+
+// TestParallelDeterminism: kernel results are bit-identical regardless of
+// the worker count — each output row is computed by one goroutine in a
+// fixed order, so parallelism never reorders floating-point reductions.
+func TestParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a, _ := newTestMatrix(t, rng, 60, 60, 0.2)
+	b, _ := newTestMatrix(t, rng, 60, 60, 0.2)
+	s := plusTimesF64(t)
+	run := func(workers int) dmat {
+		prev := parallel.SetMaxWorkers(workers)
+		defer parallel.SetMaxWorkers(prev)
+		c, _ := NewMatrix[float64](60, 60)
+		if err := MxM(c, NoMask, NoAccum[float64](), s, a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := EWiseAddM(c, NoMask, plusF64(), plusF64(), a, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		return denseOf(t, c)
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := run(workers)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: nvals %d vs %d", workers, len(got), len(ref))
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				t.Fatalf("workers=%d: (%d,%d) %v vs %v", workers, k.i, k.j, got[k], v)
+			}
+		}
+	}
+}
+
+// TestComplexDomain: the API is generic over any domain — complex128
+// matrices multiply over a user-built ⟨+,×⟩ semiring.
+func TestComplexDomain(t *testing.T) {
+	plus := BinaryOp[complex128, complex128, complex128]{Name: "plus", F: func(x, y complex128) complex128 { return x + y }}
+	times := BinaryOp[complex128, complex128, complex128]{Name: "times", F: func(x, y complex128) complex128 { return x * y }}
+	add, err := NewMonoid(plus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSemiring(add, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewMatrix[complex128](2, 2)
+	// Rotation-like matrix: [[0, i], [i, 0]].
+	if err := a.Build([]int{0, 1}, []int{1, 0}, []complex128{1i, 1i}, NoAccum[complex128]()); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewMatrix[complex128](2, 2)
+	if err := MxM(c, NoMask, NoAccum[complex128](), s, a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	// a² = [[i·i, 0], [0, i·i]] = -I.
+	for i := 0; i < 2; i++ {
+		if v, err := c.ExtractElement(i, i); err != nil || v != -1 {
+			t.Fatalf("c(%d,%d) = %v %v", i, i, v, err)
+		}
+	}
+	// complex128 is not serializable (documented) ...
+	if err := MatrixSerialize(a, discard{}); InfoOf(err) != DomainMismatch {
+		t.Fatalf("complex serialize: %v", err)
+	}
+	// ... but masks treat its entries structurally (always true).
+	mask, _ := NewMatrix[complex128](2, 2)
+	_ = mask.SetElement(0, 0, 0) // a stored zero still counts structurally
+	out, _ := NewMatrix[complex128](2, 2)
+	if err := MxM(out, mask, NoAccum[complex128](), s, a, a, Desc().ReplaceOutput()); err != nil {
+		t.Fatal(err)
+	}
+	if nv, _ := out.NVals(); nv != 1 {
+		t.Fatalf("structural mask kept %d entries", nv)
+	}
+	if v, _ := out.ExtractElement(0, 0); v != -1 {
+		t.Fatalf("masked value %v", v)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// interval is a user-defined struct domain: interval arithmetic forms a
+// semiring-like structure under [min-sum, max-sum] addition.
+type interval struct{ lo, hi float64 }
+
+// TestStructDomain: GraphBLAS collections hold arbitrary Go structs, with
+// user operators combining them.
+func TestStructDomain(t *testing.T) {
+	join := BinaryOp[interval, interval, interval]{Name: "hull", F: func(x, y interval) interval {
+		lo, hi := x.lo, x.hi
+		if y.lo < lo {
+			lo = y.lo
+		}
+		if y.hi > hi {
+			hi = y.hi
+		}
+		return interval{lo, hi}
+	}}
+	addIv := BinaryOp[interval, interval, interval]{Name: "add", F: func(x, y interval) interval {
+		return interval{x.lo + y.lo, x.hi + y.hi}
+	}}
+	hull, err := NewMonoid(join, interval{lo: 1e300, hi: -1e300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSemiring(hull, addIv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two parallel 2-hop paths 0→1→3 and 0→2→3 with interval weights: the
+	// hull of the two path sums.
+	a, _ := NewMatrix[interval](4, 4)
+	if err := a.Build(
+		[]int{0, 0, 1, 2},
+		[]int{1, 2, 3, 3},
+		[]interval{{1, 2}, {5, 6}, {1, 1}, {2, 3}},
+		NoAccum[interval](),
+	); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewMatrix[interval](4, 4)
+	if err := MxM(c, NoMask, NoAccum[interval](), s, a, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ExtractElement(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path sums: {2,3} and {7,9}; hull = {2,9}.
+	if got.lo != 2 || got.hi != 9 {
+		t.Fatalf("interval hull got %+v", got)
+	}
+	// Reduce over the hull monoid.
+	total, err := ReduceMatrixToScalar(interval{1e300, -1e300}, NoAccum[interval](), hull, a)
+	if err != nil || total.lo != 1 || total.hi != 6 {
+		t.Fatalf("hull reduce %+v %v", total, err)
+	}
+}
+
+// TestNegativeWeightsSSSPStyle: the min-plus relaxation handles negative
+// edges (no negative cycles), matching the algebraic definition rather than
+// Dijkstra's constraints.
+func TestNegativeWeightsMinPlus(t *testing.T) {
+	// 0→1 (4), 0→2 (2), 2→1 (-3): shortest 0→1 is -1 via 2.
+	minOp := BinaryOp[float64, float64, float64]{Name: "min", F: func(x, y float64) float64 {
+		if y < x {
+			return y
+		}
+		return x
+	}}
+	plus := plusF64()
+	add, _ := NewMonoid(minOp, 1e300)
+	s, _ := NewSemiring(add, plus)
+	a, _ := NewMatrix[float64](3, 3)
+	if err := a.Build([]int{0, 0, 2}, []int{1, 2, 1}, []float64{4, 2, -3}, NoAccum[float64]()); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewVector[float64](3)
+	_ = d.SetElement(0, 0)
+	for i := 0; i < 3; i++ {
+		if err := VxM(d, NoMaskV, minOp, s, d, a, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := d.ExtractElement(1); err != nil || v != -1 {
+		t.Fatalf("dist to 1: %v %v", v, err)
+	}
+	if v, _ := d.ExtractElement(2); v != 2 {
+		t.Fatalf("dist to 2: %v", v)
+	}
+}

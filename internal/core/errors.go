@@ -1,0 +1,140 @@
+// Package core implements the GraphBLAS objects, operations, execution
+// model, and error model of "Design of the GraphBLAS API for C" (Buluç,
+// Mattson, McMillan, Moreira, Yang; IPDPS-W 2017) as a Go library.
+//
+// The mapping from the C API is documented per construct; the broad strokes:
+// opaque handles become pointers to structs with unexported fields; the
+// domain polymorphism of the C API (suffixed function families plus implicit
+// casts) becomes Go generics, so a GraphBLAS binary operator with domains
+// D1 × D2 → D3 is a BinaryOp[D1, D2, D3]; GrB_Info return codes become Go
+// errors carrying an Info code; GrB_NULL mask/accumulator/descriptor
+// arguments become nil or zero values.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Info enumerates the GraphBLAS status codes (the GrB_Info values of
+// Section V and Figure 2c). Codes below ExhaustedObject are API errors,
+// detected when a method is called; the rest are execution errors, which in
+// nonblocking mode may surface only at Wait or at a forced completion.
+type Info int
+
+const (
+	// Success reports that a method returned without error. In nonblocking
+	// mode it means only that the argument consistency tests passed.
+	Success Info = iota
+	// NoValue is the benign "element not stored" indication returned by
+	// element extraction on an absent position.
+	NoValue
+
+	// --- API errors ---
+
+	// UninitializedObject: a GraphBLAS object argument has not been
+	// initialized (nil handle or use after Free).
+	UninitializedObject
+	// NullPointer: a required output pointer is nil.
+	NullPointer
+	// InvalidValue: an argument value is invalid (e.g. nonpositive
+	// dimension, duplicate assign indices, mismatched slice lengths).
+	InvalidValue
+	// InvalidIndex: an index argument is out of range.
+	InvalidIndex
+	// DomainMismatch: the domains of the arguments are incompatible.
+	// Go's generics make most domain errors compile-time; this code remains
+	// for the few dynamically detectable cases (e.g. malformed operators).
+	DomainMismatch
+	// DimensionMismatch: object dimensions are incompatible.
+	DimensionMismatch
+	// OutputNotEmpty: an output that must be empty has stored elements.
+	OutputNotEmpty
+	// UninitializedContext: a method was called before Init (this binding
+	// surfaces the C API's undefined behaviour as a checkable error).
+	UninitializedContext
+
+	// --- execution errors ---
+
+	// OutOfMemory: an allocation failed.
+	OutOfMemory
+	// IndexOutOfBounds: an index exceeded object bounds during execution.
+	IndexOutOfBounds
+	// InvalidObject: an object is in an invalid state because a previous
+	// execution error occurred while computing it.
+	InvalidObject
+	// PanicInfo: unknown internal error (GrB_PANIC).
+	PanicInfo
+)
+
+var infoNames = map[Info]string{
+	Success:              "Success",
+	NoValue:              "NoValue",
+	UninitializedObject:  "UninitializedObject",
+	NullPointer:          "NullPointer",
+	InvalidValue:         "InvalidValue",
+	InvalidIndex:         "InvalidIndex",
+	DomainMismatch:       "DomainMismatch",
+	DimensionMismatch:    "DimensionMismatch",
+	OutputNotEmpty:       "OutputNotEmpty",
+	UninitializedContext: "UninitializedContext",
+	OutOfMemory:          "OutOfMemory",
+	IndexOutOfBounds:     "IndexOutOfBounds",
+	InvalidObject:        "InvalidObject",
+	PanicInfo:            "Panic",
+}
+
+// String returns the symbolic name of the status code.
+func (i Info) String() string {
+	if s, ok := infoNames[i]; ok {
+		return s
+	}
+	return fmt.Sprintf("Info(%d)", int(i))
+}
+
+// IsAPIError reports whether the code is in the API-error class: detected at
+// call time with no changes made to the method's arguments (Section V).
+func (i Info) IsAPIError() bool {
+	return i >= UninitializedObject && i <= UninitializedContext
+}
+
+// IsExecutionError reports whether the code is in the execution-error class.
+func (i Info) IsExecutionError() bool { return i >= OutOfMemory }
+
+// Error is the error type returned by GraphBLAS methods. It carries the
+// Info code, the method name, and a human-readable message (the GrB_error()
+// string of the C API).
+type Error struct {
+	Info Info
+	Op   string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("graphblas: %s: %v", e.Op, e.Info)
+	}
+	return fmt.Sprintf("graphblas: %s: %v: %s", e.Op, e.Info, e.Msg)
+}
+
+// errf builds an *Error.
+func errf(info Info, op, format string, args ...any) error {
+	return &Error{Info: info, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// InfoOf extracts the Info code from an error returned by this package.
+// A nil error maps to Success; a non-GraphBLAS error maps to PanicInfo.
+func InfoOf(err error) Info {
+	if err == nil {
+		return Success
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Info
+	}
+	return PanicInfo
+}
+
+// IsNoValue reports whether err is the benign NoValue indication.
+func IsNoValue(err error) bool { return InfoOf(err) == NoValue }

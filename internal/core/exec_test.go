@@ -1,0 +1,422 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestExecModel_ContextLifecycle checks the once-only Init/Finalize rules of
+// Section IV.
+func TestExecModel_ContextLifecycle(t *testing.T) {
+	ResetForTesting()
+	if _, err := NewMatrix[int32](2, 2); InfoOf(err) != UninitializedContext {
+		t.Fatalf("method before Init: %v", err)
+	}
+	if err := Wait(); InfoOf(err) != UninitializedContext {
+		t.Fatalf("Wait before Init: %v", err)
+	}
+	if err := Init(Blocking); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	if err := Init(Blocking); InfoOf(err) != InvalidValue {
+		t.Fatalf("second Init: %v", err)
+	}
+	if err := Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	// After Finalize, re-Init is only allowed because ResetForTesting was
+	// used earlier in this process; exercise the strict path first.
+	global.mu.Lock()
+	global.reinitOK = false
+	global.mu.Unlock()
+	if err := Init(Blocking); InfoOf(err) != InvalidValue {
+		t.Fatalf("Init after Finalize: %v", err)
+	}
+	ResetForTesting()
+	if err := Init(Blocking); err != nil {
+		t.Fatalf("re-Init via testing reset: %v", err)
+	}
+}
+
+// TestExecModel_NonblockingDefersUntilForced verifies that opaque-only
+// methods defer in nonblocking mode and that value-reading methods force
+// completion (Section IV).
+func TestExecModel_NonblockingDefersUntilForced(t *testing.T) {
+	withMode(t, NonBlocking, func() {
+		s := plusTimesF64(t)
+		a, _ := NewMatrix[float64](3, 3)
+		if err := a.Build([]int{0, 1, 2}, []int{1, 2, 0}, []float64{1, 2, 3}, NoAccum[float64]()); err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		c, _ := NewMatrix[float64](3, 3)
+		if err := MxM(c, NoMask, NoAccum[float64](), s, a, a, nil); err != nil {
+			t.Fatalf("MxM: %v", err)
+		}
+		st := GetStats()
+		if st.OpsEnqueued == 0 {
+			t.Fatalf("MxM did not defer: %+v", st)
+		}
+		if st.OpsExecuted != 0 {
+			t.Fatalf("deferred op already executed: %+v", st)
+		}
+		// NVals forces completion.
+		nv, err := c.NVals()
+		if err != nil {
+			t.Fatalf("NVals: %v", err)
+		}
+		if nv != 3 {
+			t.Fatalf("nvals %d want 3", nv)
+		}
+		st = GetStats()
+		if st.OpsExecuted == 0 {
+			t.Fatalf("force did not run deferred ops: %+v", st)
+		}
+	})
+}
+
+// TestExecModel_BlockingNonblockingEquivalence runs a random operation
+// sequence in both modes and checks identical results — the Section IV
+// guarantee ("the results from blocking and nonblocking modes should be
+// identical").
+func TestExecModel_BlockingNonblockingEquivalence(t *testing.T) {
+	run := func(seed int64) dmat {
+		rng := rand.New(rand.NewSource(seed))
+		s := plusTimesF64(t)
+		a, _ := newTestMatrix(t, rng, 6, 6, 0.3)
+		b, _ := newTestMatrix(t, rng, 6, 6, 0.3)
+		c, _ := NewMatrix[float64](6, 6)
+		mask, _, _ := newTestMask(t, rng, 6, 6, 0.4, 0.8)
+		for step := 0; step < 12; step++ {
+			switch rng.Intn(5) {
+			case 0:
+				_ = MxM(c, mask, NoAccum[float64](), s, a, b, Desc().ReplaceOutput())
+			case 1:
+				_ = EWiseAddM(c, NoMask, plusF64(), plusF64(), a, b, nil)
+			case 2:
+				_ = ApplyBindSecondM(c, NoMask, NoAccum[float64](), BinaryOp[float64, float64, float64]{Name: "times", F: func(x, y float64) float64 { return x * y }}, c, 2.0, nil)
+			case 3:
+				_ = MxM(a, NoMask, NoAccum[float64](), s, a, b, nil)
+			case 4:
+				_ = Transpose(c, NoMask, NoAccum[float64](), b, Desc().Transpose0())
+			}
+		}
+		if err := Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		return denseOf(t, c)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		var blocking, nonblocking dmat
+		withMode(t, Blocking, func() { blocking = run(seed) })
+		withMode(t, NonBlocking, func() { nonblocking = run(seed) })
+		if len(blocking) != len(nonblocking) {
+			t.Fatalf("seed %d: nvals differ %d vs %d", seed, len(blocking), len(nonblocking))
+		}
+		for k, v := range blocking {
+			if nonblocking[k] != v {
+				t.Fatalf("seed %d: (%d,%d) blocking %v nonblocking %v", seed, k.i, k.j, v, nonblocking[k])
+			}
+		}
+	}
+}
+
+// TestExecModel_DeadStoreElimination verifies the nonblocking engine elides
+// operations whose output is fully overwritten before being read.
+func TestExecModel_DeadStoreElimination(t *testing.T) {
+	withMode(t, NonBlocking, func() {
+		s := plusTimesF64(t)
+		a, _ := NewMatrix[float64](4, 4)
+		if err := a.Build([]int{0, 1, 2, 3}, []int{1, 2, 3, 0}, []float64{1, 1, 1, 1}, NoAccum[float64]()); err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		c, _ := NewMatrix[float64](4, 4)
+		// Three full overwrites of c; only the last should execute.
+		_ = MxM(c, NoMask, NoAccum[float64](), s, a, a, nil)
+		_ = MxM(c, NoMask, NoAccum[float64](), s, a, a, nil)
+		_ = Transpose(c, NoMask, NoAccum[float64](), a, nil)
+		if err := Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		st := GetStats()
+		if st.OpsElided != 2 {
+			t.Fatalf("elided %d want 2 (%+v)", st.OpsElided, st)
+		}
+		// Result equals the last op alone.
+		want := dmat{{1, 0}: 1, {2, 1}: 1, {3, 2}: 1, {0, 3}: 1}
+		equalDense(t, denseOf(t, c), want, "after elision")
+
+		// An accumulating op reads its output: the preceding write is live.
+		SetElision(true)
+		c2, _ := NewMatrix[float64](4, 4)
+		_ = Transpose(c2, NoMask, NoAccum[float64](), a, nil)
+		_ = EWiseAddM(c2, NoMask, plusF64(), plusF64(), a, a, nil) // accum reads c2
+		if err := Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		st2 := GetStats()
+		if st2.OpsElided != st.OpsElided {
+			t.Fatalf("accumulating op elided its input: %+v", st2)
+		}
+	})
+}
+
+// TestExecModel_ElisionRespectsReads: an intervening read of the object
+// keeps the earlier write live.
+func TestExecModel_ElisionRespectsReads(t *testing.T) {
+	withMode(t, NonBlocking, func() {
+		s := plusTimesF64(t)
+		a, _ := NewMatrix[float64](3, 3)
+		_ = a.Build([]int{0, 1, 2}, []int{1, 2, 0}, []float64{2, 2, 2}, NoAccum[float64]())
+		c, _ := NewMatrix[float64](3, 3)
+		d, _ := NewMatrix[float64](3, 3)
+		_ = MxM(c, NoMask, NoAccum[float64](), s, a, a, nil) // write 1 of c
+		_ = Transpose(d, NoMask, NoAccum[float64](), c, nil) // reads c
+		_ = Transpose(c, NoMask, NoAccum[float64](), a, nil) // write 2 of c
+		if err := Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		if st := GetStats(); st.OpsElided != 0 {
+			t.Fatalf("elided %d want 0", st.OpsElided)
+		}
+		// d must reflect write 1: (a·a)ᵀ where a·a has 4s on the cycle squared.
+		want := dmat{{2, 0}: 4, {0, 1}: 4, {1, 2}: 4}
+		equalDense(t, denseOf(t, d), want, "read saw pre-overwrite value")
+	})
+}
+
+// TestErrorModel_ExecutionErrorSurfaceing verifies the Section V nonblocking
+// error flow: an execution error (from a user operator panic) surfaces at
+// Wait, poisons the output object, and propagates InvalidObject to
+// dependents, while a full overwrite rehabilitates the object.
+func TestErrorModel_ExecutionError(t *testing.T) {
+	withMode(t, NonBlocking, func() {
+		boom := BinaryOp[float64, float64, float64]{Name: "boom", F: func(x, y float64) float64 {
+			panic("operator failure")
+		}}
+		add, _ := NewMonoid(plusF64(), 0)
+		bad, err := NewSemiring(add, boom)
+		if err != nil {
+			t.Fatalf("NewSemiring: %v", err)
+		}
+		a, _ := NewMatrix[float64](2, 2)
+		_ = a.Build([]int{0, 1}, []int{1, 0}, []float64{1, 1}, NoAccum[float64]())
+		c, _ := NewMatrix[float64](2, 2)
+		if err := MxM(c, NoMask, NoAccum[float64](), bad, a, a, nil); err != nil {
+			t.Fatalf("MxM call-time error in nonblocking mode: %v", err)
+		}
+		err = Wait()
+		if InfoOf(err) != PanicInfo {
+			t.Fatalf("Wait: got %v want Panic", err)
+		}
+		if LastError() == "" {
+			t.Fatalf("LastError empty after execution error")
+		}
+		// c is now invalid: reading it reports InvalidObject.
+		if _, err := c.NVals(); InfoOf(err) != InvalidObject {
+			t.Fatalf("NVals on invalid object: %v", err)
+		}
+		// Using c as an input poisons the dependent output.
+		s := plusTimesF64(t)
+		d, _ := NewMatrix[float64](2, 2)
+		if err := MxM(d, NoMask, NoAccum[float64](), s, c, a, nil); err != nil {
+			t.Fatalf("enqueue with invalid input: %v", err)
+		}
+		if err := Wait(); InfoOf(err) != InvalidObject {
+			t.Fatalf("Wait after poisoned input: %v", err)
+		}
+		if _, err := d.NVals(); InfoOf(err) != InvalidObject {
+			t.Fatalf("dependent not poisoned: %v", err)
+		}
+		// A full overwrite rehabilitates c.
+		if err := Transpose(c, NoMask, NoAccum[float64](), a, nil); err != nil {
+			t.Fatalf("Transpose: %v", err)
+		}
+		if nv, err := c.NVals(); err != nil || nv != 2 {
+			t.Fatalf("rehabilitated object: nv=%d err=%v", nv, err)
+		}
+	})
+}
+
+// TestErrorModel_BlockingReportsImmediately: in blocking mode execution
+// errors come back from the method itself.
+func TestErrorModel_BlockingReportsImmediately(t *testing.T) {
+	boom := UnaryOp[float64, float64]{Name: "boom", F: func(float64) float64 { panic("bad op") }}
+	a, _ := NewMatrix[float64](2, 2)
+	_ = a.Build([]int{0}, []int{1}, []float64{1}, NoAccum[float64]())
+	c, _ := NewMatrix[float64](2, 2)
+	err := ApplyM(c, NoMask, NoAccum[float64](), boom, a, nil)
+	if InfoOf(err) != PanicInfo {
+		t.Fatalf("blocking mode execution error: %v", err)
+	}
+}
+
+// TestExecModel_WaitEquivalence: a nonblocking sequence with Wait after
+// every method equals blocking mode (the Section IV equivalence).
+func TestExecModel_WaitEquivalence(t *testing.T) {
+	var viaWaits, blocking dmat
+	seq := func(waitEach bool) dmat {
+		s := plusTimesF64(t)
+		a, _ := NewMatrix[float64](3, 3)
+		_ = a.Build([]int{0, 1, 2}, []int{1, 2, 0}, []float64{1, 2, 3}, NoAccum[float64]())
+		c, _ := NewMatrix[float64](3, 3)
+		_ = MxM(c, NoMask, NoAccum[float64](), s, a, a, nil)
+		if waitEach {
+			if err := Wait(); err != nil {
+				t.Fatalf("Wait: %v", err)
+			}
+		}
+		_ = EWiseAddM(c, NoMask, plusF64(), plusF64(), c, a, nil)
+		if err := Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		return denseOf(t, c)
+	}
+	withMode(t, NonBlocking, func() { viaWaits = seq(true) })
+	withMode(t, Blocking, func() { blocking = seq(false) })
+	if len(viaWaits) != len(blocking) {
+		t.Fatalf("nvals differ: %d vs %d", len(viaWaits), len(blocking))
+	}
+	for k, v := range blocking {
+		if viaWaits[k] != v {
+			t.Fatalf("(%d,%d): %v vs %v", k.i, k.j, viaWaits[k], v)
+		}
+	}
+}
+
+// TestExecModel_ElisionMaskAlias: when a later overwriting op uses the
+// earlier output as its *mask*, that is a read and blocks elision.
+func TestExecModel_ElisionMaskAlias(t *testing.T) {
+	withMode(t, NonBlocking, func() {
+		s := plusTimesF64(t)
+		a, _ := NewMatrix[float64](3, 3)
+		_ = a.Build([]int{0, 1, 2}, []int{1, 2, 0}, []float64{1, 1, 1}, NoAccum[float64]())
+		c, _ := NewMatrix[float64](3, 3)
+		// Write 1: c = a·a (full overwrite).
+		_ = MxM(c, NoMask, NoAccum[float64](), s, a, a, nil)
+		// Write 2: c⟨c⟩ = aᵀ·a with replace — "overwrites" by the flag, but
+		// the mask reads c's prior content.
+		_ = MxM(c, c, NoAccum[float64](), s, a, a, Desc().Transpose0().ReplaceOutput())
+		if err := Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+		if st := GetStats(); st.OpsElided != 0 {
+			t.Fatalf("mask read elided: %+v", st)
+		}
+		// Semantics check: a is a cyclic permutation so a·a is also a
+		// permutation with entries at (0,2),(1,0),(2,1); aᵀ·a is the
+		// identity pattern. The masked product keeps only positions where
+		// the first product had entries — the intersection is empty.
+		if nv, _ := c.NVals(); nv != 0 {
+			t.Fatalf("masked overwrite nvals %d want 0", nv)
+		}
+	})
+}
+
+// TestExecModel_ForceIsScoped: after a force, further ops defer again.
+func TestExecModel_RequeueAfterForce(t *testing.T) {
+	withMode(t, NonBlocking, func() {
+		s := plusTimesF64(t)
+		a, _ := NewMatrix[float64](2, 2)
+		_ = a.Build([]int{0, 1}, []int{1, 0}, []float64{1, 1}, NoAccum[float64]())
+		c, _ := NewMatrix[float64](2, 2)
+		_ = MxM(c, NoMask, NoAccum[float64](), s, a, a, nil)
+		if _, err := c.NVals(); err != nil {
+			t.Fatal(err)
+		}
+		before := GetStats()
+		_ = MxM(c, NoMask, NoAccum[float64](), s, a, a, nil)
+		after := GetStats()
+		if after.OpsEnqueued != before.OpsEnqueued+1 {
+			t.Fatalf("op after force did not defer: %+v -> %+v", before, after)
+		}
+		if after.OpsExecuted != before.OpsExecuted {
+			t.Fatalf("op after force ran eagerly: %+v -> %+v", before, after)
+		}
+	})
+}
+
+// TestExecModel_ResizeInSequence: dimension metadata updates eagerly (API
+// checks see program-order dims) while the storage trim defers; the final
+// state must match program order regardless.
+func TestExecModel_ResizeInSequence(t *testing.T) {
+	withMode(t, NonBlocking, func() {
+		s := plusTimesF64(t)
+		a, _ := NewMatrix[float64](4, 4)
+		_ = a.Build([]int{0, 1, 2, 3}, []int{1, 2, 3, 0}, []float64{1, 1, 1, 1}, NoAccum[float64]())
+		c, _ := NewMatrix[float64](4, 4)
+		// Enqueue a product at 4x4, then shrink c: the product runs first,
+		// the trim second.
+		if err := MxM(c, NoMask, NoAccum[float64](), s, a, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Resize(2, 2); err != nil {
+			t.Fatal(err)
+		}
+		// After the resize, API checks see 2x2: a 4x4 op must be rejected.
+		if err := MxM(c, NoMask, NoAccum[float64](), s, a, a, nil); InfoOf(err) != DimensionMismatch {
+			t.Fatalf("post-resize op accepted: %v", err)
+		}
+		if err := Wait(); err != nil {
+			t.Fatal(err)
+		}
+		nr, _ := c.NRows()
+		nv, _ := c.NVals()
+		// a·a on the 4-cycle has entries (0,2),(1,3),(2,0),(3,1); the 2x2
+		// trim keeps none of them... except (0,2),(1,3) drop, (2,0),(3,1)
+		// drop: all outside 2x2.
+		if nr != 2 || nv != 0 {
+			t.Fatalf("resize sequence: %dx nvals %d", nr, nv)
+		}
+
+		// Growing mid-sequence also follows program order.
+		v, _ := NewVector[float64](2)
+		_ = v.SetElement(1, 1)
+		if err := v.Resize(5); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.SetElement(2, 4); err != nil { // valid only post-resize
+			t.Fatal(err)
+		}
+		idx, _, err := v.ExtractTuples()
+		if err != nil || len(idx) != 2 {
+			t.Fatalf("grow sequence: %v %v", idx, err)
+		}
+	})
+}
+
+// TestObjectScopedWait: the 1.3-style per-object Wait completes pending
+// work and reports the invalid state of a poisoned object.
+func TestObjectScopedWait(t *testing.T) {
+	withMode(t, NonBlocking, func() {
+		s := plusTimesF64(t)
+		a, _ := NewMatrix[float64](2, 2)
+		_ = a.Build([]int{0, 1}, []int{1, 0}, []float64{2, 3}, NoAccum[float64]())
+		c, _ := NewMatrix[float64](2, 2)
+		_ = MxM(c, NoMask, NoAccum[float64](), s, a, a, nil)
+		if st := GetStats(); st.OpsExecuted != 0 {
+			t.Fatalf("ran early: %+v", st)
+		}
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if st := GetStats(); st.OpsExecuted == 0 {
+			t.Fatalf("Wait did not force: %+v", st)
+		}
+		// Poisoned object reports InvalidObject from Wait.
+		boom := UnaryOp[float64, float64]{Name: "boom", F: func(float64) float64 { panic("x") }}
+		d, _ := NewMatrix[float64](2, 2)
+		_ = ApplyM(d, NoMask, NoAccum[float64](), boom, a, nil)
+		if err := Wait(); InfoOf(err) != PanicInfo {
+			t.Fatalf("sequence error: %v", err)
+		}
+		if err := d.Wait(); InfoOf(err) != InvalidObject {
+			t.Fatalf("object wait on poisoned: %v", err)
+		}
+		// Vector form.
+		v, _ := NewVector[float64](3)
+		_ = v.SetElement(1, 1)
+		if err := v.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package core
+
+import "graphblas/internal/sparse"
+
+// Import/export of raw CSR and sparse-vector content (the GrB 1.3
+// import/export extension): the bridge between opaque GraphBLAS objects and
+// application-owned arrays, without the framing of the serialize format.
+// Exports force completion (non-opaque output); the returned slices are
+// copies, so the opaque object's invariants cannot be broken from outside.
+
+// MatrixExportCSR copies out the CSR arrays of m: rowPtr has nrows+1
+// entries, colIdx and values have nvals entries, columns sorted within each
+// row.
+func MatrixExportCSR[D any](m *Matrix[D]) (rowPtr, colIdx []int, values []D, err error) {
+	const op = "MatrixExportCSR"
+	if err := objOK(&m.obj, op, "m"); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := force(op); err != nil {
+		return nil, nil, nil, err
+	}
+	if m.err != nil {
+		return nil, nil, nil, errf(InvalidObject, op, "%v", m.err)
+	}
+	d := m.mdat()
+	rowPtr = append([]int(nil), d.Ptr...)
+	colIdx = append([]int(nil), d.ColIdx[:d.NNZ()]...)
+	values = append([]D(nil), d.Val[:d.NNZ()]...)
+	return rowPtr, colIdx, values, nil
+}
+
+// MatrixImportCSR constructs a matrix from CSR arrays, validating the
+// invariants (monotone row pointers, sorted in-range columns). The arrays
+// are copied; the caller keeps ownership of its slices.
+func MatrixImportCSR[D any](nrows, ncols int, rowPtr, colIdx []int, values []D) (*Matrix[D], error) {
+	const op = "MatrixImportCSR"
+	if err := checkActive(op); err != nil {
+		return nil, err
+	}
+	if nrows <= 0 || ncols <= 0 {
+		return nil, errf(InvalidValue, op, "dimensions must be positive, got %dx%d", nrows, ncols)
+	}
+	if len(rowPtr) != nrows+1 {
+		return nil, errf(InvalidValue, op, "rowPtr has %d entries, want %d", len(rowPtr), nrows+1)
+	}
+	nnz := rowPtr[nrows]
+	if rowPtr[0] != 0 || nnz < 0 || len(colIdx) != nnz || len(values) != nnz {
+		return nil, errf(InvalidValue, op, "inconsistent array lengths (nnz %d, colIdx %d, values %d)", nnz, len(colIdx), len(values))
+	}
+	for i := 0; i < nrows; i++ {
+		if rowPtr[i] > rowPtr[i+1] || rowPtr[i] < 0 || rowPtr[i+1] > nnz {
+			return nil, errf(InvalidValue, op, "rowPtr decreases or escapes bounds at row %d", i)
+		}
+	}
+	for i := 0; i < nrows; i++ {
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			if colIdx[p] < 0 || colIdx[p] >= ncols {
+				return nil, errf(InvalidIndex, op, "column %d out of range in row %d", colIdx[p], i)
+			}
+			if p > rowPtr[i] && colIdx[p-1] >= colIdx[p] {
+				return nil, errf(InvalidValue, op, "columns not strictly increasing in row %d", i)
+			}
+		}
+	}
+	m := &Matrix[D]{nr: nrows, nc: ncols, data: &sparse.CSR[D]{
+		NRows:  nrows,
+		NCols:  ncols,
+		Ptr:    append([]int(nil), rowPtr...),
+		ColIdx: append([]int(nil), colIdx...),
+		Val:    append([]D(nil), values...),
+	}}
+	m.initObj()
+	return m, nil
+}
+
+// VectorExport copies out the sorted (indices, values) content of v.
+func VectorExport[D any](v *Vector[D]) (indices []int, values []D, err error) {
+	const op = "VectorExport"
+	if err := objOK(&v.obj, op, "v"); err != nil {
+		return nil, nil, err
+	}
+	if err := force(op); err != nil {
+		return nil, nil, err
+	}
+	if v.err != nil {
+		return nil, nil, errf(InvalidObject, op, "%v", v.err)
+	}
+	indices, values = v.vdat().Tuples()
+	return indices, values, nil
+}
+
+// VectorImport constructs a vector of size n from sorted index/value
+// arrays, validating order and range. Arrays are copied.
+func VectorImport[D any](n int, indices []int, values []D) (*Vector[D], error) {
+	const op = "VectorImport"
+	if err := checkActive(op); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, errf(InvalidValue, op, "size must be positive, got %d", n)
+	}
+	if len(indices) != len(values) {
+		return nil, errf(InvalidValue, op, "len(indices)=%d != len(values)=%d", len(indices), len(values))
+	}
+	for k, i := range indices {
+		if i < 0 || i >= n {
+			return nil, errf(InvalidIndex, op, "index %d out of range [0,%d)", i, n)
+		}
+		if k > 0 && indices[k-1] >= i {
+			return nil, errf(InvalidValue, op, "indices not strictly increasing at %d", k)
+		}
+	}
+	v := &Vector[D]{n: n, data: &sparse.Vec[D]{
+		N:   n,
+		Idx: append([]int(nil), indices...),
+		Val: append([]D(nil), values...),
+	}}
+	v.initObj()
+	return v, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixExportImportRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nr, nc := 1+rng.Intn(15), 1+rng.Intn(15)
+		m, md := newTestMatrix(t, rng, nr, nc, 0.4)
+		ptr, col, vals, err := MatrixExportCSR(m)
+		if err != nil {
+			return false
+		}
+		back, err := MatrixImportCSR(nr, nc, ptr, col, vals)
+		if err != nil {
+			return false
+		}
+		got := denseOf(t, back)
+		if len(got) != len(md) {
+			return false
+		}
+		for k, v := range md {
+			if got[k] != v {
+				return false
+			}
+		}
+		// The exported slices are copies: mutating them must not corrupt m.
+		for i := range vals {
+			vals[i] = -999
+		}
+		for i := range col {
+			col[i] = 0
+		}
+		got = denseOf(t, m)
+		for k, v := range md {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixImportValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		nr, nc int
+		ptr    []int
+		col    []int
+		vals   []float64
+		info   Info
+	}{
+		{"bad dims", 0, 3, []int{0}, nil, nil, InvalidValue},
+		{"short ptr", 2, 2, []int{0, 1}, []int{0}, []float64{1}, InvalidValue},
+		{"ptr not starting at 0", 1, 2, []int{1, 1}, []int{}, []float64{}, InvalidValue},
+		{"decreasing ptr", 2, 2, []int{0, 2, 1}, []int{0, 1}, []float64{1, 2}, InvalidValue},
+		{"col out of range", 1, 2, []int{0, 1}, []int{5}, []float64{1}, InvalidIndex},
+		{"unsorted cols", 1, 3, []int{0, 2}, []int{2, 1}, []float64{1, 2}, InvalidValue},
+		{"length mismatch", 1, 3, []int{0, 2}, []int{0, 1}, []float64{1}, InvalidValue},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := MatrixImportCSR(c.nr, c.nc, c.ptr, c.col, c.vals); InfoOf(err) != c.info {
+				t.Fatalf("got %v want %v", err, c.info)
+			}
+		})
+	}
+	// A valid import succeeds.
+	m, err := MatrixImportCSR(2, 3, []int{0, 2, 3}, []int{0, 2, 1}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("valid import: %v", err)
+	}
+	if v, _ := m.ExtractElement(1, 1); v != 3 {
+		t.Fatalf("imported value %v", v)
+	}
+}
+
+func TestVectorExportImport(t *testing.T) {
+	v, _ := NewVector[float64](9)
+	_ = v.SetElement(1.5, 2)
+	_ = v.SetElement(2.5, 7)
+	idx, vals, err := VectorExport(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := VectorImport(9, idx, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := back.ExtractElement(7); x != 2.5 {
+		t.Fatalf("roundtrip %v", x)
+	}
+	if _, err := VectorImport(9, []int{3, 3}, []float64{1, 2}); InfoOf(err) != InvalidValue {
+		t.Fatalf("duplicate indices accepted: %v", err)
+	}
+	if _, err := VectorImport(9, []int{9}, []float64{1}); InfoOf(err) != InvalidIndex {
+		t.Fatalf("out of range accepted: %v", err)
+	}
+	if _, err := VectorImport(9, []int{5, 2}, []float64{1, 2}); InfoOf(err) != InvalidValue {
+		t.Fatalf("unsorted accepted: %v", err)
+	}
+}

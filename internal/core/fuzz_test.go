@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMatrixDeserialize feeds arbitrary bytes to the deserializer: it must
+// either return a structurally valid matrix or a clean GraphBLAS error —
+// never panic and never produce an object violating the CSR invariants.
+func FuzzMatrixDeserialize(f *testing.F) {
+	// Seed with a valid stream and a few mutations.
+	m, _ := NewMatrix[float64](3, 4)
+	_ = m.SetElement(1.5, 0, 1)
+	_ = m.SetElement(-2, 2, 3)
+	var buf bytes.Buffer
+	_ = MatrixSerialize(m, &buf)
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{0, 4, 12, len(valid) / 2} {
+		f.Add(valid[:cut])
+	}
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 20 {
+		mutated[20] ^= 0xff
+	}
+	f.Add(mutated)
+	f.Add([]byte("GRB1 garbage follows the magic"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := MatrixDeserialize[float64](bytes.NewReader(data))
+		if err != nil {
+			if got != nil {
+				t.Fatal("error with non-nil matrix")
+			}
+			return
+		}
+		// Whatever parsed must satisfy the public contract.
+		nr, err := got.NRows()
+		if err != nil || nr <= 0 {
+			t.Fatalf("invalid rows %d %v", nr, err)
+		}
+		nc, _ := got.NCols()
+		is, js, _, err := got.ExtractTuples()
+		if err != nil {
+			t.Fatalf("ExtractTuples on parsed matrix: %v", err)
+		}
+		for k := range is {
+			if is[k] < 0 || is[k] >= nr || js[k] < 0 || js[k] >= nc {
+				t.Fatalf("entry (%d,%d) outside %dx%d", is[k], js[k], nr, nc)
+			}
+		}
+	})
+}
+
+// FuzzVectorDeserialize mirrors FuzzMatrixDeserialize for vectors.
+func FuzzVectorDeserialize(f *testing.F) {
+	v, _ := NewVector[int32](5)
+	_ = v.SetElement(9, 2)
+	var buf bytes.Buffer
+	_ = VectorSerialize(v, &buf)
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := VectorDeserialize[int32](bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n, err := got.Size()
+		if err != nil || n <= 0 {
+			t.Fatalf("invalid size %d %v", n, err)
+		}
+		idx, _, err := got.ExtractTuples()
+		if err != nil {
+			t.Fatalf("ExtractTuples: %v", err)
+		}
+		for k, i := range idx {
+			if i < 0 || i >= n {
+				t.Fatalf("index %d outside %d", i, n)
+			}
+			if k > 0 && idx[k-1] >= i {
+				t.Fatalf("unsorted parsed vector")
+			}
+		}
+	})
+}
+
+// FuzzBuildRejectsBadTuples: Build must reject any out-of-range input with
+// a clean error and must never corrupt the (empty) target object.
+func FuzzBuildRejectsBadTuples(f *testing.F) {
+	f.Add(5, 5, []byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add(3, 4, []byte{0, 200}, []byte{1, 1})
+	f.Fuzz(func(t *testing.T, nr, nc int, rowBytes, colBytes []byte) {
+		if nr <= 0 || nc <= 0 || nr > 64 || nc > 64 {
+			return
+		}
+		k := len(rowBytes)
+		if len(colBytes) < k {
+			k = len(colBytes)
+		}
+		rows := make([]int, k)
+		cols := make([]int, k)
+		vals := make([]float64, k)
+		inRange := true
+		for i := 0; i < k; i++ {
+			rows[i] = int(rowBytes[i]) - 4 // may go negative / out of range
+			cols[i] = int(colBytes[i]) - 4
+			vals[i] = float64(i)
+			if rows[i] < 0 || rows[i] >= nr || cols[i] < 0 || cols[i] >= nc {
+				inRange = false
+			}
+		}
+		m, err := NewMatrix[float64](nr, nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = m.Build(rows, cols, vals, plusF64())
+		if !inRange {
+			if InfoOf(err) != InvalidIndex {
+				t.Fatalf("out-of-range build: %v", err)
+			}
+			if nv, _ := m.NVals(); nv != 0 {
+				t.Fatalf("failed build left %d entries", nv)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-range build failed: %v", err)
+		}
+		// Entry count is the number of distinct coordinates.
+		seen := map[[2]int]bool{}
+		for i := 0; i < k; i++ {
+			seen[[2]int{rows[i], cols[i]}] = true
+		}
+		if nv, _ := m.NVals(); nv != len(seen) {
+			t.Fatalf("nvals %d want %d", nv, len(seen))
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package core
+
+import "graphblas/internal/sparse"
+
+// Mask semantics (Sections III-C and VI): a write mask is any GraphBLAS
+// vector or matrix; the positions that "exist and are true" control which
+// results reach the output. The C API performs an implicit cast of the mask
+// domain to bool; this binding reproduces that with a runtime truthiness
+// interpretation: bool is itself, numeric types are v != 0, and any other
+// domain counts every stored element as true (a purely structural mask).
+// The structural complement (GrB_SCMP) complements the *structure* — the
+// set of stored positions — exactly as the paper defines it.
+//
+// Passing a nil *Vector or *Matrix is the analogue of GrB_NULL: no mask.
+// NoMask is provided for readability at call sites.
+
+// NoMask is the "no write mask" argument (GrB_NULL) for operations on
+// matrix outputs.
+var NoMask *Matrix[bool]
+
+// NoMaskV is the "no write mask" argument (GrB_NULL) for operations on
+// vector outputs.
+var NoMaskV *Vector[bool]
+
+// truthy is the implicit bool cast the C API applies to mask values.
+func truthy[T any](v T) bool {
+	switch x := any(v).(type) {
+	case bool:
+		return x
+	case int:
+		return x != 0
+	case int8:
+		return x != 0
+	case int16:
+		return x != 0
+	case int32:
+		return x != 0
+	case int64:
+		return x != 0
+	case uint:
+		return x != 0
+	case uint8:
+		return x != 0
+	case uint16:
+		return x != 0
+	case uint32:
+		return x != 0
+	case uint64:
+		return x != 0
+	case float32:
+		return x != 0
+	case float64:
+		return x != 0
+	default:
+		return true // user-defined domains: structural interpretation
+	}
+}
+
+// truthyIdx returns the indices (positions into idx) whose values are
+// truthy, with fast paths for common mask domains. It returns idx itself
+// when every value is truthy.
+func truthyIdx[T any](idx []int, val []T) []int {
+	switch vs := any(val).(type) {
+	case []bool:
+		all := true
+		for _, b := range vs {
+			if !b {
+				all = false
+				break
+			}
+		}
+		if all {
+			return idx
+		}
+		eff := make([]int, 0, len(idx))
+		for k, b := range vs {
+			if b {
+				eff = append(eff, idx[k])
+			}
+		}
+		return eff
+	case []int32:
+		return truthyIdxNum(idx, vs)
+	case []int64:
+		return truthyIdxNum(idx, vs)
+	case []float32:
+		return truthyIdxNum(idx, vs)
+	case []float64:
+		return truthyIdxNum(idx, vs)
+	}
+	all := true
+	for _, v := range val {
+		if !truthy(v) {
+			all = false
+			break
+		}
+	}
+	if all {
+		return idx
+	}
+	eff := make([]int, 0, len(idx))
+	for k, v := range val {
+		if truthy(v) {
+			eff = append(eff, idx[k])
+		}
+	}
+	return eff
+}
+
+func truthyIdxNum[T int32 | int64 | float32 | float64](idx []int, val []T) []int {
+	all := true
+	for _, v := range val {
+		if v == 0 {
+			all = false
+			break
+		}
+	}
+	if all {
+		return idx
+	}
+	eff := make([]int, 0, len(idx))
+	for k, v := range val {
+		if v != 0 {
+			eff = append(eff, idx[k])
+		}
+	}
+	return eff
+}
+
+// resolveVecMask converts a vector mask object into the kernel form. Must
+// run at operation-execution time so the mask content is current. A nil
+// mask returns nil.
+func resolveVecMask[DM any](mask *Vector[DM], comp bool) *sparse.VecMask {
+	if mask == nil {
+		return nil
+	}
+	d := mask.vdat()
+	return &sparse.VecMask{
+		N:         d.N,
+		Idx:       truthyIdx(d.Idx, d.Val),
+		Structure: d.Idx,
+		Comp:      comp,
+	}
+}
+
+// resolveMatMask converts a matrix mask object into the kernel pattern
+// form. Rows whose values are all truthy alias the mask storage directly.
+func resolveMatMask[DM any](mask *Matrix[DM], comp bool) *sparse.MatMask {
+	if mask == nil {
+		return nil
+	}
+	d := mask.mdat()
+	mm := &sparse.MatMask{
+		NCols:  d.NCols,
+		StrPtr: d.Ptr,
+		StrIdx: d.ColIdx,
+		Comp:   comp,
+	}
+	eff := truthyIdx(d.ColIdx[:d.NNZ()], d.Val[:d.NNZ()])
+	if len(eff) == d.NNZ() {
+		// Every stored value truthy: effective pattern == structure.
+		mm.EffPtr, mm.EffIdx = d.Ptr, d.ColIdx
+		return mm
+	}
+	// Rebuild a row pointer for the filtered pattern. Walk rows and count
+	// how many of each row's entries survived; the filtered indices remain
+	// in row-major order because truthyIdx preserves order.
+	effPtr := make([]int, d.NRows+1)
+	pos := 0
+	for i := 0; i < d.NRows; i++ {
+		// Count survivors of row i by walking its value range again.
+		cnt := 0
+		for p := d.Ptr[i]; p < d.Ptr[i+1]; p++ {
+			if truthy(d.Val[p]) {
+				cnt++
+			}
+		}
+		pos += cnt
+		effPtr[i+1] = pos
+	}
+	mm.EffPtr, mm.EffIdx = effPtr, eff
+	return mm
+}
+
+// maskReads appends the mask object to an operation's read set when a mask
+// is present; obj handles of differing generic instantiations share the
+// non-generic base.
+func maskReadsV[DM any](reads []*obj, mask *Vector[DM]) []*obj {
+	if mask != nil {
+		reads = append(reads, &mask.obj)
+	}
+	return reads
+}
+
+func maskReadsM[DM any](reads []*obj, mask *Matrix[DM]) []*obj {
+	if mask != nil {
+		reads = append(reads, &mask.obj)
+	}
+	return reads
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"sync"
+
+	"graphblas/internal/sparse"
+)
+
+// Matrix is the opaque GraphBLAS matrix A = ⟨D, M, N, {(i, j, A_ij)}⟩ of
+// Section III-A. Storage is compressed sparse row; a transposed copy is
+// cached lazily because the descriptor's GrB_TRAN setting (Figure 2) makes
+// transposed reads common, and invalidated on any mutation.
+type Matrix[D any] struct {
+	obj
+	nr, nc int
+	data   *sparse.CSR[D]
+
+	// pending buffers single-element updates (SetElement/RemoveElement) so
+	// interleaved point updates cost O(1) amortized instead of O(nnz); they
+	// merge into the compressed storage when the matrix is next read. mu
+	// guards pending, data installation, and the transpose cache so
+	// read-only sharing across goroutines stays safe.
+	pending []sparse.Tuple[D]
+	mu      sync.Mutex
+	tcache  *sparse.CSR[D]
+}
+
+// NewMatrix creates an nrows-by-ncols matrix (GrB_Matrix_new). Both
+// dimensions must be positive.
+func NewMatrix[D any](nrows, ncols int) (*Matrix[D], error) {
+	if err := checkActive("NewMatrix"); err != nil {
+		return nil, err
+	}
+	if nrows <= 0 || ncols <= 0 {
+		return nil, errf(InvalidValue, "NewMatrix", "dimensions must be positive, got %dx%d", nrows, ncols)
+	}
+	m := &Matrix[D]{nr: nrows, nc: ncols, data: sparse.NewCSR[D](nrows, ncols)}
+	m.initObj()
+	return m, nil
+}
+
+// setData replaces the storage, drops buffered updates, and invalidates the
+// transpose cache. All whole-object mutation paths funnel through here.
+func (m *Matrix[D]) setData(d *sparse.CSR[D]) {
+	m.mu.Lock()
+	m.data = d
+	m.pending = nil
+	m.tcache = nil
+	m.mu.Unlock()
+}
+
+// flushPendingLocked merges buffered point updates into the storage; the
+// caller holds m.mu.
+func (m *Matrix[D]) flushPendingLocked() {
+	if len(m.pending) == 0 {
+		return
+	}
+	m.data = sparse.ApplyTuples(m.data, m.pending)
+	m.pending = nil
+	m.tcache = nil
+}
+
+// mdat returns the up-to-date storage, merging any buffered point updates
+// first. Safe for concurrent readers.
+func (m *Matrix[D]) mdat() *sparse.CSR[D] {
+	m.mu.Lock()
+	m.flushPendingLocked()
+	d := m.data
+	m.mu.Unlock()
+	return d
+}
+
+// transposed returns (computing and caching on first use) the CSR form of
+// the matrix transpose. Safe for concurrent readers.
+func (m *Matrix[D]) transposed() *sparse.CSR[D] {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushPendingLocked()
+	if m.tcache == nil {
+		m.tcache = m.data.Transpose()
+	}
+	return m.tcache
+}
+
+// NRows reports the number of rows (GrB_Matrix_nrows); never forces.
+func (m *Matrix[D]) NRows() (int, error) {
+	if err := objOK(&m.obj, "Matrix.NRows", "m"); err != nil {
+		return 0, err
+	}
+	return m.nr, nil
+}
+
+// NCols reports the number of columns (GrB_Matrix_ncols); never forces.
+func (m *Matrix[D]) NCols() (int, error) {
+	if err := objOK(&m.obj, "Matrix.NCols", "m"); err != nil {
+		return 0, err
+	}
+	return m.nc, nil
+}
+
+// NVals reports the number of stored elements (GrB_Matrix_nvals). Forces
+// completion of the pending sequence.
+func (m *Matrix[D]) NVals() (int, error) {
+	if err := objOK(&m.obj, "Matrix.NVals", "m"); err != nil {
+		return 0, err
+	}
+	if err := force("Matrix.NVals"); err != nil {
+		return 0, err
+	}
+	if m.err != nil {
+		return 0, errf(InvalidObject, "Matrix.NVals", "%v", m.err)
+	}
+	return m.mdat().NNZ(), nil
+}
+
+// Clear removes all stored elements (GrB_Matrix_clear). May defer.
+func (m *Matrix[D]) Clear() error {
+	if err := objOK(&m.obj, "Matrix.Clear", "m"); err != nil {
+		return err
+	}
+	return enqueue("Matrix.Clear", &m.obj, nil, true, func() error {
+		m.setData(sparse.NewCSR[D](m.nr, m.nc))
+		return nil
+	})
+}
+
+// Dup creates a new matrix with the same domain, dimensions, and content
+// (GrB_Matrix_dup). The copy may defer.
+func (m *Matrix[D]) Dup() (*Matrix[D], error) {
+	if err := objOK(&m.obj, "Matrix.Dup", "m"); err != nil {
+		return nil, err
+	}
+	w := &Matrix[D]{nr: m.nr, nc: m.nc, data: sparse.NewCSR[D](m.nr, m.nc)}
+	w.initObj()
+	err := enqueue("Matrix.Dup", &w.obj, []*obj{&m.obj}, true, func() error {
+		w.setData(m.mdat().Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Resize changes the dimensions, dropping out-of-range elements (spec 1.3
+// extension). Metadata updates eagerly; the storage trim may defer.
+func (m *Matrix[D]) Resize(nrows, ncols int) error {
+	if err := objOK(&m.obj, "Matrix.Resize", "m"); err != nil {
+		return err
+	}
+	if nrows <= 0 || ncols <= 0 {
+		return errf(InvalidValue, "Matrix.Resize", "dimensions must be positive, got %dx%d", nrows, ncols)
+	}
+	m.nr, m.nc = nrows, ncols
+	return enqueue("Matrix.Resize", &m.obj, nil, false, func() error {
+		d := m.mdat()
+		d.Resize(nrows, ncols)
+		m.setData(d)
+		return nil
+	})
+}
+
+// Build populates an empty matrix from coordinate arrays, combining
+// duplicates with dup (GrB_Matrix_build; Figure 3 line 28). Non-opaque
+// array inputs may not defer, so Build forces the pending sequence and
+// executes immediately.
+func (m *Matrix[D]) Build(rows, cols []int, values []D, dup BinaryOp[D, D, D]) error {
+	const op = "Matrix.Build"
+	if err := objOK(&m.obj, op, "m"); err != nil {
+		return err
+	}
+	if len(rows) != len(cols) || len(rows) != len(values) {
+		return errf(InvalidValue, op, "tuple arrays have unequal lengths %d/%d/%d", len(rows), len(cols), len(values))
+	}
+	for k := range rows {
+		if rows[k] < 0 || rows[k] >= m.nr {
+			return errf(InvalidIndex, op, "row index %d out of range [0,%d)", rows[k], m.nr)
+		}
+		if cols[k] < 0 || cols[k] >= m.nc {
+			return errf(InvalidIndex, op, "column index %d out of range [0,%d)", cols[k], m.nc)
+		}
+	}
+	if err := force(op); err != nil {
+		return err
+	}
+	if m.err != nil {
+		return errf(InvalidObject, op, "%v", m.err)
+	}
+	if nnz := m.mdat().NNZ(); nnz != 0 {
+		return errf(OutputNotEmpty, op, "matrix already has %d stored elements", nnz)
+	}
+	var dupF func(D, D) D
+	if dup.Defined() {
+		dupF = dup.F
+	}
+	built, ok := sparse.BuildCSR(m.nr, m.nc, rows, cols, values, dupF)
+	if !ok {
+		return errf(InvalidValue, op, "duplicate index with no dup operator")
+	}
+	m.setData(built)
+	return nil
+}
+
+// SetElement stores x at (i, j) (GrB_Matrix_setElement). May defer.
+func (m *Matrix[D]) SetElement(x D, i, j int) error {
+	if err := objOK(&m.obj, "Matrix.SetElement", "m"); err != nil {
+		return err
+	}
+	if i < 0 || i >= m.nr || j < 0 || j >= m.nc {
+		return errf(InvalidIndex, "Matrix.SetElement", "(%d,%d) out of range %dx%d", i, j, m.nr, m.nc)
+	}
+	return enqueue("Matrix.SetElement", &m.obj, nil, false, func() error {
+		m.mu.Lock()
+		m.pending = append(m.pending, sparse.Tuple[D]{I: i, J: j, V: x})
+		m.tcache = nil
+		m.mu.Unlock()
+		return nil
+	})
+}
+
+// RemoveElement deletes the element at (i, j) if present
+// (GrB_Matrix_removeElement).
+func (m *Matrix[D]) RemoveElement(i, j int) error {
+	if err := objOK(&m.obj, "Matrix.RemoveElement", "m"); err != nil {
+		return err
+	}
+	if i < 0 || i >= m.nr || j < 0 || j >= m.nc {
+		return errf(InvalidIndex, "Matrix.RemoveElement", "(%d,%d) out of range %dx%d", i, j, m.nr, m.nc)
+	}
+	return enqueue("Matrix.RemoveElement", &m.obj, nil, false, func() error {
+		m.mu.Lock()
+		m.pending = append(m.pending, sparse.Tuple[D]{I: i, J: j, Del: true})
+		m.tcache = nil
+		m.mu.Unlock()
+		return nil
+	})
+}
+
+// ExtractElement returns the element at (i, j) (GrB_Matrix_extractElement);
+// absent elements return a NoValue error. Forces completion.
+func (m *Matrix[D]) ExtractElement(i, j int) (D, error) {
+	var zero D
+	if err := objOK(&m.obj, "Matrix.ExtractElement", "m"); err != nil {
+		return zero, err
+	}
+	if i < 0 || i >= m.nr || j < 0 || j >= m.nc {
+		return zero, errf(InvalidIndex, "Matrix.ExtractElement", "(%d,%d) out of range %dx%d", i, j, m.nr, m.nc)
+	}
+	if err := force("Matrix.ExtractElement"); err != nil {
+		return zero, err
+	}
+	if m.err != nil {
+		return zero, errf(InvalidObject, "Matrix.ExtractElement", "%v", m.err)
+	}
+	if x, ok := m.mdat().Get(i, j); ok {
+		return x, nil
+	}
+	return zero, errf(NoValue, "Matrix.ExtractElement", "no element stored at (%d,%d)", i, j)
+}
+
+// ExtractTuples copies the stored (row, col, value) triples out of the
+// opaque object in row-major order (GrB_Matrix_extractTuples). Forces
+// completion.
+func (m *Matrix[D]) ExtractTuples() ([]int, []int, []D, error) {
+	if err := objOK(&m.obj, "Matrix.ExtractTuples", "m"); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := force("Matrix.ExtractTuples"); err != nil {
+		return nil, nil, nil, err
+	}
+	if m.err != nil {
+		return nil, nil, nil, errf(InvalidObject, "Matrix.ExtractTuples", "%v", m.err)
+	}
+	is, js, vals := m.mdat().Tuples()
+	return is, js, vals, nil
+}
+
+// Free destroys the matrix (GrB_free). Pending operations complete first.
+func (m *Matrix[D]) Free() error {
+	if m == nil || !m.initialized {
+		return nil
+	}
+	if err := force("Matrix.Free"); err != nil {
+		return err
+	}
+	m.initialized = false
+	m.data = nil
+	m.tcache = nil
+	return nil
+}

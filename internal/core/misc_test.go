@@ -1,0 +1,131 @@
+package core
+
+import "testing"
+
+func TestInfoStringsAndClasses(t *testing.T) {
+	cases := map[Info]string{
+		Success:              "Success",
+		NoValue:              "NoValue",
+		UninitializedObject:  "UninitializedObject",
+		NullPointer:          "NullPointer",
+		InvalidValue:         "InvalidValue",
+		InvalidIndex:         "InvalidIndex",
+		DomainMismatch:       "DomainMismatch",
+		DimensionMismatch:    "DimensionMismatch",
+		OutputNotEmpty:       "OutputNotEmpty",
+		UninitializedContext: "UninitializedContext",
+		OutOfMemory:          "OutOfMemory",
+		IndexOutOfBounds:     "IndexOutOfBounds",
+		InvalidObject:        "InvalidObject",
+		PanicInfo:            "Panic",
+	}
+	for info, want := range cases {
+		if info.String() != want {
+			t.Fatalf("%d string %q want %q", int(info), info.String(), want)
+		}
+	}
+	if Info(99).String() != "Info(99)" {
+		t.Fatalf("unknown info string %q", Info(99).String())
+	}
+	for _, api := range []Info{UninitializedObject, NullPointer, InvalidValue, InvalidIndex, DomainMismatch, DimensionMismatch, OutputNotEmpty, UninitializedContext} {
+		if !api.IsAPIError() || api.IsExecutionError() {
+			t.Fatalf("%v should be an API error", api)
+		}
+	}
+	for _, ex := range []Info{OutOfMemory, IndexOutOfBounds, InvalidObject, PanicInfo} {
+		if ex.IsAPIError() || !ex.IsExecutionError() {
+			t.Fatalf("%v should be an execution error", ex)
+		}
+	}
+	if Success.IsAPIError() || Success.IsExecutionError() || NoValue.IsAPIError() {
+		t.Fatal("benign codes misclassified")
+	}
+	// Error rendering with and without message.
+	e := &Error{Info: DimensionMismatch, Op: "MxM"}
+	if e.Error() != "graphblas: MxM: DimensionMismatch" {
+		t.Fatalf("error string %q", e.Error())
+	}
+	e.Msg = "3 vs 4"
+	if e.Error() != "graphblas: MxM: DimensionMismatch: 3 vs 4" {
+		t.Fatalf("error string %q", e.Error())
+	}
+	if InfoOf(errNotGraphBLAS{}) != PanicInfo {
+		t.Fatal("foreign errors should map to Panic")
+	}
+}
+
+type errNotGraphBLAS struct{}
+
+func (errNotGraphBLAS) Error() string { return "other" }
+
+func TestOperatorConstructors(t *testing.T) {
+	if _, err := NewUnaryOp[int, int]("f", nil); InfoOf(err) != NullPointer {
+		t.Fatalf("nil unary accepted: %v", err)
+	}
+	u, err := NewUnaryOp("double", func(x int) int { return 2 * x })
+	if err != nil || !u.Defined() || u.F(3) != 6 {
+		t.Fatalf("unary op %v", err)
+	}
+	if _, err := NewBinaryOp[int, int, int]("g", nil); InfoOf(err) != NullPointer {
+		t.Fatalf("nil binary accepted: %v", err)
+	}
+	b, err := NewBinaryOp("sub", func(x, y int) int { return x - y })
+	if err != nil || b.F(5, 3) != 2 {
+		t.Fatalf("binary op %v", err)
+	}
+	if _, err := NewMonoid(BinaryOp[int, int, int]{}, 0); InfoOf(err) != UninitializedObject {
+		t.Fatalf("undefined monoid op accepted: %v", err)
+	}
+	if _, err := NewSemiring(Monoid[int]{}, b); InfoOf(err) != UninitializedObject {
+		t.Fatalf("undefined add monoid accepted: %v", err)
+	}
+	m, _ := NewMonoid(b, 0)
+	if _, err := NewSemiring(m, BinaryOp[int, int, int]{}); InfoOf(err) != UninitializedObject {
+		t.Fatalf("undefined mul accepted: %v", err)
+	}
+}
+
+func TestDescriptorAPI(t *testing.T) {
+	d, err := NewDescriptor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set(OutP, Replace); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set(MaskField, SCMP); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set(Inp0, Tran); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set(Inp1, Tran); err != nil {
+		t.Fatal(err)
+	}
+	if !d.replace() || !d.scmp() || !d.tran0() || !d.tran1() {
+		t.Fatal("settings not recorded")
+	}
+	if err := d.Set(MaskField, Tran); InfoOf(err) != InvalidValue {
+		t.Fatalf("invalid combo accepted: %v", err)
+	}
+	var nilDesc *Descriptor
+	if err := nilDesc.Set(OutP, Replace); InfoOf(err) != NullPointer {
+		t.Fatalf("nil descriptor set: %v", err)
+	}
+	if nilDesc.replace() || nilDesc.scmp() || nilDesc.tran0() || nilDesc.tran1() {
+		t.Fatal("nil descriptor should be all defaults")
+	}
+	// Field and Value render as the paper's literals.
+	if OutP.String() != "GrB_OUTP" || MaskField.String() != "GrB_MASK" || Inp0.String() != "GrB_INP0" || Inp1.String() != "GrB_INP1" {
+		t.Fatal("field strings")
+	}
+	if Replace.String() != "GrB_REPLACE" || SCMP.String() != "GrB_SCMP" || Tran.String() != "GrB_TRAN" {
+		t.Fatal("value strings")
+	}
+	if Field(9).String() != "Field(?)" || Value(9).String() != "Value(?)" {
+		t.Fatal("unknown field/value strings")
+	}
+	if Blocking.String() != "Blocking" || NonBlocking.String() != "NonBlocking" {
+		t.Fatal("mode strings")
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+// obj is the non-generic base embedded in every opaque GraphBLAS object. It
+// carries the identity used by the nonblocking engine's dependence tracking
+// and the invalid-object state of the error model (Section V).
+type obj struct {
+	id          uint64
+	err         error
+	initialized bool
+}
+
+// initObj stamps a fresh identity.
+func (o *obj) initObj() {
+	o.id = nextID()
+	o.initialized = true
+}
+
+// objOK reports the standard per-argument API checks: the handle is non-nil
+// and the object initialized.
+func objOK(o *obj, op, arg string) error {
+	if o == nil {
+		return errf(UninitializedObject, op, "%s is nil", arg)
+	}
+	if !o.initialized {
+		return errf(UninitializedObject, op, "%s has not been initialized (freed?)", arg)
+	}
+	return nil
+}
+
+// Wait completes all pending computations involving the object (the
+// object-scoped GrB_wait of spec 1.3+). This engine tracks dependencies at
+// sequence granularity, so it conservatively completes the whole pending
+// sequence — a conforming implementation choice.
+func (m *Matrix[D]) Wait() error {
+	if err := objOK(&m.obj, "Matrix.Wait", "m"); err != nil {
+		return err
+	}
+	if err := force("Matrix.Wait"); err != nil {
+		return err
+	}
+	if m.err != nil {
+		return errf(InvalidObject, "Matrix.Wait", "%v", m.err)
+	}
+	return nil
+}
+
+// Wait completes all pending computations involving the vector; see
+// Matrix.Wait.
+func (v *Vector[D]) Wait() error {
+	if err := objOK(&v.obj, "Vector.Wait", "v"); err != nil {
+		return err
+	}
+	if err := force("Vector.Wait"); err != nil {
+		return err
+	}
+	if v.err != nil {
+		return errf(InvalidObject, "Vector.Wait", "%v", v.err)
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package core
+
+import "graphblas/internal/sparse"
+
+// Element-wise operations of Table II:
+//
+//	eWiseAdd:  C ⊙= A ⊕ B  (set union of structures)
+//	eWiseMult: C ⊙= A ⊗ B  (set intersection of structures)
+//
+// Following the paper's set-notation definitions, eWiseMult applies ⊗ only
+// on the intersection of the stored structures — so it admits the full
+// three-domain operator — while eWiseAdd copies unmatched elements of either
+// input into the result, which requires all domains to coincide with the
+// output domain (the C API achieves the same via implicit casts; Go's
+// generics make the requirement explicit).
+
+// EWiseAddM computes C ⊙= A ⊕ B for matrices (GrB_eWiseAdd). add is
+// applied where both inputs have entries; elsewhere the single entry is
+// copied.
+func EWiseAddM[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], add BinaryOp[DC, DC, DC], a, b *Matrix[DC], desc *Descriptor) error {
+	const name = "EWiseAddM"
+	if err := ewiseChecksM(name, c, mask, a, b, add.Defined()); err != nil {
+		return err
+	}
+	an, am, bn, bm := a.nr, a.nc, b.nr, b.nc
+	if desc.tran0() {
+		an, am = am, an
+	}
+	if desc.tran1() {
+		bn, bm = bm, bn
+	}
+	if an != bn || am != bm {
+		return errf(DimensionMismatch, name, "inputs are %dx%d and %dx%d", an, am, bn, bm)
+	}
+	if c.nr != an || c.nc != am {
+		return errf(DimensionMismatch, name, "output is %dx%d, result is %dx%d", c.nr, c.nc, an, am)
+	}
+	if mask != nil && (mask.nr != c.nr || mask.nc != c.nc) {
+		return errf(DimensionMismatch, name, "mask is %dx%d, output is %dx%d", mask.nr, mask.nc, c.nr, c.nc)
+	}
+	reads := maskReadsM([]*obj{&a.obj, &b.obj}, mask)
+	overwrites := !accum.Defined() && (mask == nil || desc.replace())
+	tran0, tran1, scmp, replace := desc.tran0(), desc.tran1(), desc.scmp(), desc.replace()
+	return enqueue(name, &c.obj, reads, overwrites, func() error {
+		ad := a.mdat()
+		if tran0 {
+			ad = a.transposed()
+		}
+		bd := b.mdat()
+		if tran1 {
+			bd = b.transposed()
+		}
+		t := sparse.UnionCSR(ad, bd, add.F)
+		mm := resolveMatMask(mask, scmp)
+		var accumF func(DC, DC) DC
+		if accum.Defined() {
+			accumF = accum.F
+		}
+		c.setData(sparse.WriteCSR(c.mdat(), t, mm, accumF, replace))
+		return nil
+	})
+}
+
+// EWiseAddMonoidM is EWiseAddM with the operator taken from a monoid, the
+// form Figure 3 line 42 uses (GrB_eWiseAdd with a GrB_Monoid).
+func EWiseAddMonoidM[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], m Monoid[DC], a, b *Matrix[DC], desc *Descriptor) error {
+	if !m.Defined() {
+		return errf(UninitializedObject, "EWiseAddMonoidM", "monoid not initialized")
+	}
+	return EWiseAddM(c, mask, accum, m.Op, a, b, desc)
+}
+
+// EWiseAddV computes w ⊙= u ⊕ v for vectors.
+func EWiseAddV[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], add BinaryOp[DC, DC, DC], u, v *Vector[DC], desc *Descriptor) error {
+	const name = "EWiseAddV"
+	if err := ewiseChecksV(name, w, mask, u, v, add.Defined()); err != nil {
+		return err
+	}
+	if u.n != v.n {
+		return errf(DimensionMismatch, name, "inputs have sizes %d and %d", u.n, v.n)
+	}
+	if w.n != u.n {
+		return errf(DimensionMismatch, name, "output has size %d, inputs have size %d", w.n, u.n)
+	}
+	if mask != nil && mask.n != w.n {
+		return errf(DimensionMismatch, name, "mask has size %d, output has size %d", mask.n, w.n)
+	}
+	reads := maskReadsV([]*obj{&u.obj, &v.obj}, mask)
+	overwrites := !accum.Defined() && (mask == nil || desc.replace())
+	scmp, replace := desc.scmp(), desc.replace()
+	return enqueue(name, &w.obj, reads, overwrites, func() error {
+		t := sparse.VecUnion(u.vdat(), v.vdat(), add.F)
+		vm := resolveVecMask(mask, scmp)
+		var accumF func(DC, DC) DC
+		if accum.Defined() {
+			accumF = accum.F
+		}
+		w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+		return nil
+	})
+}
+
+// EWiseAddMonoidV is EWiseAddV with the operator taken from a monoid.
+func EWiseAddMonoidV[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], m Monoid[DC], u, v *Vector[DC], desc *Descriptor) error {
+	if !m.Defined() {
+		return errf(UninitializedObject, "EWiseAddMonoidV", "monoid not initialized")
+	}
+	return EWiseAddV(w, mask, accum, m.Op, u, v, desc)
+}
+
+// EWiseMultM computes C ⊙= A ⊗ B for matrices (GrB_eWiseMult): mul applies
+// on the intersection of the stored structures, with the full three-domain
+// generality of the paper's binary operators.
+func EWiseMultM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], mul BinaryOp[DA, DB, DC], a *Matrix[DA], b *Matrix[DB], desc *Descriptor) error {
+	const name = "EWiseMultM"
+	if err := checkActive(name); err != nil {
+		return err
+	}
+	if c == nil || a == nil || b == nil {
+		return errf(UninitializedObject, name, "nil argument")
+	}
+	if err := objOK(&c.obj, name, "C"); err != nil {
+		return err
+	}
+	if err := objOK(&a.obj, name, "A"); err != nil {
+		return err
+	}
+	if err := objOK(&b.obj, name, "B"); err != nil {
+		return err
+	}
+	if mask != nil {
+		if err := objOK(&mask.obj, name, "mask"); err != nil {
+			return err
+		}
+	}
+	if !mul.Defined() {
+		return errf(UninitializedObject, name, "operator not initialized")
+	}
+	an, am, bn, bm := a.nr, a.nc, b.nr, b.nc
+	if desc.tran0() {
+		an, am = am, an
+	}
+	if desc.tran1() {
+		bn, bm = bm, bn
+	}
+	if an != bn || am != bm {
+		return errf(DimensionMismatch, name, "inputs are %dx%d and %dx%d", an, am, bn, bm)
+	}
+	if c.nr != an || c.nc != am {
+		return errf(DimensionMismatch, name, "output is %dx%d, result is %dx%d", c.nr, c.nc, an, am)
+	}
+	if mask != nil && (mask.nr != c.nr || mask.nc != c.nc) {
+		return errf(DimensionMismatch, name, "mask is %dx%d, output is %dx%d", mask.nr, mask.nc, c.nr, c.nc)
+	}
+	reads := maskReadsM([]*obj{&a.obj, &b.obj}, mask)
+	overwrites := !accum.Defined() && (mask == nil || desc.replace())
+	tran0, tran1, scmp, replace := desc.tran0(), desc.tran1(), desc.scmp(), desc.replace()
+	return enqueue(name, &c.obj, reads, overwrites, func() error {
+		ad := a.mdat()
+		if tran0 {
+			ad = a.transposed()
+		}
+		bd := b.mdat()
+		if tran1 {
+			bd = b.transposed()
+		}
+		t := sparse.IntersectCSR(ad, bd, mul.F)
+		mm := resolveMatMask(mask, scmp)
+		var accumF func(DC, DC) DC
+		if accum.Defined() {
+			accumF = accum.F
+		}
+		c.setData(sparse.WriteCSR(c.mdat(), t, mm, accumF, replace))
+		return nil
+	})
+}
+
+// EWiseMultV computes w ⊙= u ⊗ v for vectors.
+func EWiseMultV[DC, DA, DB, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], mul BinaryOp[DA, DB, DC], u *Vector[DA], v *Vector[DB], desc *Descriptor) error {
+	const name = "EWiseMultV"
+	if err := checkActive(name); err != nil {
+		return err
+	}
+	if w == nil || u == nil || v == nil {
+		return errf(UninitializedObject, name, "nil argument")
+	}
+	if err := objOK(&w.obj, name, "w"); err != nil {
+		return err
+	}
+	if err := objOK(&u.obj, name, "u"); err != nil {
+		return err
+	}
+	if err := objOK(&v.obj, name, "v"); err != nil {
+		return err
+	}
+	if mask != nil {
+		if err := objOK(&mask.obj, name, "mask"); err != nil {
+			return err
+		}
+	}
+	if !mul.Defined() {
+		return errf(UninitializedObject, name, "operator not initialized")
+	}
+	if u.n != v.n {
+		return errf(DimensionMismatch, name, "inputs have sizes %d and %d", u.n, v.n)
+	}
+	if w.n != u.n {
+		return errf(DimensionMismatch, name, "output has size %d, inputs have size %d", w.n, u.n)
+	}
+	if mask != nil && mask.n != w.n {
+		return errf(DimensionMismatch, name, "mask has size %d, output has size %d", mask.n, w.n)
+	}
+	reads := maskReadsV([]*obj{&u.obj, &v.obj}, mask)
+	overwrites := !accum.Defined() && (mask == nil || desc.replace())
+	scmp, replace := desc.scmp(), desc.replace()
+	return enqueue(name, &w.obj, reads, overwrites, func() error {
+		t := sparse.VecIntersect(u.vdat(), v.vdat(), mul.F)
+		vm := resolveVecMask(mask, scmp)
+		var accumF func(DC, DC) DC
+		if accum.Defined() {
+			accumF = accum.F
+		}
+		w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+		return nil
+	})
+}
+
+// EWiseMultSemiringM is EWiseMultM with the multiplicative operator of a
+// semiring, the form Figure 3 lines 70 and 74 use.
+func EWiseMultSemiringM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], s Semiring[DA, DB, DC], a *Matrix[DA], b *Matrix[DB], desc *Descriptor) error {
+	if !s.Defined() {
+		return errf(UninitializedObject, "EWiseMultSemiringM", "semiring not initialized")
+	}
+	return EWiseMultM(c, mask, accum, s.Mul, a, b, desc)
+}
+
+// ewiseChecksM performs the shared argument validation for the
+// matrix element-wise operations.
+func ewiseChecksM[DC, DM any](name string, c *Matrix[DC], mask *Matrix[DM], a, b *Matrix[DC], opDefined bool) error {
+	if err := checkActive(name); err != nil {
+		return err
+	}
+	if c == nil || a == nil || b == nil {
+		return errf(UninitializedObject, name, "nil argument")
+	}
+	if err := objOK(&c.obj, name, "C"); err != nil {
+		return err
+	}
+	if err := objOK(&a.obj, name, "A"); err != nil {
+		return err
+	}
+	if err := objOK(&b.obj, name, "B"); err != nil {
+		return err
+	}
+	if mask != nil {
+		if err := objOK(&mask.obj, name, "mask"); err != nil {
+			return err
+		}
+	}
+	if !opDefined {
+		return errf(UninitializedObject, name, "operator not initialized")
+	}
+	return nil
+}
+
+// ewiseChecksV performs the shared argument validation for the vector
+// element-wise operations.
+func ewiseChecksV[DC, DM any](name string, w *Vector[DC], mask *Vector[DM], u, v *Vector[DC], opDefined bool) error {
+	if err := checkActive(name); err != nil {
+		return err
+	}
+	if w == nil || u == nil || v == nil {
+		return errf(UninitializedObject, name, "nil argument")
+	}
+	if err := objOK(&w.obj, name, "w"); err != nil {
+		return err
+	}
+	if err := objOK(&u.obj, name, "u"); err != nil {
+		return err
+	}
+	if err := objOK(&v.obj, name, "v"); err != nil {
+		return err
+	}
+	if mask != nil {
+		if err := objOK(&mask.obj, name, "mask"); err != nil {
+			return err
+		}
+	}
+	if !opDefined {
+		return errf(UninitializedObject, name, "operator not initialized")
+	}
+	return nil
+}

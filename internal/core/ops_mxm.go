@@ -1,0 +1,208 @@
+package core
+
+import "graphblas/internal/sparse"
+
+// This file implements the matrix-multiplication family of Table II:
+//
+//	mxm:  C ⊙= A ⊕.⊗ B
+//	mxv:  w ⊙= A ⊕.⊗ u
+//	vxm:  wᵀ ⊙= uᵀ ⊕.⊗ A
+//
+// following the three-step semantics of Section VI: (1) form the internal
+// operands from the arguments per the descriptor, (2) carry out the
+// computation, (3) write the internal result into the output under the
+// optional accumulator and write mask. Output aliasing an input is
+// permitted: every kernel produces fresh storage before the write-back.
+
+// MxM computes C ⊙= A ⊕.⊗ B over a semiring (GrB_mxm, Figure 2). mask may
+// be nil (NoMask); accum may be the zero BinaryOp (NoAccum) for assignment
+// semantics; desc may be nil for defaults.
+func MxM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], op Semiring[DA, DB, DC], a *Matrix[DA], b *Matrix[DB], desc *Descriptor) error {
+	const name = "MxM"
+	if err := checkActive(name); err != nil {
+		return err
+	}
+	if c == nil || a == nil || b == nil {
+		return errf(UninitializedObject, name, "nil argument")
+	}
+	if err := objOK(&c.obj, name, "C"); err != nil {
+		return err
+	}
+	if err := objOK(&a.obj, name, "A"); err != nil {
+		return err
+	}
+	if err := objOK(&b.obj, name, "B"); err != nil {
+		return err
+	}
+	if mask != nil {
+		if err := objOK(&mask.obj, name, "Mask"); err != nil {
+			return err
+		}
+	}
+	if !op.Defined() {
+		return errf(UninitializedObject, name, "semiring not initialized")
+	}
+	am, an := a.nr, a.nc
+	if desc.tran0() {
+		am, an = an, am
+	}
+	bm, bn := b.nr, b.nc
+	if desc.tran1() {
+		bm, bn = bn, bm
+	}
+	if an != bm {
+		return errf(DimensionMismatch, name, "inner dimensions %d and %d differ", an, bm)
+	}
+	if c.nr != am || c.nc != bn {
+		return errf(DimensionMismatch, name, "output is %dx%d, result is %dx%d", c.nr, c.nc, am, bn)
+	}
+	if mask != nil && (mask.nr != c.nr || mask.nc != c.nc) {
+		return errf(DimensionMismatch, name, "mask is %dx%d, output is %dx%d", mask.nr, mask.nc, c.nr, c.nc)
+	}
+	reads := maskReadsM([]*obj{&a.obj, &b.obj}, mask)
+	overwrites := !accum.Defined() && (mask == nil || desc.replace())
+	tran0, tran1, scmp, replace := desc.tran0(), desc.tran1(), desc.scmp(), desc.replace()
+	return enqueue(name, &c.obj, reads, overwrites, func() error {
+		ad := a.mdat()
+		if tran0 {
+			ad = a.transposed()
+		}
+		bd := b.mdat()
+		if tran1 {
+			bd = b.transposed()
+		}
+		mm := resolveMatMask(mask, scmp)
+		t := sparse.SpGEMM(ad, bd, op.Mul.F, op.Add.Op.F, mm)
+		var accumF func(DC, DC) DC
+		if accum.Defined() {
+			accumF = accum.F
+		}
+		c.setData(sparse.WriteCSR(c.mdat(), t, mm, accumF, replace))
+		return nil
+	})
+}
+
+// MxV computes w ⊙= A ⊕.⊗ u (GrB_mxv). Without GrB_TRAN on INP0 a
+// pull-style dot kernel is used (the mask skips whole rows); with it, a
+// push-style kernel scatters the stored entries of u through the rows of A,
+// doing work proportional to the edges incident on u's structure.
+func MxV[DC, DA, DU, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], op Semiring[DA, DU, DC], a *Matrix[DA], u *Vector[DU], desc *Descriptor) error {
+	const name = "MxV"
+	if err := checkActive(name); err != nil {
+		return err
+	}
+	if w == nil || a == nil || u == nil {
+		return errf(UninitializedObject, name, "nil argument")
+	}
+	if err := objOK(&w.obj, name, "w"); err != nil {
+		return err
+	}
+	if err := objOK(&a.obj, name, "A"); err != nil {
+		return err
+	}
+	if err := objOK(&u.obj, name, "u"); err != nil {
+		return err
+	}
+	if mask != nil {
+		if err := objOK(&mask.obj, name, "mask"); err != nil {
+			return err
+		}
+	}
+	if !op.Defined() {
+		return errf(UninitializedObject, name, "semiring not initialized")
+	}
+	am, an := a.nr, a.nc
+	if desc.tran0() {
+		am, an = an, am
+	}
+	if an != u.n {
+		return errf(DimensionMismatch, name, "matrix has %d columns, vector has size %d", an, u.n)
+	}
+	if w.n != am {
+		return errf(DimensionMismatch, name, "output has size %d, result has size %d", w.n, am)
+	}
+	if mask != nil && mask.n != w.n {
+		return errf(DimensionMismatch, name, "mask has size %d, output has size %d", mask.n, w.n)
+	}
+	reads := maskReadsV([]*obj{&a.obj, &u.obj}, mask)
+	overwrites := !accum.Defined() && (mask == nil || desc.replace())
+	tran0, scmp, replace := desc.tran0(), desc.scmp(), desc.replace()
+	return enqueue(name, &w.obj, reads, overwrites, func() error {
+		vm := resolveVecMask(mask, scmp)
+		var t *sparse.Vec[DC]
+		if tran0 {
+			t = sparse.PushMxV(a.mdat(), u.vdat(), op.Mul.F, op.Add.Op.F, vm)
+		} else {
+			t = sparse.DotMxV(a.mdat(), u.vdat(), op.Mul.F, op.Add.Op.F, vm)
+		}
+		var accumF func(DC, DC) DC
+		if accum.Defined() {
+			accumF = accum.F
+		}
+		w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+		return nil
+	})
+}
+
+// VxM computes wᵀ ⊙= uᵀ ⊕.⊗ A (GrB_vxm). The descriptor's INP1 field
+// selects transposition of A. Without it, a push-style kernel walks u's
+// stored entries through the rows of A (the natural sparse-frontier
+// expansion); with it, a pull-style dot kernel runs over the rows of A.
+func VxM[DC, DU, DA, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], op Semiring[DU, DA, DC], u *Vector[DU], a *Matrix[DA], desc *Descriptor) error {
+	const name = "VxM"
+	if err := checkActive(name); err != nil {
+		return err
+	}
+	if w == nil || a == nil || u == nil {
+		return errf(UninitializedObject, name, "nil argument")
+	}
+	if err := objOK(&w.obj, name, "w"); err != nil {
+		return err
+	}
+	if err := objOK(&u.obj, name, "u"); err != nil {
+		return err
+	}
+	if err := objOK(&a.obj, name, "A"); err != nil {
+		return err
+	}
+	if mask != nil {
+		if err := objOK(&mask.obj, name, "mask"); err != nil {
+			return err
+		}
+	}
+	if !op.Defined() {
+		return errf(UninitializedObject, name, "semiring not initialized")
+	}
+	am, an := a.nr, a.nc
+	if desc.tran1() {
+		am, an = an, am
+	}
+	if u.n != am {
+		return errf(DimensionMismatch, name, "vector has size %d, matrix has %d rows", u.n, am)
+	}
+	if w.n != an {
+		return errf(DimensionMismatch, name, "output has size %d, result has size %d", w.n, an)
+	}
+	if mask != nil && mask.n != w.n {
+		return errf(DimensionMismatch, name, "mask has size %d, output has size %d", mask.n, w.n)
+	}
+	reads := maskReadsV([]*obj{&u.obj, &a.obj}, mask)
+	overwrites := !accum.Defined() && (mask == nil || desc.replace())
+	tran1, scmp, replace := desc.tran1(), desc.scmp(), desc.replace()
+	flip := func(av DA, uv DU) DC { return op.Mul.F(uv, av) }
+	return enqueue(name, &w.obj, reads, overwrites, func() error {
+		vm := resolveVecMask(mask, scmp)
+		var t *sparse.Vec[DC]
+		if tran1 {
+			t = sparse.DotMxV(a.mdat(), u.vdat(), flip, op.Add.Op.F, vm)
+		} else {
+			t = sparse.PushMxV(a.mdat(), u.vdat(), flip, op.Add.Op.F, vm)
+		}
+		var accumF func(DC, DC) DC
+		if accum.Defined() {
+			accumF = accum.F
+		}
+		w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+		return nil
+	})
+}

@@ -1,0 +1,126 @@
+package core
+
+import "graphblas/internal/sparse"
+
+// reduce (Table II): w ⊙= ⊕_j A(:,j) — fold each matrix row into a vector
+// element with a monoid — plus the scalar reductions over a whole matrix or
+// vector. Scalar outputs are non-opaque, so the scalar forms force
+// completion per the execution model; the vector form may defer.
+
+// ReduceMatrixToVector computes w ⊙= ⊕_j A(i,j) (GrB_reduce, the Figure 3
+// line 78 form). Rows with no stored elements produce no output entry. Use
+// the descriptor's INP0 transpose to reduce columns instead.
+func ReduceMatrixToVector[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], m Monoid[DC], a *Matrix[DC], desc *Descriptor) error {
+	const name = "ReduceMatrixToVector"
+	if err := checkActive(name); err != nil {
+		return err
+	}
+	if w == nil || a == nil {
+		return errf(UninitializedObject, name, "nil argument")
+	}
+	if err := objOK(&w.obj, name, "w"); err != nil {
+		return err
+	}
+	if err := objOK(&a.obj, name, "A"); err != nil {
+		return err
+	}
+	if mask != nil {
+		if err := objOK(&mask.obj, name, "mask"); err != nil {
+			return err
+		}
+	}
+	if !m.Defined() {
+		return errf(UninitializedObject, name, "monoid not initialized")
+	}
+	rows := a.nr
+	if desc.tran0() {
+		rows = a.nc
+	}
+	if w.n != rows {
+		return errf(DimensionMismatch, name, "output has size %d, matrix has %d rows (after descriptor)", w.n, rows)
+	}
+	if mask != nil && mask.n != w.n {
+		return errf(DimensionMismatch, name, "mask has size %d, output has size %d", mask.n, w.n)
+	}
+	reads := maskReadsV([]*obj{&a.obj}, mask)
+	overwrites := !accum.Defined() && (mask == nil || desc.replace())
+	tran0, scmp, replace := desc.tran0(), desc.scmp(), desc.replace()
+	return enqueue(name, &w.obj, reads, overwrites, func() error {
+		ad := a.mdat()
+		if tran0 {
+			ad = a.transposed()
+		}
+		t := sparse.ReduceRowsCSR(ad, m.Op.F, m.Terminal)
+		vm := resolveVecMask(mask, scmp)
+		var accumF func(DC, DC) DC
+		if accum.Defined() {
+			accumF = accum.F
+		}
+		w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+		return nil
+	})
+}
+
+// ReduceMatrixToScalar folds every stored element of A with the monoid,
+// returning the monoid identity for an empty matrix. The scalar result is
+// non-opaque, so this forces completion of the pending sequence. accum, when
+// defined, combines the fold with the val argument (the C API's
+// GrB_Matrix_reduce with a scalar accumulator); val also seeds the result
+// for an empty matrix.
+func ReduceMatrixToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], a *Matrix[D]) (D, error) {
+	const name = "ReduceMatrixToScalar"
+	var zero D
+	if err := checkActive(name); err != nil {
+		return zero, err
+	}
+	if a == nil {
+		return zero, errf(UninitializedObject, name, "nil matrix")
+	}
+	if err := objOK(&a.obj, name, "A"); err != nil {
+		return zero, err
+	}
+	if !m.Defined() {
+		return zero, errf(UninitializedObject, name, "monoid not initialized")
+	}
+	if err := force(name); err != nil {
+		return zero, err
+	}
+	if a.err != nil {
+		return zero, errf(InvalidObject, name, "%v", a.err)
+	}
+	acc, _ := sparse.ReduceAllCSR(a.mdat(), m.Op.F, m.Identity, m.Terminal)
+	if accum.Defined() {
+		return accum.F(val, acc), nil
+	}
+	return acc, nil
+}
+
+// ReduceVectorToScalar folds every stored element of u with the monoid;
+// semantics mirror ReduceMatrixToScalar.
+func ReduceVectorToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], u *Vector[D]) (D, error) {
+	const name = "ReduceVectorToScalar"
+	var zero D
+	if err := checkActive(name); err != nil {
+		return zero, err
+	}
+	if u == nil {
+		return zero, errf(UninitializedObject, name, "nil vector")
+	}
+	if err := objOK(&u.obj, name, "u"); err != nil {
+		return zero, err
+	}
+	if !m.Defined() {
+		return zero, errf(UninitializedObject, name, "monoid not initialized")
+	}
+	if err := force(name); err != nil {
+		return zero, err
+	}
+	if u.err != nil {
+		return zero, errf(InvalidObject, name, "%v", u.err)
+	}
+	acc, _ := sparse.VecReduce(u.vdat(), m.Op.F, m.Identity, m.Terminal)
+	if accum.Defined() {
+		return accum.F(val, acc), nil
+	}
+	return acc, nil
+}

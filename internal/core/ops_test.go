@@ -1,0 +1,509 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// vecOf builds a float64 vector from a map model.
+func vecOf(t *testing.T, n int, entries map[int]float64) *Vector[float64] {
+	t.Helper()
+	v, err := NewVector[float64](n)
+	if err != nil {
+		t.Fatalf("NewVector: %v", err)
+	}
+	var idx []int
+	var val []float64
+	for i, x := range entries {
+		idx = append(idx, i)
+		val = append(val, x)
+	}
+	if err := v.Build(idx, val, NoAccum[float64]()); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return v
+}
+
+// vecModel extracts a map model from a vector.
+func vecModel(t *testing.T, v *Vector[float64]) map[int]float64 {
+	t.Helper()
+	idx, val, err := v.ExtractTuples()
+	if err != nil {
+		t.Fatalf("ExtractTuples: %v", err)
+	}
+	m := map[int]float64{}
+	for k := range idx {
+		m[idx[k]] = val[k]
+	}
+	return m
+}
+
+func wantVec(t *testing.T, v *Vector[float64], want map[int]float64, label string) {
+	t.Helper()
+	got := vecModel(t, v)
+	if len(got) != len(want) {
+		t.Errorf("%s: got %v want %v", label, got, want)
+		return
+	}
+	for i, x := range want {
+		if got[i] != x {
+			t.Errorf("%s: [%d] got %v want %v", label, i, got[i], x)
+		}
+	}
+}
+
+func TestTableII_EWiseAddVector(t *testing.T) {
+	u := vecOf(t, 6, map[int]float64{0: 1, 2: 3, 4: 5})
+	v := vecOf(t, 6, map[int]float64{2: 10, 3: 7, 4: 20})
+	w, _ := NewVector[float64](6)
+	if err := EWiseAddV(w, NoMaskV, NoAccum[float64](), plusF64(), u, v, nil); err != nil {
+		t.Fatalf("EWiseAddV: %v", err)
+	}
+	// Union semantics: single-present entries copied, both-present added.
+	wantVec(t, w, map[int]float64{0: 1, 2: 13, 3: 7, 4: 25}, "eWiseAdd union")
+}
+
+func TestTableII_EWiseMultVector(t *testing.T) {
+	u := vecOf(t, 6, map[int]float64{0: 1, 2: 3, 4: 5})
+	v := vecOf(t, 6, map[int]float64{2: 10, 3: 7, 4: 20})
+	w, _ := NewVector[float64](6)
+	mul := BinaryOp[float64, float64, float64]{Name: "times", F: func(x, y float64) float64 { return x * y }}
+	if err := EWiseMultV(w, NoMaskV, NoAccum[float64](), mul, u, v, nil); err != nil {
+		t.Fatalf("EWiseMultV: %v", err)
+	}
+	// Intersection semantics: only both-present entries.
+	wantVec(t, w, map[int]float64{2: 30, 4: 100}, "eWiseMult intersection")
+}
+
+func TestTableII_EWiseMultMixedDomains(t *testing.T) {
+	// The paper's three-domain binary operator: float × bool → float.
+	u := vecOf(t, 4, map[int]float64{0: 2, 1: 3, 3: 4})
+	flags, _ := NewVector[bool](4)
+	_ = flags.SetElement(true, 1)
+	_ = flags.SetElement(false, 3)
+	w, _ := NewVector[float64](4)
+	gate := BinaryOp[float64, bool, float64]{Name: "gate", F: func(x float64, b bool) float64 {
+		if b {
+			return x
+		}
+		return -x
+	}}
+	if err := EWiseMultV(w, NoMaskV, NoAccum[float64](), gate, u, flags, nil); err != nil {
+		t.Fatalf("EWiseMultV: %v", err)
+	}
+	wantVec(t, w, map[int]float64{1: 3, 3: -4}, "three-domain eWiseMult")
+}
+
+func TestTableII_EWiseAddMatrixWithTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, ad := newTestMatrix(t, rng, 5, 4, 0.4)
+	b, bd := newTestMatrix(t, rng, 4, 5, 0.4)
+	c, _ := NewMatrix[float64](5, 4)
+	if err := EWiseAddM(c, NoMask, NoAccum[float64](), plusF64(), a, b, Desc().Transpose1()); err != nil {
+		t.Fatalf("EWiseAddM: %v", err)
+	}
+	want := dmat{}
+	for k, v := range ad {
+		want[k] = v
+	}
+	for k, v := range bd {
+		kk := key{k.j, k.i}
+		if cv, ok := want[kk]; ok {
+			want[kk] = cv + v
+		} else {
+			want[kk] = v
+		}
+	}
+	equalDense(t, denseOf(t, c), want, "eWiseAdd tran1")
+}
+
+func TestTableII_ApplyCastAndAccum(t *testing.T) {
+	// apply used as a cast (Figure 3 line 41) and with an accumulator.
+	u := vecOf(t, 5, map[int]float64{1: 2, 3: 0, 4: 9})
+	w, _ := NewVector[float64](5)
+	_ = w.SetElement(100, 1)
+	neg := UnaryOp[float64, float64]{Name: "neg", F: func(x float64) float64 { return -x }}
+	if err := ApplyV(w, NoMaskV, plusF64(), neg, u, nil); err != nil {
+		t.Fatalf("ApplyV: %v", err)
+	}
+	wantVec(t, w, map[int]float64{1: 98, 3: 0, 4: -9}, "apply accum")
+
+	// Cross-domain cast: float64 -> bool via explicit unary operator.
+	wb, _ := NewVector[bool](5)
+	toBool := UnaryOp[float64, bool]{Name: "nz", F: func(x float64) bool { return x != 0 }}
+	if err := ApplyV(wb, NoMaskV, NoAccum[bool](), toBool, u, nil); err != nil {
+		t.Fatalf("ApplyV cast: %v", err)
+	}
+	idx, val, _ := wb.ExtractTuples()
+	if len(idx) != 3 {
+		t.Fatalf("cast kept %d entries, want 3 (structure preserved)", len(idx))
+	}
+	wantBool := map[int]bool{1: true, 3: false, 4: true}
+	for k := range idx {
+		if val[k] != wantBool[idx[k]] {
+			t.Errorf("cast [%d] got %v want %v", idx[k], val[k], wantBool[idx[k]])
+		}
+	}
+}
+
+func TestTableII_ReduceRows(t *testing.T) {
+	a, _ := NewMatrix[float64](4, 3)
+	// Row 0: 1+2; row 2: 5; rows 1 and 3 empty.
+	if err := a.Build([]int{0, 0, 2}, []int{0, 2, 1}, []float64{1, 2, 5}, NoAccum[float64]()); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	add, _ := NewMonoid(plusF64(), 0)
+	w, _ := NewVector[float64](4)
+	if err := ReduceMatrixToVector(w, NoMaskV, NoAccum[float64](), add, a, nil); err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	wantVec(t, w, map[int]float64{0: 3, 2: 5}, "row reduce skips empty rows")
+
+	// Column reduce via the INP0 transpose.
+	wc, _ := NewVector[float64](3)
+	if err := ReduceMatrixToVector(wc, NoMaskV, NoAccum[float64](), add, a, Desc().Transpose0()); err != nil {
+		t.Fatalf("Reduce tran: %v", err)
+	}
+	wantVec(t, wc, map[int]float64{0: 1, 1: 5, 2: 2}, "column reduce")
+
+	// Scalar reductions.
+	total, err := ReduceMatrixToScalar(0, NoAccum[float64](), add, a)
+	if err != nil || total != 8 {
+		t.Fatalf("matrix scalar reduce: %v %v", total, err)
+	}
+	vt, err := ReduceVectorToScalar(0, NoAccum[float64](), add, w)
+	if err != nil || vt != 8 {
+		t.Fatalf("vector scalar reduce: %v %v", vt, err)
+	}
+	// Scalar accumulate form.
+	acc, err := ReduceMatrixToScalar(10, plusF64(), add, a)
+	if err != nil || acc != 18 {
+		t.Fatalf("accumulated scalar reduce: %v %v", acc, err)
+	}
+}
+
+func TestTableII_Transpose(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, ad := newTestMatrix(t, rng, 6, 4, 0.4)
+	c, _ := NewMatrix[float64](4, 6)
+	if err := Transpose(c, NoMask, NoAccum[float64](), a, nil); err != nil {
+		t.Fatalf("Transpose: %v", err)
+	}
+	want := dmat{}
+	for k, v := range ad {
+		want[key{k.j, k.i}] = v
+	}
+	equalDense(t, denseOf(t, c), want, "transpose")
+
+	// Transpose + INP0 transpose = masked copy of A.
+	c2, _ := NewMatrix[float64](6, 4)
+	if err := Transpose(c2, NoMask, NoAccum[float64](), a, Desc().Transpose0()); err != nil {
+		t.Fatalf("Transpose tran0: %v", err)
+	}
+	equalDense(t, denseOf(t, c2), ad, "double transpose is copy")
+}
+
+func TestTableII_ExtractSubmatrix(t *testing.T) {
+	a, _ := NewMatrix[float64](4, 4)
+	var is, js []int
+	var vs []float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			is = append(is, i)
+			js = append(js, j)
+			vs = append(vs, float64(10*i+j))
+		}
+	}
+	if err := a.Build(is, js, vs, NoAccum[float64]()); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Duplicate row index replicates a row; out-of-order columns permute.
+	c, _ := NewMatrix[float64](3, 2)
+	if err := ExtractSubmatrix(c, NoMask, NoAccum[float64](), a, []int{2, 2, 0}, []int{3, 1}, nil); err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	want := dmat{
+		{0, 0}: 23, {0, 1}: 21,
+		{1, 0}: 23, {1, 1}: 21,
+		{2, 0}: 3, {2, 1}: 1,
+	}
+	equalDense(t, denseOf(t, c), want, "extract with duplicates")
+
+	// GrB_ALL rows.
+	call, _ := NewMatrix[float64](4, 1)
+	if err := ExtractSubmatrix(call, NoMask, NoAccum[float64](), a, All, []int{2}, nil); err != nil {
+		t.Fatalf("Extract all: %v", err)
+	}
+	want = dmat{{0, 0}: 2, {1, 0}: 12, {2, 0}: 22, {3, 0}: 32}
+	equalDense(t, denseOf(t, call), want, "extract GrB_ALL")
+
+	// Column extract into a vector (Figure 3 line 33 shape).
+	w, _ := NewVector[float64](4)
+	if err := ExtractColVector(w, NoMaskV, NoAccum[float64](), a, All, 1, nil); err != nil {
+		t.Fatalf("ExtractColVector: %v", err)
+	}
+	wantVec(t, w, map[int]float64{0: 1, 1: 11, 2: 21, 3: 31}, "col extract")
+
+	// Row extract via transpose descriptor.
+	wr, _ := NewVector[float64](4)
+	if err := ExtractColVector(wr, NoMaskV, NoAccum[float64](), a, All, 2, Desc().Transpose0()); err != nil {
+		t.Fatalf("ExtractColVector tran: %v", err)
+	}
+	wantVec(t, wr, map[int]float64{0: 20, 1: 21, 2: 22, 3: 23}, "row extract")
+
+	// Subvector extract with duplicates.
+	u := vecOf(t, 5, map[int]float64{0: 5, 2: 7})
+	ws, _ := NewVector[float64](4)
+	if err := ExtractSubvector(ws, NoMaskV, NoAccum[float64](), u, []int{2, 2, 1, 0}, nil); err != nil {
+		t.Fatalf("ExtractSubvector: %v", err)
+	}
+	wantVec(t, ws, map[int]float64{0: 7, 1: 7, 3: 5}, "subvector extract")
+}
+
+func TestTableII_AssignVariants(t *testing.T) {
+	t.Run("vector assign replaces subregion", func(t *testing.T) {
+		w := vecOf(t, 6, map[int]float64{0: 1, 1: 2, 2: 3, 5: 9})
+		u := vecOf(t, 3, map[int]float64{0: 10, 2: 30}) // position 1 empty
+		if err := AssignVector(w, NoMaskV, NoAccum[float64](), u, []int{1, 2, 3}, nil); err != nil {
+			t.Fatalf("AssignVector: %v", err)
+		}
+		// w(1)=u(0)=10, w(2)=deleted (u(1) empty), w(3)=u(2)=30; outside kept.
+		wantVec(t, w, map[int]float64{0: 1, 1: 10, 3: 30, 5: 9}, "assign subregion")
+	})
+	t.Run("vector assign with accum keeps unmatched", func(t *testing.T) {
+		w := vecOf(t, 6, map[int]float64{1: 2, 2: 3})
+		u := vecOf(t, 3, map[int]float64{0: 10}) // only maps to w(1)
+		if err := AssignVector(w, NoMaskV, plusF64(), u, []int{1, 2, 3}, nil); err != nil {
+			t.Fatalf("AssignVector: %v", err)
+		}
+		wantVec(t, w, map[int]float64{1: 12, 2: 3}, "assign accum")
+	})
+	t.Run("duplicate assign indices rejected", func(t *testing.T) {
+		w := vecOf(t, 6, map[int]float64{})
+		u := vecOf(t, 2, map[int]float64{0: 1})
+		err := AssignVector(w, NoMaskV, NoAccum[float64](), u, []int{3, 3}, nil)
+		if InfoOf(err) != InvalidValue {
+			t.Fatalf("got %v want InvalidValue", err)
+		}
+	})
+	t.Run("scalar fill GrB_ALL", func(t *testing.T) {
+		w := vecOf(t, 4, map[int]float64{2: 7})
+		if err := AssignVectorScalar(w, NoMaskV, NoAccum[float64](), -3, All, nil); err != nil {
+			t.Fatalf("AssignVectorScalar: %v", err)
+		}
+		wantVec(t, w, map[int]float64{0: -3, 1: -3, 2: -3, 3: -3}, "fill")
+	})
+	t.Run("matrix scalar fill then accum reduce matches Figure 3 tail", func(t *testing.T) {
+		// delta = -nsver fill, then reduce accumulates row sums (lines 77-78).
+		bcu, _ := NewMatrix[float64](3, 2)
+		if err := AssignMatrixScalar(bcu, NoMask, NoAccum[float64](), 1, All, All, nil); err != nil {
+			t.Fatalf("fill: %v", err)
+		}
+		nv, _ := bcu.NVals()
+		if nv != 6 {
+			t.Fatalf("fill nvals %d want 6", nv)
+		}
+		delta, _ := NewVector[float64](3)
+		if err := AssignVectorScalar(delta, NoMaskV, NoAccum[float64](), -2, All, nil); err != nil {
+			t.Fatalf("fill delta: %v", err)
+		}
+		add, _ := NewMonoid(plusF64(), 0)
+		if err := ReduceMatrixToVector(delta, NoMaskV, plusF64(), add, bcu, nil); err != nil {
+			t.Fatalf("reduce: %v", err)
+		}
+		wantVec(t, delta, map[int]float64{0: 0, 1: 0, 2: 0}, "bias cancels")
+	})
+	t.Run("matrix assign", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(5))
+		c, cd := newTestMatrix(t, rng, 5, 5, 0.3)
+		a, _ := NewMatrix[float64](2, 2)
+		if err := a.Build([]int{0, 1}, []int{1, 0}, []float64{42, 17}, NoAccum[float64]()); err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		rows, cols := []int{1, 3}, []int{0, 4}
+		if err := AssignMatrix(c, NoMask, NoAccum[float64](), a, rows, cols, nil); err != nil {
+			t.Fatalf("AssignMatrix: %v", err)
+		}
+		want := dmat{}
+		for k, v := range cd {
+			want[k] = v
+		}
+		// Region (rows × cols) replaced by a's content.
+		for _, ri := range []int{0, 1} {
+			for _, ci := range []int{0, 1} {
+				delete(want, key{rows[ri], cols[ci]})
+			}
+		}
+		want[key{1, 4}] = 42
+		want[key{3, 0}] = 17
+		equalDense(t, denseOf(t, c), want, "matrix assign")
+	})
+	t.Run("row and column assign", func(t *testing.T) {
+		c, _ := NewMatrix[float64](3, 3)
+		if err := c.Build([]int{0, 1, 2}, []int{0, 1, 2}, []float64{1, 2, 3}, NoAccum[float64]()); err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		u := vecOf(t, 3, map[int]float64{0: 7, 2: 8})
+		if err := AssignRow(c, NoMaskV, NoAccum[float64](), u, 1, All, nil); err != nil {
+			t.Fatalf("AssignRow: %v", err)
+		}
+		// Row 1 becomes {0:7, 2:8} (the old (1,1)=2 deleted).
+		want := dmat{{0, 0}: 1, {1, 0}: 7, {1, 2}: 8, {2, 2}: 3}
+		equalDense(t, denseOf(t, c), want, "row assign")
+
+		v := vecOf(t, 3, map[int]float64{1: 9})
+		if err := AssignCol(c, NoMaskV, NoAccum[float64](), v, All, 0, nil); err != nil {
+			t.Fatalf("AssignCol: %v", err)
+		}
+		// Column 0 becomes {1:9}: (0,0) and (1,0) replaced/deleted.
+		want = dmat{{1, 0}: 9, {1, 2}: 8, {2, 2}: 3}
+		equalDense(t, denseOf(t, c), want, "col assign")
+	})
+}
+
+func TestExtensions_SelectKronDiag(t *testing.T) {
+	t.Run("select lower triangle", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(13))
+		a, ad := newTestMatrix(t, rng, 5, 5, 0.5)
+		c, _ := NewMatrix[float64](5, 5)
+		tril := IndexUnaryOp[float64, bool]{Name: "tril", F: func(_ float64, i, j int) bool { return j < i }}
+		if err := SelectM(c, NoMask, NoAccum[float64](), tril, a, nil); err != nil {
+			t.Fatalf("SelectM: %v", err)
+		}
+		want := dmat{}
+		for k, v := range ad {
+			if k.j < k.i {
+				want[k] = v
+			}
+		}
+		equalDense(t, denseOf(t, c), want, "tril select")
+	})
+	t.Run("kronecker", func(t *testing.T) {
+		a, _ := NewMatrix[float64](2, 2)
+		_ = a.Build([]int{0, 1}, []int{1, 0}, []float64{2, 3}, NoAccum[float64]())
+		b, _ := NewMatrix[float64](2, 2)
+		_ = b.Build([]int{0, 1}, []int{0, 1}, []float64{5, 7}, NoAccum[float64]())
+		c, _ := NewMatrix[float64](4, 4)
+		mul := BinaryOp[float64, float64, float64]{Name: "times", F: func(x, y float64) float64 { return x * y }}
+		if err := Kronecker(c, NoMask, NoAccum[float64](), mul, a, b, nil); err != nil {
+			t.Fatalf("Kronecker: %v", err)
+		}
+		want := dmat{{0, 2}: 10, {1, 3}: 14, {2, 0}: 15, {3, 1}: 21}
+		equalDense(t, denseOf(t, c), want, "kron")
+	})
+	t.Run("diag", func(t *testing.T) {
+		v := vecOf(t, 3, map[int]float64{0: 1, 2: 3})
+		m, err := Diag(v, 1)
+		if err != nil {
+			t.Fatalf("Diag: %v", err)
+		}
+		nr, _ := m.NRows()
+		if nr != 4 {
+			t.Fatalf("diag dims %d want 4", nr)
+		}
+		want := dmat{{0, 1}: 1, {2, 3}: 3}
+		equalDense(t, denseOf(t, m), want, "diag k=1")
+	})
+}
+
+func TestVectorObjectMethods(t *testing.T) {
+	v, err := NewVector[float64](5)
+	if err != nil {
+		t.Fatalf("NewVector: %v", err)
+	}
+	if _, err := NewVector[float64](0); InfoOf(err) != InvalidValue {
+		t.Fatalf("zero size accepted: %v", err)
+	}
+	if n, _ := v.Size(); n != 5 {
+		t.Fatalf("Size %d", n)
+	}
+	_ = v.SetElement(1.5, 2)
+	_ = v.SetElement(2.5, 4)
+	if nv, _ := v.NVals(); nv != 2 {
+		t.Fatalf("NVals %d", nv)
+	}
+	if x, err := v.ExtractElement(2); err != nil || x != 1.5 {
+		t.Fatalf("ExtractElement %v %v", x, err)
+	}
+	if _, err := v.ExtractElement(3); !IsNoValue(err) {
+		t.Fatalf("want NoValue, got %v", err)
+	}
+	if _, err := v.ExtractElement(9); InfoOf(err) != InvalidIndex {
+		t.Fatalf("want InvalidIndex, got %v", err)
+	}
+	dup, err := v.Dup()
+	if err != nil {
+		t.Fatalf("Dup: %v", err)
+	}
+	_ = v.RemoveElement(2)
+	if nv, _ := v.NVals(); nv != 1 {
+		t.Fatalf("NVals after remove %d", nv)
+	}
+	if nv, _ := dup.NVals(); nv != 2 {
+		t.Fatalf("dup affected by source mutation: %d", nv)
+	}
+	_ = v.Resize(3)
+	if nv, _ := v.NVals(); nv != 0 {
+		t.Fatalf("resize kept out-of-range entry: %d", nv)
+	}
+	if err := v.Clear(); err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	if err := v.Build([]int{0, 0}, []float64{1, 2}, NoAccum[float64]()); InfoOf(err) != InvalidValue {
+		t.Fatalf("duplicate build without dup accepted: %v", err)
+	}
+	if err := v.Build([]int{0, 0}, []float64{1, 2}, plusF64()); err != nil {
+		t.Fatalf("Build with dup: %v", err)
+	}
+	if x, _ := v.ExtractElement(0); x != 3 {
+		t.Fatalf("dup combine got %v", x)
+	}
+	// Build on a nonempty object must fail.
+	if err := v.Build([]int{1}, []float64{1}, NoAccum[float64]()); InfoOf(err) != OutputNotEmpty {
+		t.Fatalf("want OutputNotEmpty, got %v", err)
+	}
+	if err := v.Free(); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if _, err := v.NVals(); InfoOf(err) != UninitializedObject {
+		t.Fatalf("use after free: %v", err)
+	}
+}
+
+func TestMatrixObjectMethods(t *testing.T) {
+	m, _ := NewMatrix[int32](3, 4)
+	if nr, _ := m.NRows(); nr != 3 {
+		t.Fatalf("NRows %d", nr)
+	}
+	if nc, _ := m.NCols(); nc != 4 {
+		t.Fatalf("NCols %d", nc)
+	}
+	_ = m.SetElement(7, 1, 2)
+	_ = m.SetElement(8, 2, 3)
+	if nv, _ := m.NVals(); nv != 2 {
+		t.Fatalf("NVals %d", nv)
+	}
+	if x, err := m.ExtractElement(1, 2); err != nil || x != 7 {
+		t.Fatalf("ExtractElement %v %v", x, err)
+	}
+	_ = m.SetElement(9, 1, 2) // overwrite
+	if x, _ := m.ExtractElement(1, 2); x != 9 {
+		t.Fatalf("overwrite got %v", x)
+	}
+	is, js, vs, _ := m.ExtractTuples()
+	if len(is) != 2 || is[0] != 1 || js[0] != 2 || vs[0] != 9 {
+		t.Fatalf("tuples %v %v %v", is, js, vs)
+	}
+	_ = m.Resize(2, 4)
+	if nv, _ := m.NVals(); nv != 1 {
+		t.Fatalf("resize kept entries: %d", nv)
+	}
+	d, _ := m.Dup()
+	_ = m.Clear()
+	if nv, _ := m.NVals(); nv != 0 {
+		t.Fatalf("clear: %d", nv)
+	}
+	if nv, _ := d.NVals(); nv != 1 {
+		t.Fatalf("dup: %d", nv)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPendingTupleSemantics: buffered point updates must be invisible as an
+// optimization — program order holds across interleaved sets, removes,
+// duplicate positions, and operations reading the object.
+func TestPendingTupleSemantics(t *testing.T) {
+	m, _ := NewMatrix[float64](5, 5)
+	// Duplicate position: last write wins.
+	_ = m.SetElement(1, 2, 2)
+	_ = m.SetElement(7, 2, 2)
+	// Set then remove: gone.
+	_ = m.SetElement(3, 0, 0)
+	_ = m.RemoveElement(0, 0)
+	// Remove then set: present.
+	_ = m.SetElement(4, 1, 1)
+	_ = m.RemoveElement(1, 1)
+	_ = m.SetElement(5, 1, 1)
+	// Remove of never-present: no-op.
+	_ = m.RemoveElement(4, 4)
+
+	if nv, _ := m.NVals(); nv != 2 {
+		t.Fatalf("nvals %d want 2", nv)
+	}
+	if x, _ := m.ExtractElement(2, 2); x != 7 {
+		t.Fatalf("(2,2) = %v", x)
+	}
+	if x, _ := m.ExtractElement(1, 1); x != 5 {
+		t.Fatalf("(1,1) = %v", x)
+	}
+	if _, err := m.ExtractElement(0, 0); !IsNoValue(err) {
+		t.Fatalf("(0,0): %v", err)
+	}
+
+	// An operation reading the matrix sees the flushed state; point updates
+	// after the operation apply on top of its result in program order.
+	s := plusTimesF64(t)
+	c, _ := NewMatrix[float64](5, 5)
+	if err := MxM(c, NoMask, NoAccum[float64](), s, m, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	// m(1,1)=5, m(2,2)=7 are diagonal: m² has 25 and 49.
+	if x, _ := c.ExtractElement(1, 1); x != 25 {
+		t.Fatalf("c(1,1) = %v", x)
+	}
+	_ = c.SetElement(-1, 0, 4)
+	if x, _ := c.ExtractElement(0, 4); x != -1 {
+		t.Fatalf("post-op set lost: %v", x)
+	}
+	if x, _ := c.ExtractElement(2, 2); x != 49 {
+		t.Fatalf("c(2,2) = %v", x)
+	}
+
+	// The transpose cache must see pending updates.
+	at, _ := NewMatrix[float64](5, 5)
+	if err := Transpose(at, NoMask, NoAccum[float64](), m, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.SetElement(9, 0, 3) // new entry after a transpose was cached
+	at2, _ := NewMatrix[float64](5, 5)
+	if err := Transpose(at2, NoMask, NoAccum[float64](), m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if x, err := at2.ExtractElement(3, 0); err != nil || x != 9 {
+		t.Fatalf("stale transpose cache: %v %v", x, err)
+	}
+
+	// Vector path.
+	v, _ := NewVector[float64](6)
+	_ = v.SetElement(1, 3)
+	_ = v.SetElement(2, 3)
+	_ = v.RemoveElement(3)
+	_ = v.SetElement(8, 5)
+	if nv, _ := v.NVals(); nv != 1 {
+		t.Fatalf("vec nvals %d", nv)
+	}
+	if x, _ := v.ExtractElement(5); x != 8 {
+		t.Fatalf("v(5) = %v", x)
+	}
+	// Build after pending removals on a now-empty vector must succeed.
+	_ = v.RemoveElement(5)
+	if err := v.Build([]int{0}, []float64{1}, NoAccum[float64]()); err != nil {
+		t.Fatalf("build after pending clear: %v", err)
+	}
+}

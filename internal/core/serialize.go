@@ -1,0 +1,383 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+
+	"io"
+
+	"graphblas/internal/sparse"
+)
+
+// Serialization of GraphBLAS collections to a stable little-endian binary
+// format (a GxB_Matrix_serialize-style extension). Per the execution model,
+// serializing copies values out of an opaque object into non-opaque form,
+// so it forces completion of the pending sequence; deserializing constructs
+// a fresh object. Supported domains are the built-in scalar types; other
+// domains return DomainMismatch.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [4]byte  "GRB1"
+//	kind    uint8    1 = matrix, 2 = vector
+//	domain  uint8    type tag (see domainTag)
+//	nrows   int64    (vectors: size; ncols omitted)
+//	ncols   int64
+//	nnz     int64
+//	matrix: rowptr [nrows+1]int64, colidx [nnz]int64, values [nnz]elem
+//	vector: idx [nnz]int64, values [nnz]elem
+
+var serializeMagic = [4]byte{'G', 'R', 'B', '1'}
+
+const (
+	kindMatrix uint8 = 1
+	kindVector uint8 = 2
+)
+
+// domainTag returns the wire tag and element width for supported domains.
+func domainTag[D any]() (tag uint8, ok bool) {
+	var z D
+	switch any(z).(type) {
+	case bool:
+		return 1, true
+	case int8:
+		return 2, true
+	case int16:
+		return 3, true
+	case int32:
+		return 4, true
+	case int64:
+		return 5, true
+	case int:
+		return 6, true
+	case uint8:
+		return 7, true
+	case uint16:
+		return 8, true
+	case uint32:
+		return 9, true
+	case uint64:
+		return 10, true
+	case uint:
+		return 11, true
+	case float32:
+		return 12, true
+	case float64:
+		return 13, true
+	}
+	return 0, false
+}
+
+// writeVals encodes a value slice for a supported domain. int and uint are
+// not fixed-size for encoding/binary and travel as 64-bit.
+func writeVals[D any](w io.Writer, vals []D) error {
+	switch vs := any(vals).(type) {
+	case []bool:
+		buf := make([]byte, len(vs))
+		for i, b := range vs {
+			if b {
+				buf[i] = 1
+			}
+		}
+		_, err := w.Write(buf)
+		return err
+	case []int:
+		buf := make([]int64, len(vs))
+		for i, x := range vs {
+			buf[i] = int64(x)
+		}
+		return binary.Write(w, binary.LittleEndian, buf)
+	case []uint:
+		buf := make([]uint64, len(vs))
+		for i, x := range vs {
+			buf[i] = uint64(x)
+		}
+		return binary.Write(w, binary.LittleEndian, buf)
+	default:
+		return binary.Write(w, binary.LittleEndian, vals)
+	}
+}
+
+// readVals decodes a value slice for a supported domain with chunked
+// allocation (see readInts).
+func readVals[D any](r io.Reader, n int) ([]D, error) {
+	vals := make([]D, 0, min(n, readChunk))
+	buf := make([]D, min(n, readChunk))
+	var byteBuf []byte
+	if _, ok := any(buf).([]bool); ok {
+		byteBuf = make([]byte, min(n, readChunk))
+	}
+	for len(vals) < n {
+		c := min(n-len(vals), readChunk)
+		switch bs := any(buf).(type) {
+		case []bool:
+			if _, err := io.ReadFull(r, byteBuf[:c]); err != nil {
+				return nil, err
+			}
+			for i := 0; i < c; i++ {
+				bs[i] = byteBuf[i] != 0
+			}
+		case []int:
+			tmp := make([]int64, c)
+			if err := binary.Read(r, binary.LittleEndian, tmp); err != nil {
+				return nil, err
+			}
+			for i, x := range tmp {
+				bs[i] = int(x)
+			}
+		case []uint:
+			tmp := make([]uint64, c)
+			if err := binary.Read(r, binary.LittleEndian, tmp); err != nil {
+				return nil, err
+			}
+			for i, x := range tmp {
+				bs[i] = uint(x)
+			}
+		default:
+			if err := binary.Read(r, binary.LittleEndian, buf[:c]); err != nil {
+				return nil, err
+			}
+		}
+		vals = append(vals, buf[:c]...)
+	}
+	return vals, nil
+}
+
+func writeInts(w io.Writer, xs []int) error {
+	buf := make([]int64, len(xs))
+	for i, x := range xs {
+		buf[i] = int64(x)
+	}
+	return binary.Write(w, binary.LittleEndian, buf)
+}
+
+// maxDeserializeDim bounds the dimensions and entry counts a stream may
+// declare, so hostile headers cannot trigger enormous allocations before
+// the (truncated) payload is read.
+const maxDeserializeDim = 1 << 40
+
+// readChunk bounds how much is allocated ahead of the actual stream
+// content when reading declared-length arrays.
+const readChunk = 1 << 16
+
+// readInts reads n little-endian int64s with chunked allocation: a stream
+// that declares a huge count but holds no data fails on the first chunk
+// instead of exhausting memory.
+func readInts(r io.Reader, n int) ([]int, error) {
+	xs := make([]int, 0, min(n, readChunk))
+	buf := make([]int64, min(n, readChunk))
+	for len(xs) < n {
+		c := min(n-len(xs), readChunk)
+		if err := binary.Read(r, binary.LittleEndian, buf[:c]); err != nil {
+			return nil, err
+		}
+		for _, x := range buf[:c] {
+			xs = append(xs, int(x))
+		}
+	}
+	return xs, nil
+}
+
+// MatrixSerialize writes m to w. Forces completion of the pending sequence
+// (non-opaque output may not defer).
+func MatrixSerialize[D any](m *Matrix[D], w io.Writer) error {
+	const op = "MatrixSerialize"
+	if err := objOK(&m.obj, op, "m"); err != nil {
+		return err
+	}
+	tag, ok := domainTag[D]()
+	if !ok {
+		return errf(DomainMismatch, op, "domain %T is not serializable", *new(D))
+	}
+	if err := force(op); err != nil {
+		return err
+	}
+	if m.err != nil {
+		return errf(InvalidObject, op, "%v", m.err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(serializeMagic[:]); err != nil {
+		return err
+	}
+	d := m.mdat()
+	hdr := []int64{int64(kindMatrix)<<8 | int64(tag), int64(d.NRows), int64(d.NCols), int64(d.NNZ())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := writeInts(bw, d.Ptr); err != nil {
+		return err
+	}
+	if err := writeInts(bw, d.ColIdx[:d.NNZ()]); err != nil {
+		return err
+	}
+	if err := writeVals(bw, d.Val[:d.NNZ()]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// MatrixDeserialize reconstructs a matrix written by MatrixSerialize. The
+// domain must match the one serialized; mismatches return DomainMismatch.
+func MatrixDeserialize[D any](r io.Reader) (*Matrix[D], error) {
+	const op = "MatrixDeserialize"
+	if err := checkActive(op); err != nil {
+		return nil, err
+	}
+	kind, tag, dims, err := readHeader(op, r)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindMatrix {
+		return nil, errf(InvalidValue, op, "stream holds a vector, not a matrix")
+	}
+	wantTag, ok := domainTag[D]()
+	if !ok {
+		return nil, errf(DomainMismatch, op, "domain %T is not serializable", *new(D))
+	}
+	if tag != wantTag {
+		return nil, errf(DomainMismatch, op, "stream domain tag %d, requested %d", tag, wantTag)
+	}
+	nr, nc, nnz := int(dims[0]), int(dims[1]), int(dims[2])
+	if nr <= 0 || nc <= 0 || nnz < 0 ||
+		nr > maxDeserializeDim || nc > maxDeserializeDim || nnz > maxDeserializeDim {
+		return nil, errf(InvalidValue, op, "implausible dimensions %dx%d nnz %d", nr, nc, nnz)
+	}
+	// Overflow-safe nnz ≤ nr·nc: when the product would exceed int64 it is
+	// certainly above the capped nnz.
+	if int64(nr) <= (1<<62)/int64(nc) && int64(nnz) > int64(nr)*int64(nc) {
+		return nil, errf(InvalidValue, op, "nnz %d exceeds %dx%d", nnz, nr, nc)
+	}
+	ptr, err := readInts(r, nr+1)
+	if err != nil {
+		return nil, errf(InvalidValue, op, "truncated row pointers: %v", err)
+	}
+	colIdx, err := readInts(r, nnz)
+	if err != nil {
+		return nil, errf(InvalidValue, op, "truncated column indices: %v", err)
+	}
+	vals, err := readVals[D](r, nnz)
+	if err != nil {
+		return nil, errf(InvalidValue, op, "truncated values: %v", err)
+	}
+	// Validate the CSR invariants before trusting the stream: first the row
+	// pointers in full (so no out-of-range pointer can index the arrays),
+	// then the column structure.
+	if ptr[0] != 0 || ptr[nr] != nnz {
+		return nil, errf(InvalidValue, op, "corrupt row pointers")
+	}
+	for i := 0; i < nr; i++ {
+		if ptr[i] > ptr[i+1] || ptr[i] < 0 || ptr[i+1] > nnz {
+			return nil, errf(InvalidValue, op, "corrupt row pointers at row %d", i)
+		}
+	}
+	for i := 0; i < nr; i++ {
+		for p := ptr[i]; p < ptr[i+1]; p++ {
+			if colIdx[p] < 0 || colIdx[p] >= nc {
+				return nil, errf(InvalidValue, op, "column index %d out of range at row %d", colIdx[p], i)
+			}
+			if p > ptr[i] && colIdx[p-1] >= colIdx[p] {
+				return nil, errf(InvalidValue, op, "unsorted columns in row %d", i)
+			}
+		}
+	}
+	m := &Matrix[D]{nr: nr, nc: nc, data: &sparse.CSR[D]{NRows: nr, NCols: nc, Ptr: ptr, ColIdx: colIdx, Val: vals}}
+	m.initObj()
+	return m, nil
+}
+
+// VectorSerialize writes v to w; forces completion.
+func VectorSerialize[D any](v *Vector[D], w io.Writer) error {
+	const op = "VectorSerialize"
+	if err := objOK(&v.obj, op, "v"); err != nil {
+		return err
+	}
+	tag, ok := domainTag[D]()
+	if !ok {
+		return errf(DomainMismatch, op, "domain %T is not serializable", *new(D))
+	}
+	if err := force(op); err != nil {
+		return err
+	}
+	if v.err != nil {
+		return errf(InvalidObject, op, "%v", v.err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(serializeMagic[:]); err != nil {
+		return err
+	}
+	hdr := []int64{int64(kindVector)<<8 | int64(tag), int64(v.vdat().N), 1, int64(v.vdat().NVals())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := writeInts(bw, v.vdat().Idx); err != nil {
+		return err
+	}
+	if err := writeVals(bw, v.vdat().Val); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// VectorDeserialize reconstructs a vector written by VectorSerialize.
+func VectorDeserialize[D any](r io.Reader) (*Vector[D], error) {
+	const op = "VectorDeserialize"
+	if err := checkActive(op); err != nil {
+		return nil, err
+	}
+	kind, tag, dims, err := readHeader(op, r)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindVector {
+		return nil, errf(InvalidValue, op, "stream holds a matrix, not a vector")
+	}
+	wantTag, ok := domainTag[D]()
+	if !ok {
+		return nil, errf(DomainMismatch, op, "domain %T is not serializable", *new(D))
+	}
+	if tag != wantTag {
+		return nil, errf(DomainMismatch, op, "stream domain tag %d, requested %d", tag, wantTag)
+	}
+	n, nnz := int(dims[0]), int(dims[2])
+	if n <= 0 || nnz < 0 || n > maxDeserializeDim || nnz > n {
+		return nil, errf(InvalidValue, op, "implausible size %d nnz %d", n, nnz)
+	}
+	idx, err := readInts(r, nnz)
+	if err != nil {
+		return nil, errf(InvalidValue, op, "truncated indices: %v", err)
+	}
+	vals, err := readVals[D](r, nnz)
+	if err != nil {
+		return nil, errf(InvalidValue, op, "truncated values: %v", err)
+	}
+	for k := range idx {
+		if idx[k] < 0 || idx[k] >= n {
+			return nil, errf(InvalidValue, op, "index %d out of range", idx[k])
+		}
+		if k > 0 && idx[k-1] >= idx[k] {
+			return nil, errf(InvalidValue, op, "unsorted indices")
+		}
+	}
+	v := &Vector[D]{n: n, data: &sparse.Vec[D]{N: n, Idx: idx, Val: vals}}
+	v.initObj()
+	return v, nil
+}
+
+// readHeader parses the common stream prefix.
+func readHeader(op string, r io.Reader) (kind, tag uint8, dims [3]int64, err error) {
+	var magic [4]byte
+	if _, err = io.ReadFull(r, magic[:]); err != nil {
+		return 0, 0, dims, errf(InvalidValue, op, "truncated header: %v", err)
+	}
+	if magic != serializeMagic {
+		return 0, 0, dims, errf(InvalidValue, op, "bad magic %q", string(magic[:]))
+	}
+	var hdr [4]int64
+	if err = binary.Read(r, binary.LittleEndian, hdr[:]); err != nil {
+		return 0, 0, dims, errf(InvalidValue, op, "truncated header: %v", err)
+	}
+	kind = uint8(hdr[0] >> 8)
+	tag = uint8(hdr[0] & 0xff)
+	copy(dims[:], hdr[1:])
+	return kind, tag, dims, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerializeMatrixRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nr, nc := 1+rng.Intn(20), 1+rng.Intn(20)
+		m, md := newTestMatrix(t, rng, nr, nc, 0.4)
+		var buf bytes.Buffer
+		if err := MatrixSerialize(m, &buf); err != nil {
+			t.Logf("serialize: %v", err)
+			return false
+		}
+		back, err := MatrixDeserialize[float64](&buf)
+		if err != nil {
+			t.Logf("deserialize: %v", err)
+			return false
+		}
+		got := denseOf(t, back)
+		if len(got) != len(md) {
+			return false
+		}
+		for k, v := range md {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeVectorRoundTrip(t *testing.T) {
+	v, _ := NewVector[int32](50)
+	_ = v.SetElement(7, 3)
+	_ = v.SetElement(-2, 20)
+	_ = v.SetElement(9, 49)
+	var buf bytes.Buffer
+	if err := VectorSerialize(v, &buf); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	back, err := VectorDeserialize[int32](&buf)
+	if err != nil {
+		t.Fatalf("deserialize: %v", err)
+	}
+	idx, val, _ := back.ExtractTuples()
+	if len(idx) != 3 || idx[0] != 3 || val[0] != 7 || idx[1] != 20 || val[1] != -2 || idx[2] != 49 || val[2] != 9 {
+		t.Fatalf("roundtrip %v %v", idx, val)
+	}
+	if n, _ := back.Size(); n != 50 {
+		t.Fatalf("size %d", n)
+	}
+}
+
+func TestSerializeBoolAndDomains(t *testing.T) {
+	m, _ := NewMatrix[bool](4, 4)
+	_ = m.SetElement(true, 0, 1)
+	_ = m.SetElement(false, 2, 3) // stored false must survive
+	var buf bytes.Buffer
+	if err := MatrixSerialize(m, &buf); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	back, err := MatrixDeserialize[bool](&buf)
+	if err != nil {
+		t.Fatalf("deserialize: %v", err)
+	}
+	if v, err := back.ExtractElement(2, 3); err != nil || v != false {
+		t.Fatalf("stored false lost: %v %v", v, err)
+	}
+	if v, _ := back.ExtractElement(0, 1); v != true {
+		t.Fatalf("true lost: %v", v)
+	}
+}
+
+func TestSerializeErrors(t *testing.T) {
+	t.Run("domain mismatch", func(t *testing.T) {
+		m, _ := NewMatrix[float64](2, 2)
+		_ = m.SetElement(1.5, 0, 0)
+		var buf bytes.Buffer
+		if err := MatrixSerialize(m, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MatrixDeserialize[int32](&buf); InfoOf(err) != DomainMismatch {
+			t.Fatalf("want DomainMismatch, got %v", err)
+		}
+	})
+	t.Run("kind mismatch", func(t *testing.T) {
+		v, _ := NewVector[float64](3)
+		_ = v.SetElement(1, 1)
+		var buf bytes.Buffer
+		if err := VectorSerialize(v, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MatrixDeserialize[float64](&buf); InfoOf(err) != InvalidValue {
+			t.Fatalf("want InvalidValue, got %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		if _, err := MatrixDeserialize[float64](bytes.NewReader([]byte("NOPE1234567890"))); InfoOf(err) != InvalidValue {
+			t.Fatalf("want InvalidValue, got %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		m, _ := NewMatrix[float64](5, 5)
+		_ = m.SetElement(1, 2, 2)
+		var buf bytes.Buffer
+		if err := MatrixSerialize(m, &buf); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		for _, cut := range []int{3, 10, len(data) - 4} {
+			if _, err := MatrixDeserialize[float64](bytes.NewReader(data[:cut])); InfoOf(err) != InvalidValue {
+				t.Fatalf("cut %d: want InvalidValue, got %v", cut, err)
+			}
+		}
+	})
+	t.Run("corrupt column index", func(t *testing.T) {
+		m, _ := NewMatrix[float64](2, 2)
+		_ = m.SetElement(1, 1, 1)
+		var buf bytes.Buffer
+		if err := MatrixSerialize(m, &buf); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		// The single column index is the int64 right before the final
+		// float64 value; overwrite it with 99.
+		data[len(data)-16] = 99
+		if _, err := MatrixDeserialize[float64](bytes.NewReader(data)); InfoOf(err) != InvalidValue {
+			t.Fatalf("want InvalidValue, got %v", err)
+		}
+	})
+	t.Run("unserializable domain", func(t *testing.T) {
+		type custom struct{ X int }
+		m, _ := NewMatrix[custom](2, 2)
+		var buf bytes.Buffer
+		if err := MatrixSerialize(m, &buf); InfoOf(err) != DomainMismatch {
+			t.Fatalf("want DomainMismatch, got %v", err)
+		}
+	})
+}
+
+// TestSerializeForcesCompletion: serialization outputs non-opaque data, so
+// it must flush the pending sequence in nonblocking mode (Section IV).
+func TestSerializeForcesCompletion(t *testing.T) {
+	withMode(t, NonBlocking, func() {
+		s := plusTimesF64(t)
+		a, _ := NewMatrix[float64](3, 3)
+		_ = a.Build([]int{0, 1, 2}, []int{1, 2, 0}, []float64{1, 2, 3}, NoAccum[float64]())
+		c, _ := NewMatrix[float64](3, 3)
+		if err := MxM(c, NoMask, NoAccum[float64](), s, a, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		if st := GetStats(); st.OpsExecuted != 0 {
+			t.Fatalf("op ran before serialize: %+v", st)
+		}
+		var buf bytes.Buffer
+		if err := MatrixSerialize(c, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if st := GetStats(); st.OpsExecuted == 0 {
+			t.Fatalf("serialize did not force: %+v", st)
+		}
+		back, err := MatrixDeserialize[float64](&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nv, _ := back.NVals(); nv != 3 {
+			t.Fatalf("deserialized nvals %d", nv)
+		}
+	})
+}

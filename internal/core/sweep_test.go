@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// oracleWrite applies the accumulate-then-mask pipeline to dense models —
+// the shared final stage of every Table II operation.
+func oracleWrite(c, t dmat, nr, nc int, stored, eff map[key]bool, useMask, scmp, accum, replace bool) dmat {
+	z := dmat{}
+	if accum {
+		for k, v := range c {
+			z[k] = v
+		}
+		for k, v := range t {
+			if cv, ok := z[k]; ok {
+				z[k] = cv + v
+			} else {
+				z[k] = v
+			}
+		}
+	} else {
+		z = t
+	}
+	out := dmat{}
+	allow := func(k key) bool {
+		if !useMask {
+			return true
+		}
+		if scmp {
+			return !stored[k]
+		}
+		return eff[k]
+	}
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			k := key{i, j}
+			if allow(k) {
+				if v, ok := z[k]; ok {
+					out[k] = v
+				}
+			} else if !replace {
+				if v, ok := c[k]; ok {
+					out[k] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sweepCases enumerates the mask/accum/replace combinations shared by all
+// write-pipeline sweeps.
+func sweepCases(f func(useMask, scmp, accum, replace bool, name string)) {
+	for _, useMask := range []bool{false, true} {
+		for _, scmp := range []bool{false, true} {
+			if scmp && !useMask {
+				continue
+			}
+			for _, accum := range []bool{false, true} {
+				for _, replace := range []bool{false, true} {
+					f(useMask, scmp, accum, replace,
+						fmt.Sprintf("mask=%v/scmp=%v/acc=%v/rep=%v", useMask, scmp, accum, replace))
+				}
+			}
+		}
+	}
+}
+
+func sweepDesc(scmp, replace bool) *Descriptor {
+	d := &Descriptor{}
+	if scmp {
+		d.CompMask()
+	}
+	if replace {
+		d.ReplaceOutput()
+	}
+	return d
+}
+
+// TestSweep_EWiseAdd runs the full write-pipeline sweep for eWiseAdd.
+func TestSweep_EWiseAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	const nr, nc = 7, 6
+	a, ad := newTestMatrix(t, rng, nr, nc, 0.4)
+	bm, bd := newTestMatrix(t, rng, nr, nc, 0.4)
+	want := dmat{}
+	for k, v := range ad {
+		want[k] = v
+	}
+	for k, v := range bd {
+		if cv, ok := want[k]; ok {
+			want[k] = cv + v
+		} else {
+			want[k] = v
+		}
+	}
+	sweepCases(func(useMask, scmp, accum, replace bool, name string) {
+		t.Run(name, func(t *testing.T) {
+			c, cd := newTestMatrix(t, rng, nr, nc, 0.3)
+			mask, stored, eff := newTestMask(t, rng, nr, nc, 0.5, 0.7)
+			acc := NoAccum[float64]()
+			if accum {
+				acc = plusF64()
+			}
+			var mk *Matrix[bool]
+			if useMask {
+				mk = mask
+			}
+			if err := EWiseAddM(c, mk, acc, plusF64(), a, bm, sweepDesc(scmp, replace)); err != nil {
+				t.Fatalf("EWiseAddM: %v", err)
+			}
+			equalDense(t, denseOf(t, c),
+				oracleWrite(cd, want, nr, nc, stored, eff, useMask, scmp, accum, replace), name)
+		})
+	})
+}
+
+// TestSweep_Apply runs the write-pipeline sweep for apply.
+func TestSweep_Apply(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	const nr, nc = 6, 8
+	a, ad := newTestMatrix(t, rng, nr, nc, 0.45)
+	neg := UnaryOp[float64, float64]{Name: "neg", F: func(x float64) float64 { return -x }}
+	tmodel := dmat{}
+	for k, v := range ad {
+		tmodel[k] = -v
+	}
+	sweepCases(func(useMask, scmp, accum, replace bool, name string) {
+		t.Run(name, func(t *testing.T) {
+			c, cd := newTestMatrix(t, rng, nr, nc, 0.3)
+			mask, stored, eff := newTestMask(t, rng, nr, nc, 0.5, 0.6)
+			acc := NoAccum[float64]()
+			if accum {
+				acc = plusF64()
+			}
+			var mk *Matrix[bool]
+			if useMask {
+				mk = mask
+			}
+			if err := ApplyM(c, mk, acc, neg, a, sweepDesc(scmp, replace)); err != nil {
+				t.Fatalf("ApplyM: %v", err)
+			}
+			equalDense(t, denseOf(t, c),
+				oracleWrite(cd, tmodel, nr, nc, stored, eff, useMask, scmp, accum, replace), name)
+		})
+	})
+}
+
+// TestSweep_Transpose runs the write-pipeline sweep for transpose (whose
+// internal result can alias shared storage — the one ownership special
+// case).
+func TestSweep_Transpose(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	const n = 7
+	a, ad := newTestMatrix(t, rng, n, n, 0.4)
+	tmodel := dmat{}
+	for k, v := range ad {
+		tmodel[key{k.j, k.i}] = v
+	}
+	sweepCases(func(useMask, scmp, accum, replace bool, name string) {
+		t.Run(name, func(t *testing.T) {
+			c, cd := newTestMatrix(t, rng, n, n, 0.3)
+			mask, stored, eff := newTestMask(t, rng, n, n, 0.5, 0.7)
+			acc := NoAccum[float64]()
+			if accum {
+				acc = plusF64()
+			}
+			var mk *Matrix[bool]
+			if useMask {
+				mk = mask
+			}
+			if err := Transpose(c, mk, acc, a, sweepDesc(scmp, replace)); err != nil {
+				t.Fatalf("Transpose: %v", err)
+			}
+			equalDense(t, denseOf(t, c),
+				oracleWrite(cd, tmodel, n, n, stored, eff, useMask, scmp, accum, replace), name)
+			// The input must be untouched by the write-back (aliasing of the
+			// transpose cache or a.data would corrupt it).
+			equalDense(t, denseOf(t, a), ad, name+"/input-intact")
+		})
+	})
+}
+
+// TestSweep_ExtractSubmatrix runs the write-pipeline sweep for extract.
+func TestSweep_ExtractSubmatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	a, ad := newTestMatrix(t, rng, 8, 8, 0.45)
+	rows := []int{5, 2, 2, 7}
+	cols := []int{0, 6, 3}
+	tmodel := dmat{}
+	for r, src := range rows {
+		for q, cj := range cols {
+			if v, ok := ad[key{src, cj}]; ok {
+				tmodel[key{r, q}] = v
+			}
+		}
+	}
+	nr, nc := len(rows), len(cols)
+	sweepCases(func(useMask, scmp, accum, replace bool, name string) {
+		t.Run(name, func(t *testing.T) {
+			c, cd := newTestMatrix(t, rng, nr, nc, 0.3)
+			mask, stored, eff := newTestMask(t, rng, nr, nc, 0.5, 0.7)
+			acc := NoAccum[float64]()
+			if accum {
+				acc = plusF64()
+			}
+			var mk *Matrix[bool]
+			if useMask {
+				mk = mask
+			}
+			if err := ExtractSubmatrix(c, mk, acc, a, rows, cols, sweepDesc(scmp, replace)); err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			equalDense(t, denseOf(t, c),
+				oracleWrite(cd, tmodel, nr, nc, stored, eff, useMask, scmp, accum, replace), name)
+		})
+	})
+}
+
+// TestSweep_AssignScalar sweeps the assign pipeline, whose Z-building stage
+// differs from the other operations (region merge instead of full result).
+func TestSweep_AssignScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	const n = 7
+	rows := []int{1, 4, 6}
+	cols := []int{0, 3}
+	sweepCases(func(useMask, scmp, accum, replace bool, name string) {
+		t.Run(name, func(t *testing.T) {
+			c, cd := newTestMatrix(t, rng, n, n, 0.35)
+			mask, stored, eff := newTestMask(t, rng, n, n, 0.5, 0.7)
+			acc := NoAccum[float64]()
+			if accum {
+				acc = plusF64()
+			}
+			var mk *Matrix[bool]
+			if useMask {
+				mk = mask
+			}
+			if err := AssignMatrixScalar(c, mk, acc, 9, rows, cols, sweepDesc(scmp, replace)); err != nil {
+				t.Fatalf("AssignScalar: %v", err)
+			}
+			// Z model: c everywhere; assigned positions get 9 (or c+9 with
+			// accum).
+			z := dmat{}
+			for k, v := range cd {
+				z[k] = v
+			}
+			for _, i := range rows {
+				for _, j := range cols {
+					k := key{i, j}
+					if accum {
+						if cv, ok := z[k]; ok {
+							z[k] = cv + 9
+							continue
+						}
+					}
+					z[k] = 9
+				}
+			}
+			// Final mask stage over Z (assign consults z, not t, everywhere).
+			want := dmat{}
+			allow := func(k key) bool {
+				if !useMask {
+					return true
+				}
+				if scmp {
+					return !stored[k]
+				}
+				return eff[k]
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					k := key{i, j}
+					if allow(k) {
+						if v, ok := z[k]; ok {
+							want[k] = v
+						}
+					} else if !replace {
+						if v, ok := cd[k]; ok {
+							want[k] = v
+						}
+					}
+				}
+			}
+			equalDense(t, denseOf(t, c), want, name)
+		})
+	})
+}
+
+// TestReadOnlyConcurrentSharing checks the Section IV multithreading rule
+// this binding supports: read-only objects may be shared across goroutines
+// (including concurrent first-use of the lazily built transpose cache).
+func TestReadOnlyConcurrentSharing(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	a, _ := newTestMatrix(t, rng, 40, 40, 0.2)
+	s := plusTimesF64(t)
+	var wg sync.WaitGroup
+	results := make([]dmat, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := NewMatrix[float64](40, 40)
+			if err != nil {
+				t.Errorf("NewMatrix: %v", err)
+				return
+			}
+			// Transposed read exercises the shared transpose cache.
+			if err := MxM(c, NoMask, NoAccum[float64](), s, a, a, Desc().Transpose0()); err != nil {
+				t.Errorf("MxM: %v", err)
+				return
+			}
+			results[g] = denseOf(t, c)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		if len(results[g]) != len(results[0]) {
+			t.Fatalf("goroutine %d diverged", g)
+		}
+		for k, v := range results[0] {
+			if results[g][k] != v {
+				t.Fatalf("goroutine %d diverged at (%d,%d)", g, k.i, k.j)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWiseUnionVector(t *testing.T) {
+	u := vecOf(t, 5, map[int]float64{0: 10, 2: 30})
+	v := vecOf(t, 5, map[int]float64{2: 3, 4: 5})
+	w, _ := NewVector[float64](5)
+	minus := BinaryOp[float64, float64, float64]{Name: "minus", F: func(x, y float64) float64 { return x - y }}
+	// w = u .- v over the union with zero fills.
+	if err := EWiseUnionV(w, NoMaskV, NoAccum[float64](), minus, u, 0, v, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantVec(t, w, map[int]float64{0: 10, 2: 27, 4: -5}, "union minus")
+
+	// Mixed domains: bool presence vs float values, with sentinel fills.
+	flags, _ := NewVector[bool](5)
+	_ = flags.SetElement(true, 0)
+	_ = flags.SetElement(true, 3)
+	pick := BinaryOp[bool, float64, float64]{Name: "pick", F: func(b bool, x float64) float64 {
+		if b {
+			return x
+		}
+		return -x
+	}}
+	out, _ := NewVector[float64](5)
+	if err := EWiseUnionV(out, NoMaskV, NoAccum[float64](), pick, flags, false, u, 99, nil); err != nil {
+		t.Fatal(err)
+	}
+	// positions: 0 (both: true,10 → 10), 2 (only u: false-fill → -30),
+	// 3 (only flags: beta 99 → 99).
+	wantVec(t, out, map[int]float64{0: 10, 2: -30, 3: 99}, "mixed-domain union")
+}
+
+// Property: with both fills at the operator's neutral value, eWiseUnion
+// with Plus equals eWiseAdd.
+func TestQuickEWiseUnionMatchesAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := newTestMatrix(t, rng, 8, 8, 0.4)
+		b, _ := newTestMatrix(t, rng, 8, 8, 0.4)
+		c1, _ := NewMatrix[float64](8, 8)
+		c2, _ := NewMatrix[float64](8, 8)
+		if err := EWiseUnionM(c1, NoMask, NoAccum[float64](), plusF64(), a, 0, b, 0, nil); err != nil {
+			return false
+		}
+		if err := EWiseAddM(c2, NoMask, NoAccum[float64](), plusF64(), a, b, nil); err != nil {
+			return false
+		}
+		g1 := denseOf(t, c1)
+		g2 := denseOf(t, c2)
+		if len(g1) != len(g2) {
+			return false
+		}
+		for k, v := range g2 {
+			if g1[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWiseUnionMatrixWithMaskAndTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	a, ad := newTestMatrix(t, rng, 6, 5, 0.4)
+	b, bd := newTestMatrix(t, rng, 5, 6, 0.4)
+	minus := BinaryOp[float64, float64, float64]{Name: "minus", F: func(x, y float64) float64 { return x - y }}
+	c, _ := NewMatrix[float64](6, 5)
+	if err := EWiseUnionM(c, NoMask, NoAccum[float64](), minus, a, 0, b, 0, Desc().Transpose1()); err != nil {
+		t.Fatal(err)
+	}
+	want := dmat{}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 5; j++ {
+			av, aok := ad[key{i, j}]
+			bv, bok := bd[key{j, i}]
+			if aok || bok {
+				want[key{i, j}] = av - bv
+			}
+		}
+	}
+	equalDense(t, denseOf(t, c), want, "union minus tran1")
+	// Error paths.
+	bad, _ := NewMatrix[float64](2, 2)
+	if err := EWiseUnionM(c, NoMask, NoAccum[float64](), minus, a, 0, bad, 0, nil); InfoOf(err) != DimensionMismatch {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+	if err := EWiseUnionM(c, NoMask, NoAccum[float64](), BinaryOp[float64, float64, float64]{}, a, 0, b, 0, Desc().Transpose1()); InfoOf(err) != UninitializedObject {
+		t.Fatalf("undefined op: %v", err)
+	}
+}

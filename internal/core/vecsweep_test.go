@@ -1,0 +1,236 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// vecOracleWrite applies the accumulate-then-mask pipeline to dense vector
+// models.
+func vecOracleWrite(c, t map[int]float64, n int, stored, eff map[int]bool, useMask, scmp, accum, replace bool) map[int]float64 {
+	z := map[int]float64{}
+	if accum {
+		for k, v := range c {
+			z[k] = v
+		}
+		for k, v := range t {
+			if cv, ok := z[k]; ok {
+				z[k] = cv + v
+			} else {
+				z[k] = v
+			}
+		}
+	} else {
+		z = t
+	}
+	out := map[int]float64{}
+	allow := func(i int) bool {
+		if !useMask {
+			return true
+		}
+		if scmp {
+			return !stored[i]
+		}
+		return eff[i]
+	}
+	for i := 0; i < n; i++ {
+		if allow(i) {
+			if v, ok := z[i]; ok {
+				out[i] = v
+			}
+		} else if !replace {
+			if v, ok := c[i]; ok {
+				out[i] = v
+			}
+		}
+	}
+	return out
+}
+
+// randVecModel builds a vector plus its dense model.
+func randVecModel(t *testing.T, rng *rand.Rand, n int, p float64) (*Vector[float64], map[int]float64) {
+	t.Helper()
+	v, err := NewVector[float64](n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int]float64{}
+	var idx []int
+	var val []float64
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			x := float64(rng.Intn(9) + 1)
+			idx = append(idx, i)
+			val = append(val, x)
+			model[i] = x
+		}
+	}
+	if err := v.Build(idx, val, NoAccum[float64]()); err != nil {
+		t.Fatal(err)
+	}
+	return v, model
+}
+
+// randVecMask builds a bool mask vector plus stored/effective models.
+func randVecMask(t *testing.T, rng *rand.Rand, n int, pStored, pTrue float64) (*Vector[bool], map[int]bool, map[int]bool) {
+	t.Helper()
+	v, err := NewVector[bool](n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := map[int]bool{}
+	eff := map[int]bool{}
+	var idx []int
+	var val []bool
+	for i := 0; i < n; i++ {
+		if rng.Float64() < pStored {
+			b := rng.Float64() < pTrue
+			stored[i] = true
+			if b {
+				eff[i] = true
+			}
+			idx = append(idx, i)
+			val = append(val, b)
+		}
+	}
+	if err := v.Build(idx, val, NoAccum[bool]()); err != nil {
+		t.Fatal(err)
+	}
+	return v, stored, eff
+}
+
+// TestSweep_MxVAndVxM runs both matrix-vector products through the full
+// write pipeline, both kernel directions, against the dense oracle.
+func TestSweep_MxVAndVxM(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	const n = 12
+	a, ad := newTestMatrix(t, rng, n, n, 0.3)
+	u, ud := randVecModel(t, rng, n, 0.5)
+	s := plusTimesF64(t)
+	// Dense product models.
+	mxvT := map[int]float64{}
+	vxmT := map[int]float64{}
+	for i := 0; i < n; i++ {
+		sm, has := 0.0, false
+		sv, hasv := 0.0, false
+		for k := 0; k < n; k++ {
+			if av, ok := ad[key{i, k}]; ok {
+				if uv, ok := ud[k]; ok {
+					sm += av * uv
+					has = true
+				}
+			}
+			if av, ok := ad[key{k, i}]; ok {
+				if uv, ok := ud[k]; ok {
+					sv += av * uv
+					hasv = true
+				}
+			}
+		}
+		if has {
+			mxvT[i] = sm
+		}
+		if hasv {
+			vxmT[i] = sv
+		}
+	}
+	sweepCases(func(useMask, scmp, accum, replace bool, name string) {
+		t.Run("mxv/"+name, func(t *testing.T) {
+			w, wd := randVecModel(t, rng, n, 0.3)
+			mask, stored, eff := randVecMask(t, rng, n, 0.5, 0.7)
+			acc := NoAccum[float64]()
+			if accum {
+				acc = plusF64()
+			}
+			var mk *Vector[bool]
+			if useMask {
+				mk = mask
+			}
+			if err := MxV(w, mk, acc, s, a, u, sweepDesc(scmp, replace)); err != nil {
+				t.Fatal(err)
+			}
+			want := vecOracleWrite(wd, mxvT, n, stored, eff, useMask, scmp, accum, replace)
+			got := vecModel(t, w)
+			if len(got) != len(want) {
+				t.Fatalf("%s: got %v want %v", name, got, want)
+			}
+			for i, v := range want {
+				if got[i] != v {
+					t.Fatalf("%s: [%d] got %v want %v", name, i, got[i], v)
+				}
+			}
+		})
+		t.Run("vxm/"+name, func(t *testing.T) {
+			w, wd := randVecModel(t, rng, n, 0.3)
+			mask, stored, eff := randVecMask(t, rng, n, 0.5, 0.7)
+			acc := NoAccum[float64]()
+			if accum {
+				acc = plusF64()
+			}
+			var mk *Vector[bool]
+			if useMask {
+				mk = mask
+			}
+			if err := VxM(w, mk, acc, s, u, a, sweepDesc(scmp, replace)); err != nil {
+				t.Fatal(err)
+			}
+			want := vecOracleWrite(wd, vxmT, n, stored, eff, useMask, scmp, accum, replace)
+			got := vecModel(t, w)
+			if len(got) != len(want) {
+				t.Fatalf("%s: got %v want %v", name, got, want)
+			}
+			for i, v := range want {
+				if got[i] != v {
+					t.Fatalf("%s: [%d] got %v want %v", name, i, got[i], v)
+				}
+			}
+		})
+	})
+}
+
+// TestSerializeAllDomains round-trips every serializable domain.
+func TestSerializeAllDomains(t *testing.T) {
+	roundTrip := func(t *testing.T, build func() (any, error)) {
+		t.Helper()
+		if _, err := build(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = roundTrip
+	check := func(t *testing.T, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	testDomain(t, "int8", int8(-7), check)
+	testDomain(t, "int16", int16(-300), check)
+	testDomain(t, "int32", int32(70000), check)
+	testDomain(t, "int64", int64(1<<40), check)
+	testDomain(t, "int", int(-12345), check)
+	testDomain(t, "uint8", uint8(200), check)
+	testDomain(t, "uint16", uint16(60000), check)
+	testDomain(t, "uint32", uint32(4e9), check)
+	testDomain(t, "uint64", uint64(1)<<60, check)
+	testDomain(t, "uint", uint(987654321), check)
+	testDomain(t, "float32", float32(3.25), check)
+	testDomain(t, "float64", float64(-2.5e-10), check)
+}
+
+func testDomain[D comparable](t *testing.T, name string, sample D, check func(*testing.T, error)) {
+	t.Run(name, func(t *testing.T) {
+		m, err := NewMatrix[D](2, 2)
+		check(t, err)
+		check(t, m.SetElement(sample, 1, 0))
+		var buf bytes.Buffer
+		check(t, MatrixSerialize(m, &buf))
+		back, err := MatrixDeserialize[D](&buf)
+		check(t, err)
+		v, err := back.ExtractElement(1, 0)
+		check(t, err)
+		if v != sample {
+			t.Fatalf("round trip %v -> %v", sample, v)
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"sync"
+
+	"graphblas/internal/sparse"
+)
+
+// Vector is the opaque GraphBLAS vector v = ⟨D, N, {(i, v_i)}⟩ of Section
+// III-A: a domain D, a size N > 0, and a set of stored (index, value)
+// tuples. Elements that are not stored are undefined — not implicit zeros —
+// which is what lets the semiring change between operations without
+// reinterpreting the stored data.
+//
+// Vectors are not safe for concurrent mutation; the paper's execution model
+// permits sharing between threads only for read-only objects.
+type Vector[D any] struct {
+	obj
+	n    int
+	data *sparse.Vec[D]
+
+	// pending buffers single-element updates; see Matrix.pending.
+	pending []sparse.Tuple[D]
+	mu      sync.Mutex
+}
+
+// setVData replaces the storage and drops buffered updates.
+func (v *Vector[D]) setVData(d *sparse.Vec[D]) {
+	v.mu.Lock()
+	v.data = d
+	v.pending = nil
+	v.mu.Unlock()
+}
+
+// vdat returns the up-to-date storage, merging buffered point updates
+// first. Safe for concurrent readers.
+func (v *Vector[D]) vdat() *sparse.Vec[D] {
+	v.mu.Lock()
+	if len(v.pending) > 0 {
+		v.data = sparse.ApplyVecTuples(v.data, v.pending)
+		v.pending = nil
+	}
+	d := v.data
+	v.mu.Unlock()
+	return d
+}
+
+// NewVector creates a vector of size n (GrB_Vector_new). n must be
+// positive.
+func NewVector[D any](n int) (*Vector[D], error) {
+	if err := checkActive("NewVector"); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, errf(InvalidValue, "NewVector", "size must be positive, got %d", n)
+	}
+	v := &Vector[D]{n: n, data: sparse.NewVec[D](n)}
+	v.initObj()
+	return v, nil
+}
+
+// Size reports the vector's size N (GrB_Vector_size). Dimension metadata is
+// maintained eagerly, so this never forces pending operations.
+func (v *Vector[D]) Size() (int, error) {
+	if err := objOK(&v.obj, "Vector.Size", "v"); err != nil {
+		return 0, err
+	}
+	return v.n, nil
+}
+
+// NVals reports the number of stored elements (GrB_Vector_nvals). Reading a
+// value out of an opaque object forces completion of the pending sequence.
+func (v *Vector[D]) NVals() (int, error) {
+	if err := objOK(&v.obj, "Vector.NVals", "v"); err != nil {
+		return 0, err
+	}
+	if err := force("Vector.NVals"); err != nil {
+		return 0, err
+	}
+	if v.err != nil {
+		return 0, errf(InvalidObject, "Vector.NVals", "%v", v.err)
+	}
+	return v.vdat().NVals(), nil
+}
+
+// Clear removes all stored elements (GrB_Vector_clear). May defer.
+func (v *Vector[D]) Clear() error {
+	if err := objOK(&v.obj, "Vector.Clear", "v"); err != nil {
+		return err
+	}
+	return enqueue("Vector.Clear", &v.obj, nil, true, func() error {
+		v.setVData(sparse.NewVec[D](v.n))
+		return nil
+	})
+}
+
+// Dup creates a new vector with the same domain, size, and content
+// (GrB_Vector_dup). The copy itself may defer.
+func (v *Vector[D]) Dup() (*Vector[D], error) {
+	if err := objOK(&v.obj, "Vector.Dup", "v"); err != nil {
+		return nil, err
+	}
+	w := &Vector[D]{n: v.n, data: sparse.NewVec[D](v.n)}
+	w.initObj()
+	err := enqueue("Vector.Dup", &w.obj, []*obj{&v.obj}, true, func() error {
+		w.setVData(v.vdat().Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Resize changes the size of the vector, dropping elements at indices >= n
+// (spec 1.3 extension). Dimension metadata updates eagerly; the storage trim
+// may defer.
+func (v *Vector[D]) Resize(n int) error {
+	if err := objOK(&v.obj, "Vector.Resize", "v"); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return errf(InvalidValue, "Vector.Resize", "size must be positive, got %d", n)
+	}
+	v.n = n
+	return enqueue("Vector.Resize", &v.obj, nil, false, func() error {
+		d := v.vdat()
+		d.Resize(n)
+		v.setVData(d)
+		return nil
+	})
+}
+
+// Build populates an empty vector from index/value arrays, combining
+// duplicates with dup (GrB_Vector_build). Per the execution model, a method
+// whose inputs are non-opaque arrays may not defer, so Build forces the
+// pending sequence and executes immediately. If dup is not defined,
+// duplicate indices are an InvalidValue error.
+func (v *Vector[D]) Build(indices []int, values []D, dup BinaryOp[D, D, D]) error {
+	const op = "Vector.Build"
+	if err := objOK(&v.obj, op, "v"); err != nil {
+		return err
+	}
+	if len(indices) != len(values) {
+		return errf(InvalidValue, op, "len(indices)=%d != len(values)=%d", len(indices), len(values))
+	}
+	for _, i := range indices {
+		if i < 0 || i >= v.n {
+			return errf(InvalidIndex, op, "index %d out of range [0,%d)", i, v.n)
+		}
+	}
+	if err := force(op); err != nil {
+		return err
+	}
+	if v.err != nil {
+		return errf(InvalidObject, op, "%v", v.err)
+	}
+	if nnz := v.vdat().NVals(); nnz != 0 {
+		return errf(OutputNotEmpty, op, "vector already has %d stored elements", nnz)
+	}
+	var dupF func(D, D) D
+	if dup.Defined() {
+		dupF = dup.F
+	}
+	built, ok := sparse.BuildVec(v.n, indices, values, dupF)
+	if !ok {
+		return errf(InvalidValue, op, "duplicate index with no dup operator")
+	}
+	v.setVData(built)
+	return nil
+}
+
+// SetElement stores x at index i (GrB_Vector_setElement). Scalar inputs may
+// defer.
+func (v *Vector[D]) SetElement(x D, i int) error {
+	if err := objOK(&v.obj, "Vector.SetElement", "v"); err != nil {
+		return err
+	}
+	if i < 0 || i >= v.n {
+		return errf(InvalidIndex, "Vector.SetElement", "index %d out of range [0,%d)", i, v.n)
+	}
+	return enqueue("Vector.SetElement", &v.obj, nil, false, func() error {
+		v.mu.Lock()
+		v.pending = append(v.pending, sparse.Tuple[D]{I: i, V: x})
+		v.mu.Unlock()
+		return nil
+	})
+}
+
+// RemoveElement deletes the element at index i if present
+// (GrB_Vector_removeElement).
+func (v *Vector[D]) RemoveElement(i int) error {
+	if err := objOK(&v.obj, "Vector.RemoveElement", "v"); err != nil {
+		return err
+	}
+	if i < 0 || i >= v.n {
+		return errf(InvalidIndex, "Vector.RemoveElement", "index %d out of range [0,%d)", i, v.n)
+	}
+	return enqueue("Vector.RemoveElement", &v.obj, nil, false, func() error {
+		v.mu.Lock()
+		v.pending = append(v.pending, sparse.Tuple[D]{I: i, Del: true})
+		v.mu.Unlock()
+		return nil
+	})
+}
+
+// ExtractElement returns the element at index i (GrB_Vector_extractElement).
+// Absent elements return a NoValue error. Forces completion.
+func (v *Vector[D]) ExtractElement(i int) (D, error) {
+	var zero D
+	if err := objOK(&v.obj, "Vector.ExtractElement", "v"); err != nil {
+		return zero, err
+	}
+	if i < 0 || i >= v.n {
+		return zero, errf(InvalidIndex, "Vector.ExtractElement", "index %d out of range [0,%d)", i, v.n)
+	}
+	if err := force("Vector.ExtractElement"); err != nil {
+		return zero, err
+	}
+	if v.err != nil {
+		return zero, errf(InvalidObject, "Vector.ExtractElement", "%v", v.err)
+	}
+	if x, ok := v.vdat().Get(i); ok {
+		return x, nil
+	}
+	return zero, errf(NoValue, "Vector.ExtractElement", "no element stored at index %d", i)
+}
+
+// ExtractTuples copies the stored (index, value) pairs out of the opaque
+// object in index order (GrB_Vector_extractTuples). Forces completion.
+func (v *Vector[D]) ExtractTuples() ([]int, []D, error) {
+	if err := objOK(&v.obj, "Vector.ExtractTuples", "v"); err != nil {
+		return nil, nil, err
+	}
+	if err := force("Vector.ExtractTuples"); err != nil {
+		return nil, nil, err
+	}
+	if v.err != nil {
+		return nil, nil, errf(InvalidObject, "Vector.ExtractTuples", "%v", v.err)
+	}
+	idx, val := v.vdat().Tuples()
+	return idx, val, nil
+}
+
+// Free destroys the vector (GrB_free). Pending operations involving it
+// complete first; afterwards any use returns UninitializedObject.
+func (v *Vector[D]) Free() error {
+	if v == nil || !v.initialized {
+		return nil // freeing an uninitialized object is a no-op, as in C
+	}
+	if err := force("Vector.Free"); err != nil {
+		return err
+	}
+	v.initialized = false
+	v.data = nil
+	return nil
+}

@@ -1,0 +1,41 @@
+package generate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket: arbitrary text must parse cleanly or error cleanly —
+// no panics, and anything parsed must be in-bounds.
+func FuzzReadMatrixMarket(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteMatrixMarket(&buf, ErdosRenyiGnm(6, 10, 1))
+	f.Add(buf.String())
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n% comment\n3 3 1\n1 1 2.5\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 -7\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 -1 -1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n999999999999999999999 2 1\n1 1 1\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		g, hdr, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.N < 0 || hdr.Rows < 0 || hdr.Cols < 0 {
+			t.Fatalf("negative dimensions parsed: %+v", hdr)
+		}
+		for _, e := range g.Edges {
+			if e.Src < 0 || e.Src >= g.N || e.Dst < 0 || e.Dst >= g.N {
+				t.Fatalf("edge out of range: %+v (n=%d)", e, g.N)
+			}
+		}
+		// Round-trip what we parsed.
+		var out bytes.Buffer
+		if err := WriteMatrixMarket(&out, g); err != nil {
+			t.Fatalf("re-write failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package generate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds too similar: %d matches", same)
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("perm repeats")
+		}
+		seen[v] = true
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(8, 8, 1)
+	if g.N != 256 {
+		t.Fatalf("n %d", g.N)
+	}
+	if len(g.Edges) != 8*256 {
+		t.Fatalf("edges %d", len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if e.Src < 0 || e.Src >= g.N || e.Dst < 0 || e.Dst >= g.N {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+		if e.Weight < 1 || e.Weight >= 2 {
+			t.Fatalf("weight out of range: %v", e.Weight)
+		}
+	}
+	// Determinism.
+	h := RMAT(8, 8, 1)
+	for k := range g.Edges {
+		if g.Edges[k] != h.Edges[k] {
+			t.Fatal("RMAT not deterministic")
+		}
+	}
+	// Skew: RMAT should concentrate degree far above the uniform model.
+	if g.Dedup(true); g.MaxDegree() < 16 {
+		t.Fatalf("suspiciously uniform RMAT: max degree %d", g.MaxDegree())
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyiGnm(100, 500, 9)
+	if len(g.Edges) != 500 {
+		t.Fatalf("Gnm edges %d", len(g.Edges))
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		if e.Src == e.Dst {
+			t.Fatal("self loop")
+		}
+		k := [2]int{e.Src, e.Dst}
+		if seen[k] {
+			t.Fatal("duplicate edge in Gnm")
+		}
+		seen[k] = true
+	}
+	// Saturation clamp.
+	small := ErdosRenyiGnm(3, 100, 1)
+	if len(small.Edges) != 6 {
+		t.Fatalf("clamped Gnm edges %d", len(small.Edges))
+	}
+	gp := ErdosRenyiGnp(60, 0.1, 5)
+	want := 0.1 * 60 * 59
+	if f := float64(len(gp.Edges)); f < want*0.6 || f > want*1.4 {
+		t.Fatalf("Gnp edges %v, expect near %v", f, want)
+	}
+}
+
+func TestRegularFamilies(t *testing.T) {
+	if g := Path(5); len(g.Edges) != 4 || g.N != 5 {
+		t.Fatal("path")
+	}
+	if g := Cycle(5); len(g.Edges) != 5 {
+		t.Fatal("cycle")
+	}
+	if g := Complete(5); len(g.Edges) != 20 {
+		t.Fatal("complete")
+	}
+	if g := Star(5); len(g.Edges) != 8 {
+		t.Fatal("star")
+	}
+	if g := Grid2D(3, 4); g.N != 12 || len(g.Edges) != 2*(3*3+2*4) {
+		t.Fatalf("grid edges %d", len(g.Edges))
+	}
+	if g := BinaryTree(3); g.N != 15 || len(g.Edges) != 28 {
+		t.Fatalf("tree n=%d edges=%d", g.N, len(g.Edges))
+	}
+	if g := Bipartite(4, 6, 1.0, 1); g.N != 10 || len(g.Edges) != 24 {
+		t.Fatalf("bipartite edges %d", len(g.Edges))
+	}
+	for _, e := range Bipartite(4, 6, 1.0, 1).Edges {
+		if e.Src >= 4 || e.Dst < 4 {
+			t.Fatalf("bipartite direction: %+v", e)
+		}
+	}
+}
+
+func TestDedupSymmetrize(t *testing.T) {
+	g := &Graph{N: 4, Edges: []Edge{
+		{0, 1, 1}, {0, 1, 2}, {1, 0, 3}, {2, 2, 1}, {3, 1, 1},
+	}}
+	d := g.Dedup(true)
+	if len(d.Edges) != 3 { // (0,1), (1,0), (3,1); loop dropped, dup dropped
+		t.Fatalf("dedup edges %v", d.Edges)
+	}
+	s := (&Graph{N: 3, Edges: []Edge{{0, 1, 1}, {1, 2, 1}}}).Symmetrize()
+	if len(s.Edges) != 4 {
+		t.Fatalf("symmetrize edges %v", s.Edges)
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := ErdosRenyiGnm(30, 100, seed)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			return false
+		}
+		h, hdr, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		if hdr.Rows != 30 || hdr.NNZ != 100 || hdr.Field != "real" || hdr.Symmetric {
+			return false
+		}
+		if h.N != g.N || len(h.Edges) != len(g.Edges) {
+			return false
+		}
+		for k := range g.Edges {
+			if g.Edges[k] != h.Edges[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMarketPatternAndSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a comment
+3 3 2
+2 1
+3 2
+`
+	g, hdr, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !hdr.Symmetric || hdr.Field != "pattern" {
+		t.Fatalf("header %+v", hdr)
+	}
+	if len(g.Edges) != 4 { // symmetric expansion
+		t.Fatalf("edges %v", g.Edges)
+	}
+	for _, e := range g.Edges {
+		if e.Weight != 1 {
+			t.Fatalf("pattern weight %v", e.Weight)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixMarketPattern(&buf, g); err != nil {
+		t.Fatalf("write pattern: %v", err)
+	}
+	if !strings.Contains(buf.String(), "pattern general") {
+		t.Fatalf("pattern banner missing: %s", buf.String())
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n9 1 1.5\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.5\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+	}
+	for i, in := range cases {
+		if _, _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: error expected", i)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package generate
+
+import "sort"
+
+// Edge is one directed edge with weight.
+type Edge struct {
+	Src, Dst int
+	Weight   float64
+}
+
+// Graph is an edge list with a vertex count — the neutral interchange form
+// the generators produce and the GraphBLAS/baseline layers both consume.
+type Graph struct {
+	N     int
+	Edges []Edge
+}
+
+// Tuples returns parallel coordinate arrays for GraphBLAS Build calls.
+func (g *Graph) Tuples() (rows, cols []int, weights []float64) {
+	rows = make([]int, len(g.Edges))
+	cols = make([]int, len(g.Edges))
+	weights = make([]float64, len(g.Edges))
+	for k, e := range g.Edges {
+		rows[k], cols[k], weights[k] = e.Src, e.Dst, e.Weight
+	}
+	return rows, cols, weights
+}
+
+// Dedup removes duplicate (src, dst) pairs, keeping the first weight, and
+// drops self-loops if dropLoops is set. Returns g for chaining.
+func (g *Graph) Dedup(dropLoops bool) *Graph {
+	sort.Slice(g.Edges, func(a, b int) bool {
+		ea, eb := g.Edges[a], g.Edges[b]
+		if ea.Src != eb.Src {
+			return ea.Src < eb.Src
+		}
+		return ea.Dst < eb.Dst
+	})
+	out := g.Edges[:0]
+	for _, e := range g.Edges {
+		if dropLoops && e.Src == e.Dst {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Src == e.Src && out[n-1].Dst == e.Dst {
+			continue
+		}
+		out = append(out, e)
+	}
+	g.Edges = out
+	return g
+}
+
+// Symmetrize adds the reverse of every edge (making the graph undirected as
+// a symmetric matrix) and dedups. Returns g for chaining.
+func (g *Graph) Symmetrize() *Graph {
+	rev := make([]Edge, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		rev = append(rev, Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+	}
+	g.Edges = append(g.Edges, rev...)
+	return g.Dedup(false)
+}
+
+// MaxDegree returns the maximum out-degree.
+func (g *Graph) MaxDegree() int {
+	deg := make([]int, g.N)
+	best := 0
+	for _, e := range g.Edges {
+		deg[e.Src]++
+		if deg[e.Src] > best {
+			best = deg[e.Src]
+		}
+	}
+	return best
+}
+
+// RMAT generates a Graph500-style recursive-matrix (Kronecker) graph with
+// 2^scale vertices and edgeFactor × 2^scale edges using the standard
+// partition probabilities a=0.57, b=0.19, c=0.19, d=0.05. Weights are
+// uniform in [1, 2). Duplicates and self-loops are retained, matching the
+// benchmark's raw stream; call Dedup to clean.
+func RMAT(scale, edgeFactor int, seed uint64) *Graph {
+	return RMATParams(scale, edgeFactor, 0.57, 0.19, 0.19, seed)
+}
+
+// RMATParams is RMAT with explicit a, b, c partition probabilities
+// (d = 1-a-b-c).
+func RMATParams(scale, edgeFactor int, a, b, c float64, seed uint64) *Graph {
+	n := 1 << uint(scale)
+	m := edgeFactor * n
+	rng := NewRNG(seed)
+	g := &Graph{N: n, Edges: make([]Edge, 0, m)}
+	ab := a + b
+	abc := a + b + c
+	for k := 0; k < m; k++ {
+		src, dst := 0, 0
+		for bit := 1 << uint(scale-1); bit > 0; bit >>= 1 {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// upper-left quadrant
+			case r < ab:
+				dst |= bit
+			case r < abc:
+				src |= bit
+			default:
+				src |= bit
+				dst |= bit
+			}
+		}
+		g.Edges = append(g.Edges, Edge{Src: src, Dst: dst, Weight: 1 + rng.Float64()})
+	}
+	return g
+}
+
+// ErdosRenyiGnm generates a uniform random directed graph with exactly m
+// distinct edges (no self-loops), weights uniform in [1, 2).
+func ErdosRenyiGnm(n, m int, seed uint64) *Graph {
+	rng := NewRNG(seed)
+	g := &Graph{N: n}
+	if max := n * (n - 1); m > max {
+		m = max
+	}
+	seen := make(map[int64]bool, m)
+	for len(g.Edges) < m {
+		s := rng.Intn(n)
+		d := rng.Intn(n)
+		if s == d {
+			continue
+		}
+		k := int64(s)*int64(n) + int64(d)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		g.Edges = append(g.Edges, Edge{Src: s, Dst: d, Weight: 1 + rng.Float64()})
+	}
+	return g
+}
+
+// ErdosRenyiGnp generates G(n, p): each ordered pair (no self-loops)
+// independently with probability p.
+func ErdosRenyiGnp(n int, p float64, seed uint64) *Graph {
+	rng := NewRNG(seed)
+	g := &Graph{N: n}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < p {
+				g.Edges = append(g.Edges, Edge{Src: i, Dst: j, Weight: 1 + rng.Float64()})
+			}
+		}
+	}
+	return g
+}
+
+// Path generates the directed path 0→1→…→n-1 with unit weights.
+func Path(n int) *Graph {
+	g := &Graph{N: n}
+	for i := 0; i+1 < n; i++ {
+		g.Edges = append(g.Edges, Edge{Src: i, Dst: i + 1, Weight: 1})
+	}
+	return g
+}
+
+// Cycle generates the directed cycle on n vertices with unit weights.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n > 1 {
+		g.Edges = append(g.Edges, Edge{Src: n - 1, Dst: 0, Weight: 1})
+	}
+	return g
+}
+
+// Complete generates the complete directed graph (no self-loops).
+func Complete(n int) *Graph {
+	g := &Graph{N: n}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.Edges = append(g.Edges, Edge{Src: i, Dst: j, Weight: 1})
+			}
+		}
+	}
+	return g
+}
+
+// Star generates the star with center 0 and edges in both directions.
+func Star(n int) *Graph {
+	g := &Graph{N: n}
+	for i := 1; i < n; i++ {
+		g.Edges = append(g.Edges, Edge{Src: 0, Dst: i, Weight: 1}, Edge{Src: i, Dst: 0, Weight: 1})
+	}
+	return g
+}
+
+// Grid2D generates the rows×cols grid with 4-neighbor connectivity, edges
+// in both directions, unit weights. Vertex (r, c) has index r*cols + c.
+func Grid2D(rows, cols int) *Graph {
+	g := &Graph{N: rows * cols}
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.Edges = append(g.Edges,
+					Edge{Src: id(r, c), Dst: id(r, c+1), Weight: 1},
+					Edge{Src: id(r, c+1), Dst: id(r, c), Weight: 1})
+			}
+			if r+1 < rows {
+				g.Edges = append(g.Edges,
+					Edge{Src: id(r, c), Dst: id(r+1, c), Weight: 1},
+					Edge{Src: id(r+1, c), Dst: id(r, c), Weight: 1})
+			}
+		}
+	}
+	return g
+}
+
+// BinaryTree generates a complete binary tree of the given depth with edges
+// in both directions (so traversals from the root reach everything and
+// back). Depth 0 is a single vertex.
+func BinaryTree(depth int) *Graph {
+	n := (1 << uint(depth+1)) - 1
+	g := &Graph{N: n}
+	for i := 1; i < n; i++ {
+		p := (i - 1) / 2
+		g.Edges = append(g.Edges, Edge{Src: p, Dst: i, Weight: 1}, Edge{Src: i, Dst: p, Weight: 1})
+	}
+	return g
+}
+
+// Bipartite generates a random bipartite graph: left vertices [0, l),
+// right vertices [l, l+r), each left-right pair with probability p, edges
+// directed left→right.
+func Bipartite(l, r int, p float64, seed uint64) *Graph {
+	rng := NewRNG(seed)
+	g := &Graph{N: l + r}
+	for i := 0; i < l; i++ {
+		for j := 0; j < r; j++ {
+			if rng.Float64() < p {
+				g.Edges = append(g.Edges, Edge{Src: i, Dst: l + j, Weight: 1 + rng.Float64()})
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,160 @@
+package generate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market coordinate-format I/O, the interchange format of the sparse
+// matrix community (and of SuiteSparse collection graphs). Supported:
+// matrix coordinate {real | integer | pattern} {general | symmetric}.
+
+// MMHeader describes a parsed Matrix Market banner plus size line.
+type MMHeader struct {
+	Field     string // "real", "integer", or "pattern"
+	Symmetric bool
+	Rows      int
+	Cols      int
+	NNZ       int
+}
+
+// ReadMatrixMarket parses a coordinate-format Matrix Market stream into a
+// Graph (1-based indices converted to 0-based). Pattern matrices get unit
+// weights; symmetric matrices are expanded to both triangles.
+func ReadMatrixMarket(r io.Reader) (*Graph, *MMHeader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("mmio: empty input")
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) < 5 || banner[0] != "%%matrixmarket" || banner[1] != "matrix" || banner[2] != "coordinate" {
+		return nil, nil, fmt.Errorf("mmio: unsupported banner %q", sc.Text())
+	}
+	h := &MMHeader{Field: banner[3]}
+	switch banner[3] {
+	case "real", "integer", "pattern":
+	default:
+		return nil, nil, fmt.Errorf("mmio: unsupported field %q", banner[3])
+	}
+	switch banner[4] {
+	case "general":
+	case "symmetric":
+		h.Symmetric = true
+	default:
+		return nil, nil, fmt.Errorf("mmio: unsupported symmetry %q", banner[4])
+	}
+	// Skip comments, read the size line.
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 3 {
+			return nil, nil, fmt.Errorf("mmio: bad size line %q", line)
+		}
+		var err error
+		if h.Rows, err = strconv.Atoi(parts[0]); err != nil {
+			return nil, nil, fmt.Errorf("mmio: bad row count: %w", err)
+		}
+		if h.Cols, err = strconv.Atoi(parts[1]); err != nil {
+			return nil, nil, fmt.Errorf("mmio: bad col count: %w", err)
+		}
+		if h.NNZ, err = strconv.Atoi(parts[2]); err != nil {
+			return nil, nil, fmt.Errorf("mmio: bad nnz count: %w", err)
+		}
+		break
+	}
+	if h.Rows < 0 || h.Cols < 0 || h.NNZ < 0 {
+		return nil, nil, fmt.Errorf("mmio: negative size line %dx%d nnz %d", h.Rows, h.Cols, h.NNZ)
+	}
+	n := h.Rows
+	if h.Cols > n {
+		n = h.Cols
+	}
+	// Preallocate against the declared count but bounded, so a hostile
+	// header cannot demand memory the stream does not back.
+	prealloc := h.NNZ
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	g := &Graph{N: n, Edges: make([]Edge, 0, prealloc)}
+	read := 0
+	for sc.Scan() && read < h.NNZ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) < 2 {
+			return nil, nil, fmt.Errorf("mmio: bad entry %q", line)
+		}
+		i, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("mmio: bad row index %q", parts[0])
+		}
+		j, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, nil, fmt.Errorf("mmio: bad col index %q", parts[1])
+		}
+		if i < 1 || i > h.Rows || j < 1 || j > h.Cols {
+			return nil, nil, fmt.Errorf("mmio: index (%d,%d) outside %dx%d", i, j, h.Rows, h.Cols)
+		}
+		w := 1.0
+		if h.Field != "pattern" {
+			if len(parts) < 3 {
+				return nil, nil, fmt.Errorf("mmio: missing value in %q", line)
+			}
+			if w, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, nil, fmt.Errorf("mmio: bad value %q", parts[2])
+			}
+		}
+		g.Edges = append(g.Edges, Edge{Src: i - 1, Dst: j - 1, Weight: w})
+		if h.Symmetric && i != j {
+			g.Edges = append(g.Edges, Edge{Src: j - 1, Dst: i - 1, Weight: w})
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("mmio: %w", err)
+	}
+	if read != h.NNZ {
+		return nil, nil, fmt.Errorf("mmio: expected %d entries, found %d", h.NNZ, read)
+	}
+	return g, h, nil
+}
+
+// WriteMatrixMarket writes a graph as a general real coordinate matrix with
+// n rows and columns.
+func WriteMatrixMarket(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n",
+		g.N, g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.Src+1, e.Dst+1, e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMatrixMarketPattern writes the structure only (pattern field).
+func WriteMatrixMarketPattern(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate pattern general\n%d %d %d\n",
+		g.N, g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	for _, e := range g.Edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.Src+1, e.Dst+1); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"os"
+
+	"testing"
+
+	"graphblas/internal/core"
+	"graphblas/internal/generate"
+	"graphblas/internal/refalgo"
+)
+
+func TestMain(m *testing.M) {
+	core.ResetForTesting()
+	if err := core.Init(core.NonBlocking); err != nil {
+		panic(err)
+	}
+	os.Exit(m.Run())
+}
+
+func testGraph() *Graph {
+	return FromEdges(generate.ErdosRenyiGnm(120, 600, 33))
+}
+
+func TestGraphViewsAndCaching(t *testing.T) {
+	g := testGraph()
+	if g.N() != 120 || g.NumEdges() != 600 {
+		t.Fatalf("shape %d %d", g.N(), g.NumEdges())
+	}
+	b1, err := g.Bool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := g.Bool()
+	if b1 != b2 {
+		t.Fatal("bool view not cached")
+	}
+	f1, _ := g.Float()
+	f2, _ := g.Float()
+	if f1 != f2 {
+		t.Fatal("float view not cached")
+	}
+	if nv, _ := b1.NVals(); nv != 600 {
+		t.Fatalf("bool nvals %d", nv)
+	}
+	sym, err := g.Symmetric()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, _ := sym.NVals()
+	if nv < 600 || nv > 1200 {
+		t.Fatalf("symmetric nvals %d", nv)
+	}
+	deg, err := g.OutDegrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, d := range deg {
+		total += d
+	}
+	if total != 600 {
+		t.Fatalf("degree sum %d", total)
+	}
+}
+
+func TestGraphAlgorithmsDelegation(t *testing.T) {
+	g := testGraph()
+	adj := refalgo.NewAdjacency(g.Edges())
+
+	levels, err := g.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.BFSLevels(adj, 0)
+	for v := range want {
+		if levels[v] != want[v] {
+			t.Fatalf("bfs[%d] %d want %d", v, levels[v], want[v])
+		}
+	}
+	if _, err := g.BFS(-1); err == nil {
+		t.Fatal("bad source accepted")
+	}
+
+	dist, reached, err := g.SSSP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj := refalgo.Dijkstra(adj, 0)
+	for v := range dj {
+		if math.IsInf(dj[v], 1) != !reached[v] {
+			t.Fatalf("reach[%d]", v)
+		}
+		if reached[v] && math.Abs(dist[v]-dj[v]) > 1e-9 {
+			t.Fatalf("dist[%d] %v want %v", v, dist[v], dj[v])
+		}
+	}
+
+	rank, iters, err := g.PageRank(0.85, 1e-9, 200)
+	if err != nil || iters == 0 {
+		t.Fatalf("pagerank %v %d", err, iters)
+	}
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("rank sum %v", sum)
+	}
+
+	bc, err := g.BC([]int{0, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBC := refalgo.BrandesBC(adj, []int{0, 5, 10})
+	for v := range wantBC {
+		if math.Abs(bc[v]-wantBC[v]) > 1e-3*math.Max(1, wantBC[v]) {
+			t.Fatalf("bc[%d] %v want %v", v, bc[v], wantBC[v])
+		}
+	}
+
+	tc, err := g.TriangleCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	symEdges := &generate.Graph{N: g.N(), Edges: append([]generate.Edge(nil), g.Edges().Edges...)}
+	symAdj := refalgo.NewAdjacency(symEdges.Symmetrize().Dedup(true))
+	if wantTC := refalgo.TriangleCount(symAdj); tc != wantTC {
+		t.Fatalf("triangles %d want %d", tc, wantTC)
+	}
+
+	cc, err := g.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCC := refalgo.ConnectedComponents(g.Edges())
+	for v := range wantCC {
+		if cc[v] != wantCC[v] {
+			t.Fatalf("cc[%d] %d want %d", v, cc[v], wantCC[v])
+		}
+	}
+
+	scc, err := g.SCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSCC := refalgo.TarjanSCC(adj)
+	for v := range wantSCC {
+		if scc[v] != wantSCC[v] {
+			t.Fatalf("scc[%d] %d want %d", v, scc[v], wantSCC[v])
+		}
+	}
+
+	cores, err := g.CoreNumbers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCores := refalgo.CoreNumbers(symAdj)
+	for v := range wantCores {
+		if cores[v] != wantCores[v] {
+			t.Fatalf("core[%d] %d want %d", v, cores[v], wantCores[v])
+		}
+	}
+
+	truss, err := g.KTruss(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTruss := refalgo.TrussEdges(symAdj, 3)
+	if len(truss) != len(wantTruss) {
+		t.Fatalf("truss %d edges want %d", len(truss), len(wantTruss))
+	}
+
+	coef, err := g.ClusteringCoefficients()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCoef := refalgo.ClusteringCoefficients(symAdj)
+	for v := range wantCoef {
+		if math.Abs(coef[v]-wantCoef[v]) > 1e-9 {
+			t.Fatalf("coef[%d] %v want %v", v, coef[v], wantCoef[v])
+		}
+	}
+
+	mis, err := g.MIS(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSet := map[int]bool{}
+	for _, v := range mis {
+		inSet[v] = true
+	}
+	for _, e := range symEdges.Edges {
+		if inSet[e.Src] && inSet[e.Dst] && e.Src != e.Dst {
+			t.Fatalf("MIS edge (%d,%d)", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestGraphReach(t *testing.T) {
+	g := FromEdges(&generate.Graph{N: 4, Edges: []generate.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1},
+	}})
+	reach, err := g.Reach([]int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reach[2]) != 1 || reach[2][0] != 0 {
+		t.Fatalf("reach[2] = %v", reach[2])
+	}
+	if len(reach[3]) != 1 || reach[3][0] != 1 {
+		t.Fatalf("reach[3] = %v", reach[3])
+	}
+	if reach[1] == nil || reach[0] == nil {
+		t.Fatalf("reach incomplete: %v", reach)
+	}
+}
+
+func TestFromMatrixMarket(t *testing.T) {
+	src := generate.ErdosRenyiGnm(20, 60, 9)
+	var buf bytes.Buffer
+	if err := generate.WriteMatrixMarket(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 || g.NumEdges() != 60 {
+		t.Fatalf("loaded %d %d", g.N(), g.NumEdges())
+	}
+	// Same BFS result as the original edge list.
+	want, _ := FromEdges(src).BFS(0)
+	got, _ := g.BFS(0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("bfs[%d] differs after mmio round trip", v)
+		}
+	}
+	if _, err := FromMatrixMarket(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestGraphGreedyColor(t *testing.T) {
+	g := testGraph()
+	colors, used, err := g.GreedyColor(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used < 1 {
+		t.Fatalf("colors %d", used)
+	}
+	sym := &generate.Graph{N: g.N(), Edges: append([]generate.Edge(nil), g.Edges().Edges...)}
+	for _, e := range sym.Symmetrize().Dedup(true).Edges {
+		if e.Src != e.Dst && colors[e.Src] == colors[e.Dst] {
+			t.Fatalf("edge (%d,%d) same color", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestGraphBCAll(t *testing.T) {
+	g := FromEdges(generate.ErdosRenyiGnm(40, 160, 3))
+	bc, err := g.BCAll(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	want := refalgo.BrandesBC(refalgo.NewAdjacency(g.Edges()), all)
+	for v := range want {
+		if math.Abs(bc[v]-want[v]) > 1e-3*math.Max(1, want[v]) {
+			t.Fatalf("bc[%d] %v want %v", v, bc[v], want[v])
+		}
+	}
+}

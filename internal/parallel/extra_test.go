@@ -1,0 +1,48 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndex(t *testing.T) {
+	var sum int64
+	ForEachIndex(100, 7, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum %d", sum)
+	}
+	ForEachIndex(0, 1, func(int) { t.Fatal("called for empty range") })
+}
+
+func TestForWeightedSmallFallsBackInline(t *testing.T) {
+	// Below the weight threshold everything runs in one call.
+	cum := []int{0, 1, 2, 3}
+	calls := 0
+	ForWeighted(3, cum, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 3 {
+			t.Fatalf("unexpected range %d %d", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls %d", calls)
+	}
+}
+
+func TestForWeightedPanicPropagation(t *testing.T) {
+	n := 100000
+	cum := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + 1
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic not propagated")
+		}
+	}()
+	ForWeighted(n, cum, func(lo, hi int) {
+		if lo <= n/2 && n/2 < hi {
+			panic("boom")
+		}
+	})
+}

@@ -1,0 +1,179 @@
+// Package parallel provides the small shared-memory runtime used by the
+// sparse kernels: a bounded parallel-for and load-balanced range
+// partitioning. It is deliberately tiny; the point of the GraphBLAS design
+// is that opacity of the collection objects lets the implementation
+// parallelize internally without changing the API.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers bounds the number of goroutines any single parallel-for spawns.
+// It defaults to GOMAXPROCS and can be lowered for tests.
+var maxWorkers atomic.Int64
+
+func init() {
+	maxWorkers.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetMaxWorkers sets the worker bound for subsequent parallel loops and
+// returns the previous value. n < 1 is treated as 1.
+func SetMaxWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// MaxWorkers reports the current worker bound.
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// For runs body(lo, hi) over a partition of [0, n) using up to MaxWorkers
+// goroutines. grain is the minimum chunk size per task; if n/grain is less
+// than two the loop runs inline on the calling goroutine. body must be safe
+// to call concurrently for disjoint ranges.
+func For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := MaxWorkers()
+	chunks := n / grain
+	if chunks > workers {
+		chunks = workers
+	}
+	if chunks <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	var pan panicBox
+	wg.Add(chunks)
+	// Even split; chunk c covers [c*size+min(c,rem), ...).
+	size, rem := n/chunks, n%chunks
+	lo := 0
+	for c := 0; c < chunks; c++ {
+		hi := lo + size
+		if c < rem {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer pan.capture()
+			body(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	pan.repanic()
+}
+
+// panicBox transports the first panic from worker goroutines back to the
+// caller, so user-defined operators that panic inside a parallel kernel
+// surface on the invoking goroutine (where the GraphBLAS error model can
+// convert them to GrB_PANIC) instead of crashing the process.
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+func (p *panicBox) capture() {
+	if r := recover(); r != nil {
+		p.mu.Lock()
+		if !p.set {
+			p.val, p.set = r, true
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *panicBox) repanic() {
+	if p.set {
+		panic(p.val)
+	}
+}
+
+// ForEachIndex runs body(i) for each i in [0, n) in parallel with automatic
+// chunking. Convenience wrapper over For.
+func ForEachIndex(n, grain int, body func(i int)) {
+	For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// PartitionByWeight splits [0, n) into at most parts contiguous ranges with
+// approximately equal total weight, where cum is a cumulative weight array of
+// length n+1 (cum[0] == 0, cum[i] is total weight of the first i items — the
+// natural shape of a CSR row-pointer array). It returns the range boundaries:
+// a slice b with b[0] == 0 and b[len(b)-1] == n; range k is [b[k], b[k+1]).
+// Empty ranges are elided, so len(b) may be less than parts+1.
+func PartitionByWeight(n, parts int, cum []int) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	if n <= 0 {
+		return []int{0, 0} // single empty range
+	}
+	total := cum[n]
+	bounds := make([]int, 1, parts+1)
+	bounds[0] = 0
+	prev := 0
+	for k := 1; k < parts; k++ {
+		target := total * k / parts
+		// binary search for first index with cum[i] >= target
+		lo, hi := prev, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > prev && lo < n {
+			bounds = append(bounds, lo)
+			prev = lo
+		}
+	}
+	bounds = append(bounds, n)
+	return bounds
+}
+
+// ForWeighted runs body over [0, n) partitioned by the cumulative weight
+// array cum (length n+1), balancing total weight rather than index count.
+// Used for nnz-balanced row loops over CSR matrices.
+func ForWeighted(n int, cum []int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := MaxWorkers()
+	if workers <= 1 || n == 1 || cum[n] < 2048 {
+		body(0, n)
+		return
+	}
+	bounds := PartitionByWeight(n, workers, cum)
+	if len(bounds) <= 2 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	var pan panicBox
+	wg.Add(len(bounds) - 1)
+	for k := 0; k+1 < len(bounds); k++ {
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer pan.capture()
+			body(lo, hi)
+		}(bounds[k], bounds[k+1])
+	}
+	wg.Wait()
+	pan.repanic()
+}

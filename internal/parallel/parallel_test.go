@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	f := func(n16 uint16, grain8 uint8) bool {
+		n := int(n16 % 5000)
+		grain := int(grain8)
+		hits := make([]int32, n)
+		For(n, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEmptyAndSingle(t *testing.T) {
+	called := false
+	For(0, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for n=0")
+	}
+	var total int64
+	For(1, 100, func(lo, hi int) { atomic.AddInt64(&total, int64(hi-lo)) })
+	if total != 1 {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestForWeightedCoversRange(t *testing.T) {
+	n := 1000
+	cum := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		w := 1
+		if i == 0 {
+			w = 100000 // heavily skewed first row
+		}
+		cum[i+1] = cum[i] + w
+	}
+	hits := make([]int32, n)
+	ForWeighted(n, cum, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestPartitionByWeightBounds(t *testing.T) {
+	cum := []int{0, 10, 20, 30, 40, 50}
+	b := PartitionByWeight(5, 3, cum)
+	if b[0] != 0 || b[len(b)-1] != 5 {
+		t.Fatalf("bounds %v", b)
+	}
+	for k := 1; k < len(b); k++ {
+		if b[k] <= b[k-1] {
+			t.Fatalf("non-increasing bounds %v", b)
+		}
+	}
+	if got := PartitionByWeight(0, 4, []int{0}); len(got) != 2 || got[0] != 0 {
+		t.Fatalf("empty partition %v", got)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic not propagated from worker")
+		}
+	}()
+	For(1000, 1, func(lo, hi int) {
+		if lo <= 500 && 500 < hi {
+			panic("worker failure")
+		}
+	})
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	if MaxWorkers() != 1 {
+		t.Fatalf("MaxWorkers %d", MaxWorkers())
+	}
+	// With one worker everything runs inline.
+	ran := 0
+	For(100, 1, func(lo, hi int) { ran += hi - lo })
+	if ran != 100 {
+		t.Fatalf("ran %d", ran)
+	}
+	if SetMaxWorkers(0) != 1 {
+		t.Fatal("SetMaxWorkers did not return previous value")
+	}
+	if MaxWorkers() != 1 {
+		t.Fatalf("n<1 should clamp to 1, got %d", MaxWorkers())
+	}
+}

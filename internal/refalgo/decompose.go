@@ -1,0 +1,154 @@
+package refalgo
+
+// Structural decompositions used as oracles for the GraphBLAS-expressed
+// k-core, k-truss, and clustering-coefficient algorithms. All expect a
+// symmetric, loop-free, deduplicated adjacency.
+
+// CoreNumbers returns the coreness of every vertex (the largest k such that
+// the vertex belongs to the k-core) by the classic bucket-peeling
+// algorithm of Batagelj–Zaveršnik.
+func CoreNumbers(a *Adjacency) []int {
+	n := a.N
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = a.Ptr[v+1] - a.Ptr[v]
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		cnt := bin[d]
+		bin[d] = start
+		start += cnt
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = v
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+	core := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		for p := a.Ptr[v]; p < a.Ptr[v+1]; p++ {
+			u := a.Dst[p]
+			if deg[u] > deg[v] {
+				du, pu := deg[u], pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					pos[u], pos[w] = pw, pu
+					vert[pu], vert[pw] = w, u
+				}
+				bin[du]++
+				deg[u]--
+			}
+		}
+	}
+	return core
+}
+
+// TrussEdges returns the edges (as ordered src<dst pairs) of the k-truss:
+// the maximal subgraph in which every edge participates in at least k-2
+// triangles. Computed by iterative support peeling.
+func TrussEdges(a *Adjacency, k int) [][2]int {
+	type edge struct{ u, v int }
+	// Collect undirected edges u<v.
+	present := map[edge]bool{}
+	for u := 0; u < a.N; u++ {
+		for _, v := range a.Neighbors(u) {
+			if u < v {
+				present[edge{u, v}] = true
+			}
+		}
+	}
+	// Adjacency sets for support counting; rebuilt each round for clarity
+	// (oracle code: simplicity over speed).
+	for {
+		nbr := make([]map[int]bool, a.N)
+		for i := range nbr {
+			nbr[i] = map[int]bool{}
+		}
+		for e := range present {
+			nbr[e.u][e.v] = true
+			nbr[e.v][e.u] = true
+		}
+		var removed []edge
+		for e := range present {
+			support := 0
+			small, large := nbr[e.u], nbr[e.v]
+			if len(small) > len(large) {
+				small, large = large, small
+			}
+			for w := range small {
+				if large[w] {
+					support++
+				}
+			}
+			if support < k-2 {
+				removed = append(removed, e)
+			}
+		}
+		if len(removed) == 0 {
+			break
+		}
+		for _, e := range removed {
+			delete(present, e)
+		}
+	}
+	out := make([][2]int, 0, len(present))
+	for e := range present {
+		out = append(out, [2]int{e.u, e.v})
+	}
+	return out
+}
+
+// ClusteringCoefficients returns the local clustering coefficient of every
+// vertex: triangles(v) / (deg(v) choose 2), 0 for degree < 2.
+func ClusteringCoefficients(a *Adjacency) []float64 {
+	n := a.N
+	tri := make([]int, n)
+	for v := 0; v < n; v++ {
+		nv := a.Neighbors(v)
+		for i := 0; i < len(nv); i++ {
+			for j := i + 1; j < len(nv); j++ {
+				// edge between nv[i] and nv[j]?
+				u, w := nv[i], nv[j]
+				nu := a.Neighbors(u)
+				lo, hi := 0, len(nu)
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if nu[mid] < w {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				if lo < len(nu) && nu[lo] == w {
+					tri[v]++
+				}
+			}
+		}
+	}
+	cc := make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := a.Ptr[v+1] - a.Ptr[v]
+		if d >= 2 {
+			cc[v] = 2 * float64(tri[v]) / float64(d*(d-1))
+		}
+	}
+	return cc
+}

@@ -1,0 +1,88 @@
+package refalgo
+
+import (
+	"testing"
+
+	"graphblas/internal/generate"
+)
+
+func TestCoreNumbersKnown(t *testing.T) {
+	// K4 plus pendant: coreness 3,3,3,3,1.
+	g := generate.Complete(4)
+	g.N = 5
+	g.Edges = append(g.Edges,
+		generate.Edge{Src: 3, Dst: 4, Weight: 1}, generate.Edge{Src: 4, Dst: 3, Weight: 1})
+	g = g.Symmetrize().Dedup(true)
+	cores := CoreNumbers(NewAdjacency(g))
+	want := []int{3, 3, 3, 3, 1}
+	for i := range want {
+		if cores[i] != want[i] {
+			t.Fatalf("cores %v want %v", cores, want)
+		}
+	}
+	// Path: everything coreness 1; isolated vertex coreness 0.
+	p := generate.Path(5)
+	p.N = 6
+	p = p.Symmetrize().Dedup(true)
+	cores = CoreNumbers(NewAdjacency(p))
+	for i := 0; i < 5; i++ {
+		if cores[i] != 1 {
+			t.Fatalf("path cores %v", cores)
+		}
+	}
+	if cores[5] != 0 {
+		t.Fatalf("isolated coreness %d", cores[5])
+	}
+}
+
+func TestTrussEdgesKnown(t *testing.T) {
+	k4 := generate.Complete(4).Symmetrize().Dedup(true)
+	a := NewAdjacency(k4)
+	if got := TrussEdges(a, 4); len(got) != 6 {
+		t.Fatalf("K4 4-truss edges %d", len(got))
+	}
+	if got := TrussEdges(a, 5); len(got) != 0 {
+		t.Fatalf("K4 5-truss edges %d", len(got))
+	}
+	p := generate.Path(6).Symmetrize().Dedup(true)
+	if got := TrussEdges(NewAdjacency(p), 3); len(got) != 0 {
+		t.Fatalf("path 3-truss %d", len(got))
+	}
+}
+
+func TestClusteringCoefficientsKnown(t *testing.T) {
+	k5 := generate.Complete(5).Symmetrize().Dedup(true)
+	for _, c := range ClusteringCoefficients(NewAdjacency(k5)) {
+		if c != 1 {
+			t.Fatalf("K5 cc %v", c)
+		}
+	}
+	p := generate.Path(6).Symmetrize().Dedup(true)
+	for _, c := range ClusteringCoefficients(NewAdjacency(p)) {
+		if c != 0 {
+			t.Fatalf("path cc %v", c)
+		}
+	}
+}
+
+func TestTarjanSCCKnown(t *testing.T) {
+	// 0→1→2→0 is one SCC; 3→4 are singletons.
+	g := &generate.Graph{N: 5, Edges: []generate.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}, {Src: 2, Dst: 0, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1}, {Src: 3, Dst: 4, Weight: 1},
+	}}
+	comp := TarjanSCC(NewAdjacency(g))
+	want := []int{0, 0, 0, 3, 4}
+	for i := range want {
+		if comp[i] != want[i] {
+			t.Fatalf("scc %v want %v", comp, want)
+		}
+	}
+	c := generate.Cycle(7)
+	comp = TarjanSCC(NewAdjacency(c))
+	for _, l := range comp {
+		if l != 0 {
+			t.Fatalf("cycle scc %v", comp)
+		}
+	}
+}

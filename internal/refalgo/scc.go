@@ -1,0 +1,92 @@
+package refalgo
+
+// TarjanSCC labels the strongly connected components of a directed graph;
+// each component's label is its smallest member vertex. Iterative Tarjan to
+// keep stack depth independent of graph shape.
+func TarjanSCC(a *Adjacency) []int {
+	n := a.N
+	const unvisited = -1
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v    int
+		iter int // position within v's neighbor list
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call := []frame{{v: root}}
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			nbrs := a.Neighbors(f.v)
+			advanced := false
+			for f.iter < len(nbrs) {
+				u := nbrs[f.iter]
+				f.iter++
+				if index[u] == unvisited {
+					index[u] = next
+					lowlink[u] = next
+					next++
+					stack = append(stack, u)
+					onStack[u] = true
+					call = append(call, frame{v: u})
+					advanced = true
+					break
+				}
+				if onStack[u] && index[u] < lowlink[f.v] {
+					lowlink[f.v] = index[u]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v is finished.
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := &call[len(call)-1]
+				if lowlink[v] < lowlink[p.v] {
+					lowlink[p.v] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				// Pop the component; label with the smallest member.
+				var members []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				minID := members[0]
+				for _, m := range members {
+					if m < minID {
+						minID = m
+					}
+				}
+				for _, m := range members {
+					comp[m] = minID
+				}
+			}
+		}
+	}
+	return comp
+}

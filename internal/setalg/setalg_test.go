@@ -1,0 +1,129 @@
+package setalg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randomSet derives a deterministic set over [0, 96) from raw bits.
+func randomSet(bits []byte) Set {
+	s := NewSet(96)
+	for _, b := range bits {
+		m := int(b) % 96
+		s.words[m/64] |= 1 << (uint(m) % 64)
+	}
+	return s
+}
+
+func TestSetBasics(t *testing.T) {
+	s := SetOf(10, 1, 3, 7, 3, -1, 12)
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if !s.Contains(1) || !s.Contains(3) || !s.Contains(7) || s.Contains(2) || s.Contains(12) {
+		t.Fatal("membership")
+	}
+	if got := s.String(); got != "{1,3,7}" {
+		t.Fatalf("string %q", got)
+	}
+	if s.Universe() != 10 {
+		t.Fatalf("universe %d", s.Universe())
+	}
+	e := NewSet(10)
+	if !e.IsEmpty() || s.IsEmpty() {
+		t.Fatal("emptiness")
+	}
+	f := FullSet(10)
+	if f.Len() != 10 {
+		t.Fatalf("full len %d", f.Len())
+	}
+	if f.Contains(10) {
+		t.Fatal("full set contains out-of-universe member")
+	}
+	m := s.Members()
+	want := []int{1, 3, 7}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("members %v", m)
+		}
+	}
+}
+
+func TestFullSetBoundary(t *testing.T) {
+	for _, u := range []int{0, 1, 63, 64, 65, 128} {
+		f := FullSet(u)
+		if f.Len() != u {
+			t.Fatalf("universe %d: len %d", u, f.Len())
+		}
+	}
+}
+
+// Property: the power-set semiring laws of Table I row 5 hold:
+// ∪ is commutative/associative with identity ∅; ∩ distributes over ∪;
+// ∅ annihilates ∩; U is the ∩ identity.
+func TestQuickPowerSetSemiringLaws(t *testing.T) {
+	f := func(ab, bb, cb []byte) bool {
+		a, b, c := randomSet(ab), randomSet(bb), randomSet(cb)
+		empty := NewSet(96)
+		full := FullSet(96)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			return false
+		}
+		if !a.Union(empty).Equal(a) {
+			return false
+		}
+		if !a.Intersect(full).Equal(a) {
+			return false
+		}
+		if !a.Intersect(empty).Equal(empty) {
+			return false
+		}
+		// distributivity: a ∩ (b ∪ c) == (a ∩ b) ∪ (a ∩ c)
+		return a.Intersect(b.Union(c)).Equal(a.Intersect(b).Union(a.Intersect(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonoidAndSemiringConstructors(t *testing.T) {
+	um := UnionMonoid(32)
+	if !um.Identity.IsEmpty() {
+		t.Fatal("union identity not empty")
+	}
+	im := IntersectMonoid(32)
+	if im.Identity.Len() != 32 {
+		t.Fatal("intersect identity not full")
+	}
+	s := UnionIntersect(32)
+	a := SetOf(32, 1, 2)
+	b := SetOf(32, 2, 3)
+	if got := s.Mul.F(a, b); got.Len() != 1 || !got.Contains(2) {
+		t.Fatalf("mul %v", got)
+	}
+	if got := s.Add.Op.F(a, b); got.Len() != 3 {
+		t.Fatalf("add %v", got)
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on universe mismatch")
+		}
+	}()
+	SetOf(8, 1).Union(SetOf(16, 1))
+}
+
+func TestImmutability(t *testing.T) {
+	a := SetOf(16, 1, 2)
+	b := SetOf(16, 3)
+	_ = a.Union(b)
+	_ = a.Intersect(b)
+	if a.Len() != 2 || b.Len() != 1 {
+		t.Fatal("operands mutated")
+	}
+}

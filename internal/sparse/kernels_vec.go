@@ -1,0 +1,379 @@
+package sparse
+
+// VecMask is a pre-resolved one-dimensional mask: Idx lists, in increasing
+// order, the positions whose stored mask value is true (the paper's "exist
+// and are true" rule). Comp selects the structural complement (GrB_SCMP):
+// note the complement is taken over the *structure*, so Structure must then
+// list all stored positions regardless of value. The core package resolves
+// value truthiness before kernels run.
+type VecMask struct {
+	N         int
+	Idx       []int // effective positions: stored-and-true
+	Structure []int // all stored positions (basis of the structural complement)
+	Comp      bool
+}
+
+// allowsCursor is a merge cursor for testing mask membership while scanning
+// indices in increasing order; amortized O(1) per query.
+type allowsCursor struct {
+	mask *VecMask
+	p    int
+}
+
+func (a *allowsCursor) allows(i int) bool {
+	if a.mask == nil {
+		return true
+	}
+	set := a.mask.Idx
+	if a.mask.Comp {
+		set = a.mask.Structure
+	}
+	for a.p < len(set) && set[a.p] < i {
+		a.p++
+	}
+	member := a.p < len(set) && set[a.p] == i
+	if a.mask.Comp {
+		return !member
+	}
+	return member
+}
+
+// VecUnion computes the eWiseAdd merge of a and b: positions in both get
+// add(a, b); positions in exactly one keep their value.
+func VecUnion[D any](a, b *Vec[D], add func(D, D) D) *Vec[D] {
+	idx, val := unionRow(a.Idx, a.Val, b.Idx, b.Val, add,
+		make([]int, 0, len(a.Idx)+len(b.Idx)), make([]D, 0, len(a.Idx)+len(b.Idx)))
+	return &Vec[D]{N: a.N, Idx: idx, Val: val}
+}
+
+// unionRow is the slice-level eWiseAdd merge, appending to outIdx/outVal.
+func unionRow[D any](aIdx []int, aVal []D, bIdx []int, bVal []D, add func(D, D) D, outIdx []int, outVal []D) ([]int, []D) {
+	pa, pb := 0, 0
+	for pa < len(aIdx) && pb < len(bIdx) {
+		switch {
+		case aIdx[pa] < bIdx[pb]:
+			outIdx = append(outIdx, aIdx[pa])
+			outVal = append(outVal, aVal[pa])
+			pa++
+		case aIdx[pa] > bIdx[pb]:
+			outIdx = append(outIdx, bIdx[pb])
+			outVal = append(outVal, bVal[pb])
+			pb++
+		default:
+			outIdx = append(outIdx, aIdx[pa])
+			outVal = append(outVal, add(aVal[pa], bVal[pb]))
+			pa++
+			pb++
+		}
+	}
+	outIdx = append(outIdx, aIdx[pa:]...)
+	outVal = append(outVal, aVal[pa:]...)
+	outIdx = append(outIdx, bIdx[pb:]...)
+	outVal = append(outVal, bVal[pb:]...)
+	return outIdx, outVal
+}
+
+// VecIntersect computes the eWiseMult merge of a and b: only positions
+// present in both survive, combined with mul. The three-domain form mirrors
+// the paper's set-intersection definition of ⊗.
+func VecIntersect[DA, DB, DC any](a *Vec[DA], b *Vec[DB], mul func(DA, DB) DC) *Vec[DC] {
+	idx, val := intersectRow(a.Idx, a.Val, b.Idx, b.Val, mul, nil, nil)
+	return &Vec[DC]{N: a.N, Idx: idx, Val: val}
+}
+
+// intersectRow is the slice-level eWiseMult merge, appending to its output
+// slices.
+func intersectRow[DA, DB, DC any](aIdx []int, aVal []DA, bIdx []int, bVal []DB, mul func(DA, DB) DC, outIdx []int, outVal []DC) ([]int, []DC) {
+	pa, pb := 0, 0
+	for pa < len(aIdx) && pb < len(bIdx) {
+		switch {
+		case aIdx[pa] < bIdx[pb]:
+			pa++
+		case aIdx[pa] > bIdx[pb]:
+			pb++
+		default:
+			outIdx = append(outIdx, aIdx[pa])
+			outVal = append(outVal, mul(aVal[pa], bVal[pb]))
+			pa++
+			pb++
+		}
+	}
+	return outIdx, outVal
+}
+
+// VecApply maps f over the stored values of a, keeping the structure.
+func VecApply[DA, DC any](a *Vec[DA], f func(DA) DC) *Vec[DC] {
+	out := &Vec[DC]{N: a.N, Idx: append([]int(nil), a.Idx...), Val: make([]DC, len(a.Val))}
+	for k, v := range a.Val {
+		out.Val[k] = f(v)
+	}
+	return out
+}
+
+// VecApplyIndex maps f(value, index) over the stored entries of a.
+func VecApplyIndex[DA, DC any](a *Vec[DA], f func(DA, int) DC) *Vec[DC] {
+	out := &Vec[DC]{N: a.N, Idx: append([]int(nil), a.Idx...), Val: make([]DC, len(a.Val))}
+	for k, v := range a.Val {
+		out.Val[k] = f(v, a.Idx[k])
+	}
+	return out
+}
+
+// VecSelect keeps the entries of a for which pred(value, index) holds.
+func VecSelect[D any](a *Vec[D], pred func(D, int) bool) *Vec[D] {
+	out := &Vec[D]{N: a.N}
+	for k, v := range a.Val {
+		if pred(v, a.Idx[k]) {
+			out.Idx = append(out.Idx, a.Idx[k])
+			out.Val = append(out.Val, v)
+		}
+	}
+	return out
+}
+
+// VecReduce folds the stored values of a with the monoid operation add
+// starting from identity. Returns identity for an empty vector, with
+// stored == false so callers can distinguish "no entries". A non-nil term
+// predicate recognizes the monoid's annihilator and stops the fold early.
+func VecReduce[D any](a *Vec[D], add func(D, D) D, identity D, term func(D) bool) (D, bool) {
+	acc := identity
+	for _, v := range a.Val {
+		acc = add(acc, v)
+		if term != nil && term(acc) {
+			break
+		}
+	}
+	return acc, len(a.Val) > 0
+}
+
+// MaskMergeVec applies the final write stage of the paper's operation
+// pipeline (Section VI): given the old content c and the computed content z
+// (already accumulated if an accumulator was supplied), produce the new
+// content of the output under mask/replace semantics:
+//
+//	inside the mask:  take z's entry (or no entry where z has none);
+//	outside the mask: keep c's entry unless replace is set.
+//
+// A nil mask admits every position and returns z itself: callers transfer
+// ownership of z (every kernel in this package produces fresh storage, so
+// this avoids an O(nnz) copy on the hot unmasked path). Callers holding a
+// shared z must clone before passing it.
+func MaskMergeVec[D any](c, z *Vec[D], mask *VecMask, replace bool) *Vec[D] {
+	if mask == nil {
+		return z
+	}
+	idx, val := maskMergeRow(c.Idx, c.Val, z.Idx, z.Val, mask, replace, nil, nil)
+	return &Vec[D]{N: c.N, Idx: idx, Val: val}
+}
+
+// maskMergeRow is the slice-level mask merge shared by the vector operation
+// and the row-parallel matrix write-back; results append to outIdx/outVal.
+func maskMergeRow[D any](cIdx []int, cVal []D, zIdx []int, zVal []D, mask *VecMask, replace bool, outIdx []int, outVal []D) ([]int, []D) {
+	cur := allowsCursor{mask: mask}
+	pc, pz := 0, 0
+	for pc < len(cIdx) || pz < len(zIdx) {
+		var i int
+		switch {
+		case pc >= len(cIdx):
+			i = zIdx[pz]
+		case pz >= len(zIdx):
+			i = cIdx[pc]
+		case cIdx[pc] <= zIdx[pz]:
+			i = cIdx[pc]
+		default:
+			i = zIdx[pz]
+		}
+		hasC := pc < len(cIdx) && cIdx[pc] == i
+		hasZ := pz < len(zIdx) && zIdx[pz] == i
+		if cur.allows(i) {
+			if hasZ {
+				outIdx = append(outIdx, i)
+				outVal = append(outVal, zVal[pz])
+			}
+		} else if !replace && hasC {
+			outIdx = append(outIdx, i)
+			outVal = append(outVal, cVal[pc])
+		}
+		if hasC {
+			pc++
+		}
+		if hasZ {
+			pz++
+		}
+	}
+	return outIdx, outVal
+}
+
+// WriteVec runs the full accumulate-then-mask write pipeline: z is
+// accum==nil ? t : union(c, t, accum), then MaskMergeVec(c, z, mask, replace).
+func WriteVec[D any](c, t *Vec[D], mask *VecMask, accum func(D, D) D, replace bool) *Vec[D] {
+	z := t
+	if accum != nil {
+		z = VecUnion(c, t, accum)
+	}
+	return MaskMergeVec(c, z, mask, replace)
+}
+
+// ExtractVec computes w(k) = u(indices[k]); duplicate source indices are
+// permitted. indices must be pre-validated to lie in [0, u.N).
+func ExtractVec[D any](u *Vec[D], indices []int) *Vec[D] {
+	out := &Vec[D]{N: len(indices)}
+	for k, i := range indices {
+		if v, ok := u.Get(i); ok {
+			out.Idx = append(out.Idx, k)
+			out.Val = append(out.Val, v)
+		}
+	}
+	return out
+}
+
+// assignEntry pairs a target position with an optional source value for the
+// single-pass assign merges below.
+type assignEntry[D any] struct {
+	target int
+	val    D
+	has    bool // source has an entry at this position
+}
+
+// sortAssign sorts assignment entries by target position. Target positions
+// are unique (the core layer rejects duplicate assign indices).
+func sortAssign[D any](es []assignEntry[D]) {
+	// Insertion sort for short lists, quicksort otherwise via index perm.
+	if len(es) <= 48 {
+		for i := 1; i < len(es); i++ {
+			x := es[i]
+			j := i - 1
+			for j >= 0 && es[j].target > x.target {
+				es[j+1] = es[j]
+				j--
+			}
+			es[j+1] = x
+		}
+		return
+	}
+	quickSortAssign(es)
+}
+
+func quickSortAssign[D any](es []assignEntry[D]) {
+	for len(es) > 48 {
+		m := len(es) / 2
+		if es[0].target > es[m].target {
+			es[0], es[m] = es[m], es[0]
+		}
+		if es[0].target > es[len(es)-1].target {
+			es[0], es[len(es)-1] = es[len(es)-1], es[0]
+		}
+		if es[m].target > es[len(es)-1].target {
+			es[m], es[len(es)-1] = es[len(es)-1], es[m]
+		}
+		pivot := es[m].target
+		i, j := 0, len(es)-1
+		for i <= j {
+			for es[i].target < pivot {
+				i++
+			}
+			for es[j].target > pivot {
+				j--
+			}
+			if i <= j {
+				es[i], es[j] = es[j], es[i]
+				i++
+				j--
+			}
+		}
+		if j < len(es)-i {
+			quickSortAssign(es[:j+1])
+			es = es[i:]
+		} else {
+			quickSortAssign(es[i:])
+			es = es[:j+1]
+		}
+	}
+	for i := 1; i < len(es); i++ {
+		x := es[i]
+		j := i - 1
+		for j >= 0 && es[j].target > x.target {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = x
+	}
+}
+
+// mergeAssign merges the old content (idx/val slices) with sorted assignment
+// entries, producing new sorted slices. Within the assigned positions the
+// entry is replaced (or deleted when the source has none and accum is nil,
+// or kept when accum is non-nil); outside them the old entry is kept.
+func mergeAssign[D any](cIdx []int, cVal []D, es []assignEntry[D], accum func(D, D) D) ([]int, []D) {
+	outIdx := make([]int, 0, len(cIdx)+len(es))
+	outVal := make([]D, 0, len(cIdx)+len(es))
+	pc, pe := 0, 0
+	for pc < len(cIdx) || pe < len(es) {
+		switch {
+		case pe >= len(es) || (pc < len(cIdx) && cIdx[pc] < es[pe].target):
+			outIdx = append(outIdx, cIdx[pc])
+			outVal = append(outVal, cVal[pc])
+			pc++
+		case pc >= len(cIdx) || es[pe].target < cIdx[pc]:
+			if es[pe].has {
+				outIdx = append(outIdx, es[pe].target)
+				outVal = append(outVal, es[pe].val)
+			}
+			pe++
+		default: // both present at the same position
+			switch {
+			case es[pe].has && accum != nil:
+				outIdx = append(outIdx, cIdx[pc])
+				outVal = append(outVal, accum(cVal[pc], es[pe].val))
+			case es[pe].has:
+				outIdx = append(outIdx, es[pe].target)
+				outVal = append(outVal, es[pe].val)
+			case accum != nil: // source empty, accum keeps old value
+				outIdx = append(outIdx, cIdx[pc])
+				outVal = append(outVal, cVal[pc])
+			}
+			// source empty and no accum: position is deleted
+			pc++
+			pe++
+		}
+	}
+	return outIdx, outVal
+}
+
+// AssignExpandVec computes the Z content for w(indices) = u following the
+// assign semantics of the spec: Z starts as a copy of c; within the assigned
+// positions, entries are replaced by u's entries (deleting positions where u
+// has no entry) or, when accum is non-nil, combined with accum while keeping
+// c entries untouched where u has no entry. Target indices must be unique
+// (validated by the caller).
+func AssignExpandVec[D any](c, u *Vec[D], indices []int, accum func(D, D) D) *Vec[D] {
+	es := make([]assignEntry[D], len(indices))
+	pu := 0
+	for k, i := range indices {
+		es[k].target = i
+		for pu < len(u.Idx) && u.Idx[pu] < k {
+			pu++
+		}
+		if pu < len(u.Idx) && u.Idx[pu] == k {
+			es[k].val = u.Val[pu]
+			es[k].has = true
+		}
+	}
+	sortAssign(es)
+	idx, val := mergeAssign(c.Idx, c.Val, es, accum)
+	return &Vec[D]{N: c.N, Idx: idx, Val: val}
+}
+
+// AssignScalarExpandVec computes the Z content for w(indices) = scalar:
+// every assigned position receives the scalar (combined with accum when
+// present and the position already holds a value). Target indices must be
+// unique (validated by the caller).
+func AssignScalarExpandVec[D any](c *Vec[D], x D, indices []int, accum func(D, D) D) *Vec[D] {
+	es := make([]assignEntry[D], len(indices))
+	for k, i := range indices {
+		es[k] = assignEntry[D]{target: i, val: x, has: true}
+	}
+	sortAssign(es)
+	idx, val := mergeAssign(c.Idx, c.Val, es, accum)
+	return &Vec[D]{N: c.N, Idx: idx, Val: val}
+}

@@ -1,0 +1,519 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func addF(x, y float64) float64 { return x + y }
+func mulF(x, y float64) float64 { return x * y }
+
+// randVec builds a random sparse vector and its dense model.
+func randVec(rng *rand.Rand, n int, p float64) (*Vec[float64], map[int]float64) {
+	v := NewVec[float64](n)
+	m := map[int]float64{}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			x := float64(rng.Intn(19) - 9)
+			v.Idx = append(v.Idx, i)
+			v.Val = append(v.Val, x)
+			m[i] = x
+		}
+	}
+	return v, m
+}
+
+// randCSR builds a random CSR matrix and its dense model.
+func randCSR(rng *rand.Rand, nr, nc int, p float64) (*CSR[float64], map[[2]int]float64) {
+	var is, js []int
+	var vs []float64
+	m := map[[2]int]float64{}
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			if rng.Float64() < p {
+				x := float64(rng.Intn(9) + 1)
+				is = append(is, i)
+				js = append(js, j)
+				vs = append(vs, x)
+				m[[2]int{i, j}] = x
+			}
+		}
+	}
+	c, ok := BuildCSR(nr, nc, is, js, vs, nil)
+	if !ok {
+		panic("BuildCSR failed")
+	}
+	return c, m
+}
+
+func checkVecInvariants(t *testing.T, v *Vec[float64], label string) {
+	t.Helper()
+	if len(v.Idx) != len(v.Val) {
+		t.Fatalf("%s: idx/val length mismatch", label)
+	}
+	for k := 1; k < len(v.Idx); k++ {
+		if v.Idx[k-1] >= v.Idx[k] {
+			t.Fatalf("%s: indices not strictly increasing at %d: %v", label, k, v.Idx)
+		}
+	}
+	for _, i := range v.Idx {
+		if i < 0 || i >= v.N {
+			t.Fatalf("%s: index %d out of range %d", label, i, v.N)
+		}
+	}
+}
+
+func checkCSRInvariants(t *testing.T, m *CSR[float64], label string) {
+	t.Helper()
+	if len(m.Ptr) != m.NRows+1 || m.Ptr[0] != 0 {
+		t.Fatalf("%s: bad Ptr", label)
+	}
+	for i := 0; i < m.NRows; i++ {
+		if m.Ptr[i] > m.Ptr[i+1] {
+			t.Fatalf("%s: Ptr decreasing at %d", label, i)
+		}
+		for p := m.Ptr[i] + 1; p < m.Ptr[i+1]; p++ {
+			if m.ColIdx[p-1] >= m.ColIdx[p] {
+				t.Fatalf("%s: row %d columns not strictly increasing", label, i)
+			}
+		}
+		for p := m.Ptr[i]; p < m.Ptr[i+1]; p++ {
+			if m.ColIdx[p] < 0 || m.ColIdx[p] >= m.NCols {
+				t.Fatalf("%s: row %d col %d out of range", label, i, m.ColIdx[p])
+			}
+		}
+	}
+	if m.Ptr[m.NRows] != len(m.ColIdx) || len(m.ColIdx) != len(m.Val) {
+		t.Fatalf("%s: storage lengths inconsistent", label)
+	}
+}
+
+func TestVecSetGetRemove(t *testing.T) {
+	v := NewVec[float64](10)
+	order := []int{5, 1, 9, 3, 1, 7}
+	for k, i := range order {
+		v.Set(i, float64(k))
+	}
+	checkVecInvariants(t, v, "after sets")
+	if v.NVals() != 5 {
+		t.Fatalf("nvals %d", v.NVals())
+	}
+	if x, ok := v.Get(1); !ok || x != 4 {
+		t.Fatalf("overwrite got %v %v", x, ok)
+	}
+	if !v.Remove(3) || v.Remove(3) {
+		t.Fatalf("remove semantics")
+	}
+	if _, ok := v.Get(3); ok {
+		t.Fatalf("removed element still present")
+	}
+	checkVecInvariants(t, v, "after removes")
+}
+
+// Property: BuildVec sorts, dedups with the combiner, and round-trips
+// through Tuples.
+func TestQuickBuildVecRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 64
+		idx := make([]int, len(raw))
+		val := make([]float64, len(raw))
+		model := map[int]float64{}
+		for k, r := range raw {
+			idx[k] = int(r) % n
+			val[k] = float64(k + 1)
+			model[idx[k]] += val[k]
+		}
+		v, ok := BuildVec(n, idx, val, addF)
+		if !ok {
+			return false
+		}
+		gi, gv := v.Tuples()
+		if len(gi) != len(model) {
+			return false
+		}
+		for k, i := range gi {
+			if model[i] != gv[k] {
+				return false
+			}
+		}
+		return sort.IntsAreSorted(gi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose is an involution and preserves content.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, model := randCSR(rng, 1+rng.Intn(20), 1+rng.Intn(20), 0.3)
+		tt := m.Transpose().Transpose()
+		if tt.NRows != m.NRows || tt.NCols != m.NCols || tt.NNZ() != m.NNZ() {
+			return false
+		}
+		is, js, vs := tt.Tuples()
+		for k := range is {
+			if model[[2]int{is[k], js[k]}] != vs[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: VecUnion is commutative for a commutative operator and its
+// structure is the union of structures.
+func TestQuickVecUnionCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		a, am := randVec(rng, n, 0.4)
+		b, bm := randVec(rng, n, 0.4)
+		u1 := VecUnion(a, b, addF)
+		u2 := VecUnion(b, a, addF)
+		if !reflect.DeepEqual(u1.Idx, u2.Idx) || !reflect.DeepEqual(u1.Val, u2.Val) {
+			return false
+		}
+		want := map[int]float64{}
+		for i, x := range am {
+			want[i] = x
+		}
+		for i, x := range bm {
+			want[i] += x
+		}
+		if len(u1.Idx) != len(want) {
+			return false
+		}
+		for k, i := range u1.Idx {
+			if want[i] != u1.Val[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: VecIntersect's structure is the intersection of structures.
+func TestQuickVecIntersect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		a, am := randVec(rng, n, 0.5)
+		b, bm := randVec(rng, n, 0.5)
+		x := VecIntersect(a, b, mulF)
+		for k, i := range x.Idx {
+			av, aok := am[i]
+			bv, bok := bm[i]
+			if !aok || !bok || x.Val[k] != av*bv {
+				return false
+			}
+		}
+		count := 0
+		for i := range am {
+			if _, ok := bm[i]; ok {
+				count++
+			}
+		}
+		return count == len(x.Idx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SpGEMM (SPA) and SpGEMMHeap agree with the naive dense product.
+func TestQuickSpGEMMAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, l, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a, am := randCSR(rng, m, l, 0.35)
+		b, bm := randCSR(rng, l, n, 0.35)
+		want := map[[2]int]float64{}
+		has := map[[2]int]bool{}
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < l; k++ {
+					x, ok1 := am[[2]int{i, k}]
+					y, ok2 := bm[[2]int{k, j}]
+					if ok1 && ok2 {
+						want[[2]int{i, j}] += x * y
+						has[[2]int{i, j}] = true
+					}
+				}
+			}
+		}
+		for _, c := range []*CSR[float64]{
+			SpGEMM(a, b, mulF, addF, nil),
+			SpGEMMHeap(a, b, mulF, addF),
+		} {
+			if c.NNZ() != len(has) {
+				return false
+			}
+			is, js, vs := c.Tuples()
+			for k := range is {
+				if want[[2]int{is[k], js[k]}] != vs[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: masked SpGEMM equals unmasked SpGEMM filtered by the mask.
+func TestQuickSpGEMMMaskedEqualsFiltered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		a, _ := randCSR(rng, n, n, 0.3)
+		b, _ := randCSR(rng, n, n, 0.3)
+		mp, _ := randCSR(rng, n, n, 0.4)
+		for _, comp := range []bool{false, true} {
+			mask := &MatMask{NCols: n, EffPtr: mp.Ptr, EffIdx: mp.ColIdx, StrPtr: mp.Ptr, StrIdx: mp.ColIdx, Comp: comp}
+			got := SpGEMM(a, b, mulF, addF, mask)
+			full := SpGEMM(a, b, mulF, addF, nil)
+			want := map[[2]int]float64{}
+			is, js, vs := full.Tuples()
+			for k := range is {
+				member := mp.Has(is[k], js[k])
+				if member != comp {
+					want[[2]int{is[k], js[k]}] = vs[k]
+				}
+			}
+			if got.NNZ() != len(want) {
+				return false
+			}
+			gi, gj, gv := got.Tuples()
+			for k := range gi {
+				if want[[2]int{gi[k], gj[k]}] != gv[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DotMxV and PushMxV are consistent: Dot(A, u) == Push(Aᵀ, u).
+func TestQuickDotPushConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nr, nc := 1+rng.Intn(15), 1+rng.Intn(15)
+		a, _ := randCSR(rng, nr, nc, 0.3)
+		u, _ := randVec(rng, nc, 0.5)
+		dot := DotMxV(a, u, mulF, addF, nil)
+		push := PushMxV(a.Transpose(), u, mulF, addF, nil)
+		return reflect.DeepEqual(dot.Idx, push.Idx) && reflect.DeepEqual(dot.Val, push.Val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WriteVec with no mask and no accumulator returns exactly t.
+func TestQuickWriteVecIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		c, _ := randVec(rng, n, 0.4)
+		tv, _ := randVec(rng, n, 0.4)
+		out := WriteVec(c, tv, nil, nil, false)
+		return reflect.DeepEqual(out.Idx, tv.Idx) && reflect.DeepEqual(out.Val, tv.Val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaskMergeVec with a full true mask equals z; with an empty mask
+// and replace it is empty; with an empty mask and merge it equals c.
+func TestMaskMergeVecEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	c, _ := randVec(rng, n, 0.5)
+	z, _ := randVec(rng, n, 0.5)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	full := &VecMask{N: n, Idx: all, Structure: all}
+	if out := MaskMergeVec(c, z, full, false); !reflect.DeepEqual(out.Idx, z.Idx) {
+		t.Fatalf("full mask should pass z through")
+	}
+	empty := &VecMask{N: n}
+	if out := MaskMergeVec(c, z, empty, true); out.NVals() != 0 {
+		t.Fatalf("empty mask with replace should clear")
+	}
+	if out := MaskMergeVec(c, z, empty, false); !reflect.DeepEqual(out.Idx, c.Idx) {
+		t.Fatalf("empty mask merge should keep c")
+	}
+	// Complement of empty mask admits everything.
+	compEmpty := &VecMask{N: n, Comp: true}
+	if out := MaskMergeVec(c, z, compEmpty, false); !reflect.DeepEqual(out.Idx, z.Idx) {
+		t.Fatalf("complement of empty mask should pass z through")
+	}
+}
+
+func TestCSRSetRemoveResize(t *testing.T) {
+	m := NewCSR[float64](4, 4)
+	m.Set(2, 1, 5)
+	m.Set(0, 3, 2)
+	m.Set(2, 0, 1)
+	m.Set(2, 1, 9) // overwrite
+	checkCSRInvariants(t, m, "after sets")
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz %d", m.NNZ())
+	}
+	if x, ok := m.Get(2, 1); !ok || x != 9 {
+		t.Fatalf("get %v %v", x, ok)
+	}
+	if !m.Remove(0, 3) || m.Remove(0, 3) {
+		t.Fatalf("remove semantics")
+	}
+	checkCSRInvariants(t, m, "after remove")
+	m.Resize(3, 1)
+	checkCSRInvariants(t, m, "after shrink")
+	if m.NNZ() != 1 { // only (2,0) survives
+		t.Fatalf("resize nnz %d", m.NNZ())
+	}
+	m.Resize(6, 6)
+	checkCSRInvariants(t, m, "after grow")
+	if m.NNZ() != 1 || m.NRows != 6 || m.NCols != 6 {
+		t.Fatalf("grow wrong")
+	}
+}
+
+func TestBuildCSRDuplicates(t *testing.T) {
+	if _, ok := BuildCSR(2, 2, []int{0, 0}, []int{1, 1}, []float64{1, 2}, nil); ok {
+		t.Fatalf("duplicates without dup should fail")
+	}
+	m, ok := BuildCSR(2, 2, []int{0, 0, 1}, []int{1, 1, 0}, []float64{1, 2, 7}, addF)
+	if !ok {
+		t.Fatalf("BuildCSR failed")
+	}
+	if x, _ := m.Get(0, 1); x != 3 {
+		t.Fatalf("dup combine %v", x)
+	}
+	if _, ok := BuildCSR(2, 2, []int{5}, []int{0}, []float64{1}, nil); ok {
+		t.Fatalf("out of range accepted")
+	}
+}
+
+func TestExtractCSRDuplicateIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, model := randCSR(rng, 6, 6, 0.5)
+	rows := []int{3, 3, 0, 5}
+	cols := []int{2, 2, 4}
+	got := ExtractCSR(a, rows, cols)
+	checkCSRInvariants(t, got, "extract")
+	for r, src := range rows {
+		for q, cj := range cols {
+			want, wok := model[[2]int{src, cj}]
+			g, gok := got.Get(r, q)
+			if wok != gok || (wok && g != want) {
+				t.Fatalf("(%d,%d): got %v,%v want %v,%v", r, q, g, gok, want, wok)
+			}
+		}
+	}
+}
+
+func TestKron(t *testing.T) {
+	a, _ := BuildCSR(2, 3, []int{0, 1}, []int{2, 0}, []float64{2, 3}, nil)
+	b, _ := BuildCSR(3, 2, []int{0, 2}, []int{1, 0}, []float64{5, 7}, nil)
+	k := KronCSR(a, b, mulF)
+	checkCSRInvariants(t, k, "kron")
+	if k.NRows != 6 || k.NCols != 6 || k.NNZ() != 4 {
+		t.Fatalf("kron shape %dx%d nnz %d", k.NRows, k.NCols, k.NNZ())
+	}
+	checks := [][3]float64{
+		{0, 5, 10}, {2, 4, 14}, {3, 1, 15}, {5, 0, 21},
+	}
+	for _, c := range checks {
+		if x, ok := k.Get(int(c[0]), int(c[1])); !ok || x != c[2] {
+			t.Fatalf("kron (%v,%v) got %v %v want %v", c[0], c[1], x, ok, c[2])
+		}
+	}
+}
+
+func TestReduceRows(t *testing.T) {
+	a, _ := BuildCSR(3, 3, []int{0, 0, 2}, []int{0, 1, 2}, []float64{1, 2, 5}, nil)
+	w := ReduceRowsCSR(a, addF, nil)
+	if w.NVals() != 2 {
+		t.Fatalf("nvals %d", w.NVals())
+	}
+	if x, _ := w.Get(0); x != 3 {
+		t.Fatalf("row0 %v", x)
+	}
+	if _, ok := w.Get(1); ok {
+		t.Fatalf("empty row produced entry")
+	}
+	total, any := ReduceAllCSR(a, addF, 0, nil)
+	if !any || total != 8 {
+		t.Fatalf("reduce all %v %v", total, any)
+	}
+	empty := NewCSR[float64](2, 2)
+	if _, any := ReduceAllCSR(empty, addF, 0, nil); any {
+		t.Fatalf("empty matrix reported entries")
+	}
+}
+
+func TestSelectAndApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a, model := randCSR(rng, 8, 8, 0.4)
+	sel := SelectCSR(a, func(v float64, i, j int) bool { return j < i && v > 3 })
+	checkCSRInvariants(t, sel, "select")
+	is, js, vs := sel.Tuples()
+	for k := range is {
+		if !(js[k] < is[k] && vs[k] > 3) {
+			t.Fatalf("select kept (%d,%d)=%v", is[k], js[k], vs[k])
+		}
+	}
+	count := 0
+	for k, v := range model {
+		if k[1] < k[0] && v > 3 {
+			count++
+		}
+	}
+	if count != sel.NNZ() {
+		t.Fatalf("select count %d want %d", sel.NNZ(), count)
+	}
+
+	ap := ApplyIndexCSR(a, func(v float64, i, j int) float64 { return v + float64(100*i+j) })
+	ai, aj, av := ap.Tuples()
+	for k := range ai {
+		if av[k] != model[[2]int{ai[k], aj[k]}]+float64(100*ai[k]+aj[k]) {
+			t.Fatalf("apply index wrong at (%d,%d)", ai[k], aj[k])
+		}
+	}
+}
+
+func TestPartitionByWeight(t *testing.T) {
+	// Degenerate and balanced cases exercised through ForWeighted in other
+	// tests; here check bounds structure directly via a skewed cum array.
+	cum := []int{0, 100, 101, 102, 103, 104}
+	a, _ := BuildCSR(5, 5, []int{0}, []int{0}, []float64{1}, nil)
+	_ = a
+	// One heavy row: partitioning should still cover [0, n).
+	got := SpGEMM(
+		&CSR[float64]{NRows: 5, NCols: 5, Ptr: cum[:6], ColIdx: make([]int, 104), Val: make([]float64, 104)},
+		NewCSR[float64](5, 5), mulF, addF, nil)
+	if got.NNZ() != 0 {
+		t.Fatalf("empty B should give empty product")
+	}
+}

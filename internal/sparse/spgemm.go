@@ -1,0 +1,148 @@
+package sparse
+
+import "graphblas/internal/parallel"
+
+// SpGEMM computes the semiring matrix product C = A ⊕.⊗ B using Gustavson's
+// row-by-row algorithm with a sparse accumulator, parallel over nnz-balanced
+// row ranges of A.
+//
+// When mask is non-nil the mask is applied *inside* the kernel: positions the
+// mask disallows are never accumulated, which is the pruning the paper's
+// betweenness-centrality example relies on (Section VII-C: the structural
+// complement of numsp prunes already-discovered vertices during frontier
+// expansion).
+func SpGEMM[DA, DB, DC any](a *CSR[DA], b *CSR[DB], mul func(DA, DB) DC, add func(DC, DC) DC, mask *MatMask) *CSR[DC] {
+	ri := make([][]int, a.NRows)
+	rv := make([][]DC, a.NRows)
+	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
+		spa := NewSPA[DC](b.NCols)
+		var allowed *BitSPA
+		if mask != nil {
+			allowed = NewBitSPA(b.NCols)
+		}
+		// Chunk-local arena: every row of this chunk gathers into one pair
+		// of growing slices, so allocation count is O(log total) per chunk
+		// rather than O(rows). The published row slices alias the arena,
+		// which assemble copies out of.
+		var idxArena []int
+		var valArena []DC
+		offs := make([]int, 0, hi-lo+1)
+		offs = append(offs, 0)
+		for i := lo; i < hi; i++ {
+			spa.Reset()
+			maskRow := func(int) bool { return true }
+			if mask != nil {
+				allowed.Reset()
+				if mask.Comp {
+					allowed.MarkAll(mask.StrRow(i))
+					maskRow = func(j int) bool { return !allowed.Has(j) }
+				} else {
+					allowed.MarkAll(mask.EffRow(i))
+					maskRow = allowed.Has
+				}
+			}
+			for pa := a.Ptr[i]; pa < a.Ptr[i+1]; pa++ {
+				k := a.ColIdx[pa]
+				av := a.Val[pa]
+				for pb := b.Ptr[k]; pb < b.Ptr[k+1]; pb++ {
+					j := b.ColIdx[pb]
+					if !maskRow(j) {
+						continue
+					}
+					spa.Accumulate(j, mul(av, b.Val[pb]), add)
+				}
+			}
+			idxArena, valArena = spa.Gather(idxArena, valArena)
+			offs = append(offs, len(idxArena))
+		}
+		for i := lo; i < hi; i++ {
+			k := i - lo
+			ri[i] = idxArena[offs[k]:offs[k+1]]
+			rv[i] = valArena[offs[k]:offs[k+1]]
+		}
+	})
+	return assemble(a.NRows, b.NCols, ri, rv)
+}
+
+// SpGEMMHeap is the heap-merge SpGEMM variant used for the DESIGN.md
+// ablation: instead of a dense accumulator it performs a k-way merge of the
+// B rows selected by each A row. Asymptotically better for hypersparse
+// outputs, usually slower in practice — which is the point of the ablation.
+func SpGEMMHeap[DA, DB, DC any](a *CSR[DA], b *CSR[DB], mul func(DA, DB) DC, add func(DC, DC) DC) *CSR[DC] {
+	ri := make([][]int, a.NRows)
+	rv := make([][]DC, a.NRows)
+	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri[i], rv[i] = spgemmHeapRow(a, b, i, mul, add)
+		}
+	})
+	return assemble(a.NRows, b.NCols, ri, rv)
+}
+
+// heapEntry is a cursor into one selected row of B during the k-way merge.
+type heapEntry[DA any] struct {
+	col  int // current column of this cursor
+	pos  int // storage position in b
+	end  int // end of this row's storage
+	aval DA  // the A value scaling this row
+}
+
+func spgemmHeapRow[DA, DB, DC any](a *CSR[DA], b *CSR[DB], i int, mul func(DA, DB) DC, add func(DC, DC) DC) ([]int, []DC) {
+	var h []heapEntry[DA]
+	for pa := a.Ptr[i]; pa < a.Ptr[i+1]; pa++ {
+		k := a.ColIdx[pa]
+		if b.Ptr[k] < b.Ptr[k+1] {
+			h = append(h, heapEntry[DA]{col: b.ColIdx[b.Ptr[k]], pos: b.Ptr[k], end: b.Ptr[k+1], aval: a.Val[pa]})
+		}
+	}
+	heapify(h)
+	var idx []int
+	var val []DC
+	for len(h) > 0 {
+		top := h[0]
+		x := mul(top.aval, b.Val[top.pos])
+		if n := len(idx); n > 0 && idx[n-1] == top.col {
+			val[n-1] = add(val[n-1], x)
+		} else {
+			idx = append(idx, top.col)
+			val = append(val, x)
+		}
+		top.pos++
+		if top.pos < top.end {
+			top.col = b.ColIdx[top.pos]
+			h[0] = top
+			siftDown(h, 0)
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			if len(h) > 0 {
+				siftDown(h, 0)
+			}
+		}
+	}
+	return idx, val
+}
+
+func heapify[DA any](h []heapEntry[DA]) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+}
+
+func siftDown[DA any](h []heapEntry[DA], i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l].col < h[smallest].col {
+			smallest = l
+		}
+		if r < len(h) && h[r].col < h[smallest].col {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,82 @@
+package sparse
+
+import "graphblas/internal/parallel"
+
+// DotMxV computes w(i) = ⊕_k mul(a(i,k), u(k)) — the pull-style (dot
+// product) matrix-vector multiply w = A ⊕.⊗ u. The input vector is
+// scattered into a dense workspace once; rows are processed in parallel,
+// nnz-balanced.
+//
+// A non-nil mask is applied inside the kernel: rows the mask disallows are
+// skipped entirely, which is the "pull with mask" optimization — the key
+// benefit of the API carrying the mask into the operation rather than
+// filtering afterwards.
+func DotMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
+	dense, present := u.Dense()
+	rowOut := make([]DC, a.NRows)
+	rowHas := make([]bool, a.NRows)
+	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
+		cur := allowsCursor{mask: mask}
+		for i := lo; i < hi; i++ {
+			if !cur.allows(i) {
+				continue
+			}
+			var acc DC
+			has := false
+			for p := a.Ptr[i]; p < a.Ptr[i+1]; p++ {
+				k := a.ColIdx[p]
+				if !present[k] {
+					continue
+				}
+				x := mul(a.Val[p], dense[k])
+				if has {
+					acc = add(acc, x)
+				} else {
+					acc = x
+					has = true
+				}
+			}
+			if has {
+				rowOut[i] = acc
+				rowHas[i] = true
+			}
+		}
+	})
+	return FromDense(rowOut, rowHas)
+}
+
+// PushMxV computes w(i) = ⊕_k mul(a(k,i), u(k)) — i.e. w = Aᵀ ⊕.⊗ u — by
+// scattering each stored entry of u through its row of a (push style). This
+// is the natural kernel for frontier expansion when the frontier is sparse:
+// work is proportional to the edges incident to the frontier, not to the
+// whole matrix.
+//
+// A non-nil mask filters target positions before accumulation.
+func PushMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
+	spa := NewSPA[DC](a.NCols)
+	spa.Reset()
+	var allowed *BitSPA
+	comp := false
+	if mask != nil {
+		allowed = NewBitSPA(a.NCols)
+		allowed.Reset()
+		comp = mask.Comp
+		if comp {
+			allowed.MarkAll(mask.Structure)
+		} else {
+			allowed.MarkAll(mask.Idx)
+		}
+	}
+	for pu, k := range u.Idx {
+		uv := u.Val[pu]
+		for p := a.Ptr[k]; p < a.Ptr[k+1]; p++ {
+			i := a.ColIdx[p]
+			if allowed != nil && allowed.Has(i) == comp {
+				continue
+			}
+			spa.Accumulate(i, mul(a.Val[p], uv), add)
+		}
+	}
+	idx, val := spa.Gather(nil, nil)
+	return &Vec[DC]{N: a.NCols, Idx: idx, Val: val}
+}

@@ -1,0 +1,171 @@
+// Package sparse implements the storage substrate beneath the GraphBLAS
+// objects: compressed sparse row (CSR) matrices, sorted sparse vectors, a
+// coordinate-format builder, and the generic kernels (SpGEMM, SpMV/SpVM,
+// union/intersection merges, transposition, slicing, reductions) that the
+// core package composes into the Table-II operations of the paper.
+//
+// The package has no GraphBLAS semantics of its own: masks arrive as
+// pre-resolved index patterns, semirings as plain Go functions. Everything is
+// generic over the element type, mirroring the paper's separation between a
+// collection and the algebra applied to it.
+package sparse
+
+import "sort"
+
+// Vec is a sparse vector of logical size N holding len(Idx) stored elements.
+// Invariants: Idx is strictly increasing, len(Idx) == len(Val), and every
+// index is in [0, N). Elements not stored are *undefined* (not implicit
+// zeros), per Section III-A of the paper.
+type Vec[T any] struct {
+	N   int
+	Idx []int
+	Val []T
+}
+
+// NewVec returns an empty sparse vector of logical size n.
+func NewVec[T any](n int) *Vec[T] { return &Vec[T]{N: n} }
+
+// NVals reports the number of stored elements.
+func (v *Vec[T]) NVals() int { return len(v.Idx) }
+
+// Clone returns a deep copy of v.
+func (v *Vec[T]) Clone() *Vec[T] {
+	w := &Vec[T]{N: v.N}
+	if len(v.Idx) > 0 {
+		w.Idx = append([]int(nil), v.Idx...)
+		w.Val = append([]T(nil), v.Val...)
+	}
+	return w
+}
+
+// Clear removes all stored elements, keeping the logical size.
+func (v *Vec[T]) Clear() {
+	v.Idx = v.Idx[:0]
+	v.Val = v.Val[:0]
+}
+
+// find returns the position of index i in v.Idx and whether it is present.
+// If absent, the returned position is the insertion point.
+func (v *Vec[T]) find(i int) (int, bool) {
+	p := sort.SearchInts(v.Idx, i)
+	return p, p < len(v.Idx) && v.Idx[p] == i
+}
+
+// Get returns the element at index i and whether it is stored.
+func (v *Vec[T]) Get(i int) (T, bool) {
+	if p, ok := v.find(i); ok {
+		return v.Val[p], true
+	}
+	var zero T
+	return zero, false
+}
+
+// Has reports whether index i is stored.
+func (v *Vec[T]) Has(i int) bool {
+	_, ok := v.find(i)
+	return ok
+}
+
+// Set stores value x at index i, overwriting any existing element.
+func (v *Vec[T]) Set(i int, x T) {
+	p, ok := v.find(i)
+	if ok {
+		v.Val[p] = x
+		return
+	}
+	v.Idx = append(v.Idx, 0)
+	v.Val = append(v.Val, x)
+	copy(v.Idx[p+1:], v.Idx[p:])
+	copy(v.Val[p+1:], v.Val[p:])
+	v.Idx[p] = i
+	v.Val[p] = x
+}
+
+// Remove deletes the element at index i if present and reports whether an
+// element was removed.
+func (v *Vec[T]) Remove(i int) bool {
+	p, ok := v.find(i)
+	if !ok {
+		return false
+	}
+	v.Idx = append(v.Idx[:p], v.Idx[p+1:]...)
+	v.Val = append(v.Val[:p], v.Val[p+1:]...)
+	return true
+}
+
+// Resize changes the logical size to n, dropping stored elements at indices
+// >= n.
+func (v *Vec[T]) Resize(n int) {
+	if n < v.N {
+		p := sort.SearchInts(v.Idx, n)
+		v.Idx = v.Idx[:p]
+		v.Val = v.Val[:p]
+	}
+	v.N = n
+}
+
+// BuildVec constructs a sparse vector of size n from parallel index/value
+// slices. Duplicate indices are combined with dup; if dup is nil duplicates
+// are an error reported by returning ok == false. Indices out of range also
+// report ok == false. The inputs are not modified.
+func BuildVec[T any](n int, idx []int, val []T, dup func(T, T) T) (v *Vec[T], ok bool) {
+	v = NewVec[T](n)
+	if len(idx) != len(val) {
+		return nil, false
+	}
+	if len(idx) == 0 {
+		return v, true
+	}
+	perm := make([]int, len(idx))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return idx[perm[a]] < idx[perm[b]] })
+	v.Idx = make([]int, 0, len(idx))
+	v.Val = make([]T, 0, len(idx))
+	for _, p := range perm {
+		i := idx[p]
+		if i < 0 || i >= n {
+			return nil, false
+		}
+		if k := len(v.Idx); k > 0 && v.Idx[k-1] == i {
+			if dup == nil {
+				return nil, false
+			}
+			v.Val[k-1] = dup(v.Val[k-1], val[p])
+			continue
+		}
+		v.Idx = append(v.Idx, i)
+		v.Val = append(v.Val, val[p])
+	}
+	return v, true
+}
+
+// Tuples returns copies of the stored indices and values in index order.
+func (v *Vec[T]) Tuples() ([]int, []T) {
+	return append([]int(nil), v.Idx...), append([]T(nil), v.Val...)
+}
+
+// Dense scatters v into a freshly allocated dense slice of length v.N along
+// with a presence bitmap. Useful for pull-style kernels and oracles.
+func (v *Vec[T]) Dense() ([]T, []bool) {
+	d := make([]T, v.N)
+	p := make([]bool, v.N)
+	for k, i := range v.Idx {
+		d[i] = v.Val[k]
+		p[i] = true
+	}
+	return d, p
+}
+
+// FromDense gathers the marked entries of a dense slice into a sparse vector.
+func FromDense[T any](d []T, present []bool) *Vec[T] {
+	v := NewVec[T](len(d))
+	for i := range d {
+		if present[i] {
+			v.Idx = append(v.Idx, i)
+			v.Val = append(v.Val, d[i])
+		}
+	}
+	return v
+}

@@ -1,0 +1,206 @@
+package graphblas_test
+
+import (
+	"testing"
+
+	"graphblas"
+)
+
+func TestMatrixIterator(t *testing.T) {
+	m := mat(t, 3, 3, []int{0, 0, 2}, []int{1, 2, 0}, []float64{1, 2, 3})
+	it, err := graphblas.MatrixIterate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type entry struct {
+		i, j int
+		v    float64
+	}
+	var got []entry
+	for {
+		i, j, v, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, entry{i, j, v})
+	}
+	want := []entry{{0, 1, 1}, {0, 2, 2}, {2, 0, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("entries %v", got)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("entry %d: %v want %v", k, got[k], want[k])
+		}
+	}
+	// Seek to a row.
+	it2, _ := graphblas.MatrixIterate(m)
+	if err := it2.Seek(2); err != nil {
+		t.Fatal(err)
+	}
+	i, j, v, ok := it2.Next()
+	if !ok || i != 2 || j != 0 || v != 3 {
+		t.Fatalf("seek entry (%d,%d,%v,%v)", i, j, v, ok)
+	}
+	if err := it2.Seek(9); graphblas.InfoOf(err) != graphblas.InvalidIndex {
+		t.Fatalf("seek out of range: %v", err)
+	}
+	// Snapshot semantics: mutations after creation are invisible.
+	it3, _ := graphblas.MatrixIterate(m)
+	_ = m.SetElement(99, 1, 1)
+	count := 0
+	for {
+		if _, _, _, ok := it3.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Fatalf("snapshot saw %d entries", count)
+	}
+}
+
+func TestVectorIteratorAndForEach(t *testing.T) {
+	v := vec(t, 6, []int{1, 4}, []float64{7, 8})
+	it, err := graphblas.VectorIterate(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, x1, ok := it.Next()
+	if !ok || i1 != 1 || x1 != 7 {
+		t.Fatalf("first (%d,%v,%v)", i1, x1, ok)
+	}
+	i2, x2, _ := it.Next()
+	if i2 != 4 || x2 != 8 {
+		t.Fatalf("second (%d,%v)", i2, x2)
+	}
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("iterator did not end")
+	}
+	// ForEach with early stop.
+	seen := 0
+	_ = graphblas.VectorForEach(v, func(int, float64) bool {
+		seen++
+		return false
+	})
+	if seen != 1 {
+		t.Fatalf("early stop saw %d", seen)
+	}
+	m := mat(t, 2, 2, []int{0, 1}, []int{0, 1}, []float64{1, 2})
+	sum := 0.0
+	_ = graphblas.MatrixForEach(m, func(_, _ int, v float64) bool {
+		sum += v
+		return true
+	})
+	if sum != 3 {
+		t.Fatalf("foreach sum %v", sum)
+	}
+}
+
+func TestSelectOpCatalog(t *testing.T) {
+	var is, js []int
+	var vs []float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			is = append(is, i)
+			js = append(js, j)
+			vs = append(vs, float64(i*4+j))
+		}
+	}
+	a := mat(t, 4, 4, is, js, vs)
+	count := func(op graphblas.IndexUnaryOp[float64, bool]) int {
+		c, _ := graphblas.NewMatrix[float64](4, 4)
+		if err := graphblas.SelectM(c, graphblas.NoMask, graphblas.NoAccum[float64](), op, a, nil); err != nil {
+			t.Fatal(err)
+		}
+		nv, _ := c.NVals()
+		return nv
+	}
+	if got := count(graphblas.Tril[float64](0)); got != 10 {
+		t.Fatalf("tril(0) %d", got)
+	}
+	if got := count(graphblas.Tril[float64](-1)); got != 6 {
+		t.Fatalf("tril(-1) %d", got)
+	}
+	if got := count(graphblas.Triu[float64](1)); got != 6 {
+		t.Fatalf("triu(1) %d", got)
+	}
+	if got := count(graphblas.DiagSel[float64](0)); got != 4 {
+		t.Fatalf("diag %d", got)
+	}
+	if got := count(graphblas.OffDiag[float64](0)); got != 12 {
+		t.Fatalf("offdiag %d", got)
+	}
+	if got := count(graphblas.ValueEQ(5.0)); got != 1 {
+		t.Fatalf("valueeq %d", got)
+	}
+	if got := count(graphblas.ValueNE(5.0)); got != 15 {
+		t.Fatalf("valuene %d", got)
+	}
+	if got := count(graphblas.ValueLT(4.0)); got != 4 {
+		t.Fatalf("valuelt %d", got)
+	}
+	if got := count(graphblas.ValueLE(4.0)); got != 5 {
+		t.Fatalf("valuele %d", got)
+	}
+	if got := count(graphblas.ValueGT(12.0)); got != 3 {
+		t.Fatalf("valuegt %d", got)
+	}
+	if got := count(graphblas.ValueGE(12.0)); got != 4 {
+		t.Fatalf("valuege %d", got)
+	}
+	// Index-producing ops via apply.
+	rows, _ := graphblas.NewMatrix[int64](4, 4)
+	if err := graphblas.ApplyIndexOpM(rows, graphblas.NoMask, graphblas.NoAccum[int64](), graphblas.RowIndex[float64](), a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rows.ExtractElement(2, 3); v != 2 {
+		t.Fatalf("rowindex %d", v)
+	}
+	cols, _ := graphblas.NewMatrix[int64](4, 4)
+	if err := graphblas.ApplyIndexOpM(cols, graphblas.NoMask, graphblas.NoAccum[int64](), graphblas.ColIndex[float64](), a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := cols.ExtractElement(2, 3); v != 3 {
+		t.Fatalf("colindex %d", v)
+	}
+}
+
+func TestTerminalMonoidEarlyExit(t *testing.T) {
+	// A monoid whose terminal predicate counts invocations: the reduction
+	// over a vector with an early true must stop before consuming all
+	// entries.
+	calls := 0
+	or, _ := graphblas.NewBinaryOp("or", func(x, y bool) bool {
+		calls++
+		return x || y
+	})
+	m, err := graphblas.NewMonoidWithTerminal(or, false, func(v bool) bool { return v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := graphblas.NewVector[bool](100)
+	for i := 0; i < 100; i++ {
+		_ = v.SetElement(i == 3, i) // true at index 3, false elsewhere
+	}
+	got, err := graphblas.ReduceVectorToScalar(false, graphblas.NoAccum[bool](), m, v)
+	if err != nil || got != true {
+		t.Fatalf("reduce %v %v", got, err)
+	}
+	if calls > 10 {
+		t.Fatalf("terminal did not stop early: %d operator calls", calls)
+	}
+	// Built-in monoids carry terminals.
+	if graphblas.LOrMonoid().Terminal == nil || graphblas.MinMonoid[int32]().Terminal == nil {
+		t.Fatal("built-in monoids missing terminals")
+	}
+	if !graphblas.LOrMonoid().Terminal(true) || graphblas.LOrMonoid().Terminal(false) {
+		t.Fatal("LOr terminal wrong")
+	}
+	if err := func() error {
+		_, err := graphblas.NewMonoidWithTerminal(or, false, nil)
+		return err
+	}(); graphblas.InfoOf(err) != graphblas.NullPointer {
+		t.Fatalf("nil terminal accepted: %v", err)
+	}
+}

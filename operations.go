@@ -1,0 +1,202 @@
+package graphblas
+
+import "graphblas/internal/core"
+
+// This file re-exports the Table II operations. Each delegates to the core
+// implementation; the signatures follow the C API argument order
+// (output, mask, accumulator, operator, inputs..., descriptor).
+
+// MxM computes C ⊙= A ⊕.⊗ B over a semiring (GrB_mxm, Figure 2).
+func MxM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], op Semiring[DA, DB, DC], a *Matrix[DA], b *Matrix[DB], desc *Descriptor) error {
+	return core.MxM(c, mask, accum, op, a, b, desc)
+}
+
+// MxV computes w ⊙= A ⊕.⊗ u (GrB_mxv).
+func MxV[DC, DA, DU, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], op Semiring[DA, DU, DC], a *Matrix[DA], u *Vector[DU], desc *Descriptor) error {
+	return core.MxV(w, mask, accum, op, a, u, desc)
+}
+
+// VxM computes wᵀ ⊙= uᵀ ⊕.⊗ A (GrB_vxm).
+func VxM[DC, DU, DA, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], op Semiring[DU, DA, DC], u *Vector[DU], a *Matrix[DA], desc *Descriptor) error {
+	return core.VxM(w, mask, accum, op, u, a, desc)
+}
+
+// EWiseAddM computes C ⊙= A ⊕ B for matrices (GrB_eWiseAdd): union of
+// structures, op applied where both inputs are present.
+func EWiseAddM[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], add BinaryOp[DC, DC, DC], a, b *Matrix[DC], desc *Descriptor) error {
+	return core.EWiseAddM(c, mask, accum, add, a, b, desc)
+}
+
+// EWiseAddMonoidM is EWiseAddM taking the operator from a monoid (the
+// Figure 3 line 42 form).
+func EWiseAddMonoidM[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], m Monoid[DC], a, b *Matrix[DC], desc *Descriptor) error {
+	return core.EWiseAddMonoidM(c, mask, accum, m, a, b, desc)
+}
+
+// EWiseAddV computes w ⊙= u ⊕ v for vectors.
+func EWiseAddV[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], add BinaryOp[DC, DC, DC], u, v *Vector[DC], desc *Descriptor) error {
+	return core.EWiseAddV(w, mask, accum, add, u, v, desc)
+}
+
+// EWiseAddMonoidV is EWiseAddV taking the operator from a monoid.
+func EWiseAddMonoidV[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], m Monoid[DC], u, v *Vector[DC], desc *Descriptor) error {
+	return core.EWiseAddMonoidV(w, mask, accum, m, u, v, desc)
+}
+
+// EWiseMultM computes C ⊙= A ⊗ B for matrices (GrB_eWiseMult):
+// intersection of structures, with the full three-domain operator.
+func EWiseMultM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], mul BinaryOp[DA, DB, DC], a *Matrix[DA], b *Matrix[DB], desc *Descriptor) error {
+	return core.EWiseMultM(c, mask, accum, mul, a, b, desc)
+}
+
+// EWiseMultSemiringM is EWiseMultM taking the multiplicative operator of a
+// semiring (the Figure 3 lines 70/74 form).
+func EWiseMultSemiringM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], s Semiring[DA, DB, DC], a *Matrix[DA], b *Matrix[DB], desc *Descriptor) error {
+	return core.EWiseMultSemiringM(c, mask, accum, s, a, b, desc)
+}
+
+// EWiseMultV computes w ⊙= u ⊗ v for vectors.
+func EWiseMultV[DC, DA, DB, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], mul BinaryOp[DA, DB, DC], u *Vector[DA], v *Vector[DB], desc *Descriptor) error {
+	return core.EWiseMultV(w, mask, accum, mul, u, v, desc)
+}
+
+// ApplyM computes C ⊙= f(A) (GrB_apply on matrices).
+func ApplyM[DC, DA, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], f UnaryOp[DA, DC], a *Matrix[DA], desc *Descriptor) error {
+	return core.ApplyM(c, mask, accum, f, a, desc)
+}
+
+// ApplyV computes w ⊙= f(u) (GrB_apply on vectors).
+func ApplyV[DC, DA, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], f UnaryOp[DA, DC], u *Vector[DA], desc *Descriptor) error {
+	return core.ApplyV(w, mask, accum, f, u, desc)
+}
+
+// ApplyBindFirstM computes C ⊙= f(x, A) (apply with bound scalar).
+func ApplyBindFirstM[DC, DX, DA, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], f BinaryOp[DX, DA, DC], x DX, a *Matrix[DA], desc *Descriptor) error {
+	return core.ApplyBindFirstM(c, mask, accum, f, x, a, desc)
+}
+
+// ApplyBindSecondM computes C ⊙= f(A, y).
+func ApplyBindSecondM[DC, DA, DY, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], f BinaryOp[DA, DY, DC], a *Matrix[DA], y DY, desc *Descriptor) error {
+	return core.ApplyBindSecondM(c, mask, accum, f, a, y, desc)
+}
+
+// ApplyBindFirstV computes w ⊙= f(x, u).
+func ApplyBindFirstV[DC, DX, DU, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], f BinaryOp[DX, DU, DC], x DX, u *Vector[DU], desc *Descriptor) error {
+	return core.ApplyBindFirstV(w, mask, accum, f, x, u, desc)
+}
+
+// ApplyBindSecondV computes w ⊙= f(u, y).
+func ApplyBindSecondV[DC, DU, DY, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], f BinaryOp[DU, DY, DC], u *Vector[DU], y DY, desc *Descriptor) error {
+	return core.ApplyBindSecondV(w, mask, accum, f, u, y, desc)
+}
+
+// ApplyIndexOpM computes C ⊙= f(A_ij, i, j) (index-aware apply extension).
+func ApplyIndexOpM[DC, DA, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], f IndexUnaryOp[DA, DC], a *Matrix[DA], desc *Descriptor) error {
+	return core.ApplyIndexOpM(c, mask, accum, f, a, desc)
+}
+
+// ApplyIndexOpV computes w ⊙= f(u_i, i, 0).
+func ApplyIndexOpV[DC, DU, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], f IndexUnaryOp[DU, DC], u *Vector[DU], desc *Descriptor) error {
+	return core.ApplyIndexOpV(w, mask, accum, f, u, desc)
+}
+
+// ReduceMatrixToVector computes w ⊙= ⊕_j A(:, j) (GrB_reduce, Figure 3
+// line 78). Use the INP0 transpose to reduce columns.
+func ReduceMatrixToVector[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], m Monoid[DC], a *Matrix[DC], desc *Descriptor) error {
+	return core.ReduceMatrixToVector(w, mask, accum, m, a, desc)
+}
+
+// ReduceMatrixToScalar folds every stored element of A with the monoid;
+// forces completion (non-opaque output).
+func ReduceMatrixToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], a *Matrix[D]) (D, error) {
+	return core.ReduceMatrixToScalar(val, accum, m, a)
+}
+
+// ReduceVectorToScalar folds every stored element of u with the monoid.
+func ReduceVectorToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], u *Vector[D]) (D, error) {
+	return core.ReduceVectorToScalar(val, accum, m, u)
+}
+
+// Transpose computes C ⊙= Aᵀ (GrB_transpose).
+func Transpose[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], a *Matrix[DC], desc *Descriptor) error {
+	return core.Transpose(c, mask, accum, a, desc)
+}
+
+// ExtractSubmatrix computes C ⊙= A(rows, cols) (GrB_extract). nil index
+// lists mean GrB_ALL; duplicates replicate.
+func ExtractSubmatrix[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], a *Matrix[DC], rows, cols []int, desc *Descriptor) error {
+	return core.ExtractSubmatrix(c, mask, accum, a, rows, cols, desc)
+}
+
+// ExtractSubvector computes w ⊙= u(indices).
+func ExtractSubvector[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], u *Vector[DC], indices []int, desc *Descriptor) error {
+	return core.ExtractSubvector(w, mask, accum, u, indices, desc)
+}
+
+// ExtractColVector computes w ⊙= A(rows, j) (GrB_Col_extract; Figure 3
+// line 33 shape). With the INP0 transpose it extracts row j.
+func ExtractColVector[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], a *Matrix[DC], rows []int, j int, desc *Descriptor) error {
+	return core.ExtractColVector(w, mask, accum, a, rows, j, desc)
+}
+
+// AssignVector computes w(indices) ⊙= u (GrB_assign). Assign index lists
+// must be duplicate-free.
+func AssignVector[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], u *Vector[DC], indices []int, desc *Descriptor) error {
+	return core.AssignVector(w, mask, accum, u, indices, desc)
+}
+
+// AssignVectorScalar computes w(indices) ⊙= x (the Figure 3 line 77 fill).
+func AssignVectorScalar[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], x DC, indices []int, desc *Descriptor) error {
+	return core.AssignVectorScalar(w, mask, accum, x, indices, desc)
+}
+
+// AssignMatrix computes C(rows, cols) ⊙= A (GrB_assign).
+func AssignMatrix[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], a *Matrix[DC], rows, cols []int, desc *Descriptor) error {
+	return core.AssignMatrix(c, mask, accum, a, rows, cols, desc)
+}
+
+// AssignMatrixScalar computes C(rows, cols) ⊙= x (the Figure 3 line 61
+// fill).
+func AssignMatrixScalar[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], x DC, rows, cols []int, desc *Descriptor) error {
+	return core.AssignMatrixScalar(c, mask, accum, x, rows, cols, desc)
+}
+
+// AssignRow computes C(i, cols) ⊙= u (GrB_Row_assign).
+func AssignRow[DC, DM any](c *Matrix[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], u *Vector[DC], i int, cols []int, desc *Descriptor) error {
+	return core.AssignRow(c, mask, accum, u, i, cols, desc)
+}
+
+// AssignCol computes C(rows, j) ⊙= u (GrB_Col_assign).
+func AssignCol[DC, DM any](c *Matrix[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], u *Vector[DC], rows []int, j int, desc *Descriptor) error {
+	return core.AssignCol(c, mask, accum, u, rows, j, desc)
+}
+
+// SelectM computes C ⊙= select(pred, A) (extension).
+func SelectM[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], pred IndexUnaryOp[DC, bool], a *Matrix[DC], desc *Descriptor) error {
+	return core.SelectM(c, mask, accum, pred, a, desc)
+}
+
+// SelectV computes w ⊙= select(pred, u) (extension).
+func SelectV[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], pred IndexUnaryOp[DC, bool], u *Vector[DC], desc *Descriptor) error {
+	return core.SelectV(w, mask, accum, pred, u, desc)
+}
+
+// Kronecker computes C ⊙= A ⊗kron B (extension).
+func Kronecker[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], mul BinaryOp[DA, DB, DC], a *Matrix[DA], b *Matrix[DB], desc *Descriptor) error {
+	return core.Kronecker(c, mask, accum, mul, a, b, desc)
+}
+
+// Diag builds a matrix holding v on its k-th diagonal (extension).
+func Diag[D any](v *Vector[D], k int) (*Matrix[D], error) { return core.Diag(v, k) }
+
+// EWiseUnionM computes C ⊙= union(A, alpha, B, beta, op): op applies at
+// every union position with fills for absent operands (GxB_eWiseUnion
+// extension; restores three-domain generality for unions).
+func EWiseUnionM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC, DC, DC], op BinaryOp[DA, DB, DC], a *Matrix[DA], alpha DA, b *Matrix[DB], beta DB, desc *Descriptor) error {
+	return core.EWiseUnionM(c, mask, accum, op, a, alpha, b, beta, desc)
+}
+
+// EWiseUnionV computes w ⊙= union(u, alpha, v, beta, op) for vectors.
+func EWiseUnionV[DC, DA, DB, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, DC, DC], op BinaryOp[DA, DB, DC], u *Vector[DA], alpha DA, v *Vector[DB], beta DB, desc *Descriptor) error {
+	return core.EWiseUnionV(w, mask, accum, op, u, alpha, v, beta, desc)
+}
