@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"graphblas/internal/core"
+	"graphblas/internal/format"
 	"graphblas/internal/parallel"
 	"graphblas/internal/setalg"
 )
@@ -50,6 +51,27 @@ type Matrix[D any] = core.Matrix[D]
 
 // Vector is the opaque GraphBLAS vector ⟨D, N, {(i, v_i)}⟩.
 type Vector[D any] = core.Vector[D]
+
+// Format identifies a matrix storage layout of the multi-format engine
+// (extension). The opaque-object design lets the implementation adapt data
+// structures to the problem; Matrix.SetFormat pins a layout and
+// Matrix.Format reports the engine's current choice.
+type Format = format.Kind
+
+// Storage layouts.
+const (
+	// FormatAuto lets the engine choose per operation from the fill ratio
+	// and the consuming operation (the default).
+	FormatAuto = format.Auto
+	// FormatCSR forces compressed sparse row.
+	FormatCSR = format.CSRKind
+	// FormatBitmap forces the dense bitmap layout (validity bitset plus a
+	// full value array; O(1) random access).
+	FormatBitmap = format.BitmapKind
+	// FormatHyper forces the hypersparse layout (only non-empty rows are
+	// represented).
+	FormatHyper = format.HyperKind
+)
 
 // NewMatrix creates an nrows-by-ncols matrix (GrB_Matrix_new).
 func NewMatrix[D any](nrows, ncols int) (*Matrix[D], error) {

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"graphblas/internal/format"
 )
 
 // Mode selects the execution mode of the GraphBLAS context (Section IV).
@@ -43,6 +45,31 @@ type Stats struct {
 	OpsExecuted int64 // operations actually run
 	OpsElided   int64 // operations skipped by dead-store elimination
 	Flushes     int64 // queue flushes (Wait or forced completion)
+
+	// Storage-engine counters: kernels dispatched on the bitmap and
+	// hypersparse layouts, specialized ⟨+,×⟩ fast-path kernels taken, and
+	// layout conversions performed.
+	BitmapKernels     int64
+	HyperKernels      int64
+	FastKernels       int64
+	FormatConversions int64
+}
+
+// The format-engine counters are bumped from inside kernels, outside the
+// context lock, so they live in dedicated atomics and are folded into the
+// Stats snapshot on read.
+var (
+	fmtBitmapOps   atomic.Int64
+	fmtHyperOps    atomic.Int64
+	fmtFastOps     atomic.Int64
+	fmtConversions atomic.Int64
+)
+
+func resetFormatStats() {
+	fmtBitmapOps.Store(0)
+	fmtHyperOps.Store(0)
+	fmtFastOps.Store(0)
+	fmtConversions.Store(0)
 }
 
 // pendingOp is one deferred method in a nonblocking sequence.
@@ -52,6 +79,10 @@ type pendingOp struct {
 	overwrites bool // completely determines out's new content without reading its old content
 	run        func() error
 	name       string
+	// hint describes how the operation consumes its matrix operands, so a
+	// deferred producer of one of those operands can materialize its result
+	// directly in the layout this consumer wants (see propagateHints).
+	hint format.OpHint
 }
 
 // context is the GraphBLAS execution context. The paper defines exactly one
@@ -101,6 +132,7 @@ func Init(mode Mode) error {
 	global.lastMsg = ""
 	global.stats = Stats{}
 	global.elision = true
+	resetFormatStats()
 	return nil
 }
 
@@ -131,6 +163,7 @@ func ResetForTesting() {
 	global.lastMsg = ""
 	global.stats = Stats{}
 	global.reinitOK = true
+	resetFormatStats()
 }
 
 // CurrentMode reports the context mode.
@@ -154,7 +187,12 @@ func SetElision(on bool) bool {
 func GetStats() Stats {
 	global.mu.Lock()
 	defer global.mu.Unlock()
-	return global.stats
+	s := global.stats
+	s.BitmapKernels = fmtBitmapOps.Load()
+	s.HyperKernels = fmtHyperOps.Load()
+	s.FastKernels = fmtFastOps.Load()
+	s.FormatConversions = fmtConversions.Load()
+	return s
 }
 
 // LastError returns the additional error information of the most recent
@@ -199,6 +237,7 @@ func flushLocked() error {
 		return global.takeExecErrLocked()
 	}
 	elide := markElidable(queue, global.elision)
+	propagateHints(queue, elide)
 	for k, op := range queue {
 		if elide[k] {
 			global.stats.OpsElided++
@@ -220,6 +259,26 @@ func (c *context) takeExecErrLocked() error {
 	err := c.execErr
 	c.execErr = nil
 	return err
+}
+
+// propagateHints stamps each operation's hint onto the objects it reads,
+// before any queued operation runs. Walking backward makes the *first*
+// consumer's stamp win, so when an earlier producer executes and goes to
+// materialize its result, the output object already records how the next
+// operation will consume it — and the producer can pick that layout
+// directly. This is the payoff of deferral the paper's Section IV allows:
+// only in nonblocking mode is the whole sequence visible before execution.
+// Elided consumers never read their operands, so their hints are skipped.
+func propagateHints(queue []*pendingOp, elide []bool) {
+	for k := len(queue) - 1; k >= 0; k-- {
+		op := queue[k]
+		if elide[k] || op.hint == format.HintNone {
+			continue
+		}
+		for _, r := range op.reads {
+			r.noteHint(op.hint)
+		}
+	}
 }
 
 // markElidable performs the backward dead-store-elimination pass: an
@@ -304,6 +363,14 @@ func runGuarded(op *pendingOp) (err error) {
 // diagnostics; overwrites declares that the operation fully determines the
 // output's content without consulting its prior content.
 func enqueue(name string, out *obj, reads []*obj, overwrites bool, run func() error) error {
+	return enqueueHinted(name, out, reads, overwrites, format.HintNone, run)
+}
+
+// enqueueHinted is enqueue for operations participating in the adaptive
+// storage engine: hint describes how the operation consumes its matrix
+// operands. In nonblocking mode the hint rides on the queued op so
+// flushLocked can propagate it backward to the producers of those operands.
+func enqueueHinted(name string, out *obj, reads []*obj, overwrites bool, hint format.OpHint, run func() error) error {
 	global.mu.Lock()
 	if global.state != stateActive {
 		global.mu.Unlock()
@@ -315,7 +382,7 @@ func enqueue(name string, out *obj, reads []*obj, overwrites bool, run func() er
 		// and blocking-mode execution must not serialize them globally.
 		global.stats.OpsExecuted++
 		global.mu.Unlock()
-		op := &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name}
+		op := &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, hint: hint}
 		err := runOp(op)
 		if err != nil {
 			global.mu.Lock()
@@ -324,7 +391,7 @@ func enqueue(name string, out *obj, reads []*obj, overwrites bool, run func() er
 		}
 		return err
 	}
-	global.queue = append(global.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name})
+	global.queue = append(global.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, hint: hint})
 	global.stats.OpsEnqueued++
 	global.mu.Unlock()
 	return nil

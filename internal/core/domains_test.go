@@ -15,6 +15,9 @@ func TestParallelDeterminism(t *testing.T) {
 	a, _ := newTestMatrix(t, rng, 60, 60, 0.2)
 	b, _ := newTestMatrix(t, rng, 60, 60, 0.2)
 	s := plusTimesF64(t)
+	// Structural guard: even if a future edit drops one of the per-call
+	// defers below, the bound cannot leak out of this test.
+	parallel.SetMaxWorkersForTest(t, parallel.MaxWorkers())
 	run := func(workers int) dmat {
 		prev := parallel.SetMaxWorkers(workers)
 		defer parallel.SetMaxWorkers(prev)

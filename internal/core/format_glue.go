@@ -1,0 +1,76 @@
+package core
+
+import (
+	"graphblas/internal/format"
+	"graphblas/internal/sparse"
+)
+
+// This file connects the multiply family to the multi-format storage engine
+// (internal/format): each operation asks its matrix operand which layout the
+// engine selects for the access pattern at hand and dispatches to the
+// matching kernel, with a further specialized path when the semiring is the
+// built-in arithmetic ⟨+,×⟩ over a machine-numeric domain.
+
+// plusTimesSemiring reports whether op is the built-in arithmetic ⟨+,×⟩
+// semiring over one of the domains the specialized kernels support. The
+// builtin operator names are necessary but not trusted alone — a user could
+// register an operator named "times" with different semantics — so the
+// functions are sample-evaluated (2·3 = 3·2 = 6, 2+3 = 5) before the fast
+// path is taken. The dynamic type assertion doubles as the check that all
+// three domains coincide.
+func plusTimesSemiring[DA, DB, DC any](op Semiring[DA, DB, DC]) bool {
+	if op.Mul.Name != "times" || op.Add.Op.Name != "plus" {
+		return false
+	}
+	switch mul := any(op.Mul.F).(type) {
+	case func(float64, float64) float64:
+		add, ok := any(op.Add.Op.F).(func(float64, float64) float64)
+		return ok && mul(2, 3) == 6 && mul(3, 2) == 6 && add(2, 3) == 5
+	case func(float32, float32) float32:
+		add, ok := any(op.Add.Op.F).(func(float32, float32) float32)
+		return ok && mul(2, 3) == 6 && mul(3, 2) == 6 && add(2, 3) == 5
+	case func(int, int) int:
+		add, ok := any(op.Add.Op.F).(func(int, int) int)
+		return ok && mul(2, 3) == 6 && mul(3, 2) == 6 && add(2, 3) == 5
+	case func(int32, int32) int32:
+		add, ok := any(op.Add.Op.F).(func(int32, int32) int32)
+		return ok && mul(2, 3) == 6 && mul(3, 2) == 6 && add(2, 3) == 5
+	case func(int64, int64) int64:
+		add, ok := any(op.Add.Op.F).(func(int64, int64) int64)
+		return ok && mul(2, 3) == 6 && mul(3, 2) == 6 && add(2, 3) == 5
+	}
+	return false
+}
+
+// dotMxVDispatch runs the pull-style w = A ⊕.⊗ u kernel in the layout the
+// storage engine picks for A: the specialized bitmap arithmetic kernel when
+// the semiring is genuinely ⟨+,×⟩, the generic bitmap kernel, the
+// hypersparse kernel, or the CSR reference kernel.
+func dotMxVDispatch[DC, DA, DU any](a *Matrix[DA], ud *sparse.Vec[DU], op Semiring[DA, DU, DC], vm *sparse.VecMask) *sparse.Vec[DC] {
+	if bm := a.bitmapForRead(format.HintMxV); bm != nil {
+		fmtBitmapOps.Add(1)
+		if plusTimesSemiring(op) {
+			if r, ok := format.TryDotMxVPlusTimes(bm, ud, vm); ok {
+				fmtFastOps.Add(1)
+				return r.(*sparse.Vec[DC])
+			}
+		}
+		return format.DotMxVBitmap(bm, ud, op.Mul.F, op.Add.Op.F, vm)
+	}
+	if hy := a.hyperForRead(format.HintMxV); hy != nil {
+		fmtHyperOps.Add(1)
+		return format.DotMxVHyper(hy, ud, op.Mul.F, op.Add.Op.F, vm)
+	}
+	return sparse.DotMxV(a.mdat(), ud, op.Mul.F, op.Add.Op.F, vm)
+}
+
+// pushMxVDispatch runs the push-style w = Aᵀ ⊕.⊗ u kernel, using the
+// hypersparse row list when the engine picks it for A: frontier expansion
+// over a nearly-empty matrix then skips the empty-row scan entirely.
+func pushMxVDispatch[DC, DA, DU any](a *Matrix[DA], ud *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, vm *sparse.VecMask) *sparse.Vec[DC] {
+	if hy := a.hyperForRead(format.HintMxV); hy != nil {
+		fmtHyperOps.Add(1)
+		return format.PushMxVHyper(hy, ud, mul, add, vm)
+	}
+	return sparse.PushMxV(a.mdat(), ud, mul, add, vm)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"graphblas/internal/format"
 	"graphblas/internal/sparse"
 )
 
@@ -23,6 +24,16 @@ type Matrix[D any] struct {
 	pending []sparse.Tuple[D]
 	mu      sync.Mutex
 	tcache  *sparse.CSR[D]
+
+	// Multi-format storage engine state. forced pins the layout chosen by
+	// SetFormat (Auto = adaptive); bcache and hcache hold the bitmap and
+	// hypersparse forms of the content, built lazily and invalidated on any
+	// mutation. When a kernel materializes its result directly as bitmap,
+	// data is nil and bcache is primary until a CSR consumer forces the
+	// conversion back.
+	forced format.Kind
+	bcache *format.Bitmap[D]
+	hcache *format.Hyper[D]
 }
 
 // NewMatrix creates an nrows-by-ncols matrix (GrB_Matrix_new). Both
@@ -40,13 +51,39 @@ func NewMatrix[D any](nrows, ncols int) (*Matrix[D], error) {
 }
 
 // setData replaces the storage, drops buffered updates, and invalidates the
-// transpose cache. All whole-object mutation paths funnel through here.
+// transpose and format caches. All whole-object mutation paths funnel
+// through here.
 func (m *Matrix[D]) setData(d *sparse.CSR[D]) {
 	m.mu.Lock()
 	m.data = d
 	m.pending = nil
 	m.tcache = nil
+	m.bcache = nil
+	m.hcache = nil
 	m.mu.Unlock()
+}
+
+// setDataBitmap installs a bitmap-resident result as the matrix content;
+// the CSR form is materialized lazily only if a CSR consumer asks for it.
+// This is how deferred multiply results land directly in the cheapest
+// format.
+func (m *Matrix[D]) setDataBitmap(b *format.Bitmap[D]) {
+	m.mu.Lock()
+	m.data = nil
+	m.bcache = b
+	m.pending = nil
+	m.tcache = nil
+	m.hcache = nil
+	m.mu.Unlock()
+}
+
+// materializeLocked ensures the CSR form exists when the bitmap form is
+// primary; the caller holds m.mu.
+func (m *Matrix[D]) materializeLocked() {
+	if m.data == nil && m.bcache != nil {
+		m.data = m.bcache.ToCSR()
+		fmtConversions.Add(1)
+	}
 }
 
 // flushPendingLocked merges buffered point updates into the storage; the
@@ -55,16 +92,33 @@ func (m *Matrix[D]) flushPendingLocked() {
 	if len(m.pending) == 0 {
 		return
 	}
+	m.materializeLocked()
 	m.data = sparse.ApplyTuples(m.data, m.pending)
 	m.pending = nil
 	m.tcache = nil
+	m.bcache = nil
+	m.hcache = nil
 }
 
-// mdat returns the up-to-date storage, merging any buffered point updates
-// first. Safe for concurrent readers.
+// nnzLocked reports the stored-element count from whichever form is
+// resident; the caller holds m.mu with pending already flushed.
+func (m *Matrix[D]) nnzLocked() int {
+	if m.data != nil {
+		return m.data.NNZ()
+	}
+	if m.bcache != nil {
+		return m.bcache.NNZ()
+	}
+	return 0
+}
+
+// mdat returns the up-to-date CSR storage, merging any buffered point
+// updates and converting out of a bitmap-primary state first. Safe for
+// concurrent readers.
 func (m *Matrix[D]) mdat() *sparse.CSR[D] {
 	m.mu.Lock()
 	m.flushPendingLocked()
+	m.materializeLocked()
 	d := m.data
 	m.mu.Unlock()
 	return d
@@ -76,10 +130,101 @@ func (m *Matrix[D]) transposed() *sparse.CSR[D] {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.flushPendingLocked()
+	m.materializeLocked()
 	if m.tcache == nil {
 		m.tcache = m.data.Transpose()
 	}
 	return m.tcache
+}
+
+// bitmapForRead returns the bitmap form of the matrix when the storage
+// engine selects it for an operation described by hint — because the layout
+// was forced with SetFormat or because the adaptive policy picked it — and
+// nil when the caller should use another layout. The conversion is cached
+// until the next mutation.
+func (m *Matrix[D]) bitmapForRead(hint format.OpHint) *format.Bitmap[D] {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushPendingLocked()
+	if !format.BitmapFeasible(m.nr, m.nc) {
+		return nil
+	}
+	kind := m.forced
+	if kind == format.Auto {
+		kind = format.Choose(m.nr, m.nc, m.nnzLocked(), hint)
+	}
+	if kind != format.BitmapKind {
+		return nil
+	}
+	if m.bcache == nil {
+		m.materializeLocked()
+		m.bcache = format.BitmapFromCSR(m.data)
+		fmtConversions.Add(1)
+	}
+	return m.bcache
+}
+
+// hyperForRead is bitmapForRead's hypersparse counterpart.
+func (m *Matrix[D]) hyperForRead(hint format.OpHint) *format.Hyper[D] {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushPendingLocked()
+	kind := m.forced
+	if kind == format.Auto {
+		kind = format.Choose(m.nr, m.nc, m.nnzLocked(), hint)
+	}
+	if kind != format.HyperKind {
+		return nil
+	}
+	if m.hcache == nil {
+		m.materializeLocked()
+		m.hcache = format.HyperFromCSR(m.data)
+		fmtConversions.Add(1)
+	}
+	return m.hcache
+}
+
+// SetFormat pins the storage layout the engine uses for this matrix (in the
+// spirit of SuiteSparse's GxB format controls): format.Auto restores
+// adaptive selection; CSRKind, BitmapKind, or HyperKind force one layout
+// for every subsequent operation. Forcing BitmapKind on a matrix whose
+// dense form would exceed the engine's allocation cap is rejected.
+func (m *Matrix[D]) SetFormat(k format.Kind) error {
+	if err := objOK(&m.obj, "Matrix.SetFormat", "m"); err != nil {
+		return err
+	}
+	switch k {
+	case format.Auto, format.CSRKind, format.BitmapKind, format.HyperKind:
+	default:
+		return errf(InvalidValue, "Matrix.SetFormat", "unknown format kind %d", int(k))
+	}
+	if k == format.BitmapKind && !format.BitmapFeasible(m.nr, m.nc) {
+		return errf(InvalidValue, "Matrix.SetFormat", "%dx%d dense form exceeds the bitmap cell cap", m.nr, m.nc)
+	}
+	m.mu.Lock()
+	m.forced = k
+	m.mu.Unlock()
+	return nil
+}
+
+// Format reports the layout the engine would use for the matrix's next
+// multiply-style read: the forced layout if one is set, otherwise the
+// adaptive policy's choice under the most recently recorded consumer hint.
+// Forces completion so the decision reflects final content.
+func (m *Matrix[D]) Format() (format.Kind, error) {
+	if err := objOK(&m.obj, "Matrix.Format", "m"); err != nil {
+		return format.Auto, err
+	}
+	if err := force("Matrix.Format"); err != nil {
+		return format.Auto, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flushPendingLocked()
+	if m.forced != format.Auto {
+		return m.forced, nil
+	}
+	return format.Choose(m.nr, m.nc, m.nnzLocked(), m.lastHint()), nil
 }
 
 // NRows reports the number of rows (GrB_Matrix_nrows); never forces.
@@ -110,7 +255,13 @@ func (m *Matrix[D]) NVals() (int, error) {
 	if m.err != nil {
 		return 0, errf(InvalidObject, "Matrix.NVals", "%v", m.err)
 	}
-	return m.mdat().NNZ(), nil
+	// Count from whichever form is resident rather than via mdat, so a
+	// bitmap-primary matrix is not converted just to be counted.
+	m.mu.Lock()
+	m.flushPendingLocked()
+	n := m.nnzLocked()
+	m.mu.Unlock()
+	return n, nil
 }
 
 // Clear removes all stored elements (GrB_Matrix_clear). May defer.
@@ -130,7 +281,7 @@ func (m *Matrix[D]) Dup() (*Matrix[D], error) {
 	if err := objOK(&m.obj, "Matrix.Dup", "m"); err != nil {
 		return nil, err
 	}
-	w := &Matrix[D]{nr: m.nr, nc: m.nc, data: sparse.NewCSR[D](m.nr, m.nc)}
+	w := &Matrix[D]{nr: m.nr, nc: m.nc, data: sparse.NewCSR[D](m.nr, m.nc), forced: m.forced}
 	w.initObj()
 	err := enqueue("Matrix.Dup", &w.obj, []*obj{&m.obj}, true, func() error {
 		w.setData(m.mdat().Clone())
@@ -271,6 +422,9 @@ func (m *Matrix[D]) ExtractTuples() ([]int, []int, []D, error) {
 	if m.err != nil {
 		return nil, nil, nil, errf(InvalidObject, "Matrix.ExtractTuples", "%v", m.err)
 	}
+	// Record that this matrix feeds row-major iteration, biasing the
+	// adaptive policy toward CSR on subsequent reads.
+	m.noteHint(format.HintIterate)
 	is, js, vals := m.mdat().Tuples()
 	return is, js, vals, nil
 }
@@ -286,5 +440,7 @@ func (m *Matrix[D]) Free() error {
 	m.initialized = false
 	m.data = nil
 	m.tcache = nil
+	m.bcache = nil
+	m.hcache = nil
 	return nil
 }

@@ -1,6 +1,9 @@
 package core
 
-import "graphblas/internal/sparse"
+import (
+	"graphblas/internal/format"
+	"graphblas/internal/sparse"
+)
 
 // assign (Table II): C(i, j) ⊙= A, w(i) ⊙= u, row/column variants, and the
 // scalar-fill variants Figure 3 uses on lines 61 and 77. Following the
@@ -146,7 +149,8 @@ func AssignMatrix[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC
 	reads := maskReadsM([]*obj{&a.obj}, mask)
 	scmp, replace := desc.scmp(), desc.replace()
 	overwrites := !accum.Defined() && mask == nil && rows == nil && cols == nil
-	return enqueue(name, &c.obj, reads, overwrites, func() error {
+	c.noteHint(format.HintAssign)
+	return enqueueHinted(name, &c.obj, reads, overwrites, format.HintAssign, func() error {
 		var accumF func(DC, DC) DC
 		if accum.Defined() {
 			accumF = accum.F
@@ -196,7 +200,8 @@ func AssignMatrixScalar[DC, DM any](c *Matrix[DC], mask *Matrix[DM], accum Binar
 	reads := maskReadsM(nil, mask)
 	scmp, replace := desc.scmp(), desc.replace()
 	overwrites := !accum.Defined() && mask == nil && rows == nil && cols == nil
-	return enqueue(name, &c.obj, reads, overwrites, func() error {
+	c.noteHint(format.HintAssign)
+	return enqueueHinted(name, &c.obj, reads, overwrites, format.HintAssign, func() error {
 		var accumF func(DC, DC) DC
 		if accum.Defined() {
 			accumF = accum.F
@@ -247,7 +252,8 @@ func AssignRow[DC, DM any](c *Matrix[DC], mask *Vector[DM], accum BinaryOp[DC, D
 	}
 	reads := maskReadsV([]*obj{&u.obj}, mask)
 	scmp, replace := desc.scmp(), desc.replace()
-	return enqueue(name, &c.obj, reads, false, func() error {
+	c.noteHint(format.HintAssign)
+	return enqueueHinted(name, &c.obj, reads, false, format.HintAssign, func() error {
 		var accumF func(DC, DC) DC
 		if accum.Defined() {
 			accumF = accum.F
@@ -298,7 +304,8 @@ func AssignCol[DC, DM any](c *Matrix[DC], mask *Vector[DM], accum BinaryOp[DC, D
 	}
 	reads := maskReadsV([]*obj{&u.obj}, mask)
 	scmp, replace := desc.scmp(), desc.replace()
-	return enqueue(name, &c.obj, reads, false, func() error {
+	c.noteHint(format.HintAssign)
+	return enqueueHinted(name, &c.obj, reads, false, format.HintAssign, func() error {
 		var accumF func(DC, DC) DC
 		if accum.Defined() {
 			accumF = accum.F

@@ -1,6 +1,9 @@
 package core
 
-import "graphblas/internal/sparse"
+import (
+	"graphblas/internal/format"
+	"graphblas/internal/sparse"
+)
 
 // This file implements the matrix-multiplication family of Table II:
 //
@@ -62,21 +65,52 @@ func MxM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC,
 	reads := maskReadsM([]*obj{&a.obj, &b.obj}, mask)
 	overwrites := !accum.Defined() && (mask == nil || desc.replace())
 	tran0, tran1, scmp, replace := desc.tran0(), desc.tran1(), desc.scmp(), desc.replace()
-	return enqueue(name, &c.obj, reads, overwrites, func() error {
+	b.noteHint(format.HintMxM)
+	return enqueueHinted(name, &c.obj, reads, overwrites, format.HintMxM, func() error {
 		ad := a.mdat()
 		if tran0 {
 			ad = a.transposed()
+		}
+		mm := resolveMatMask(mask, scmp)
+		var accumF func(DC, DC) DC
+		if accum.Defined() {
+			accumF = accum.F
+		}
+		// The B operand benefits from the bitmap layout (Gustavson selects B
+		// rows by A's column indices, and the bitmap gives O(1) row access
+		// with word-level scans). A is consumed row-sequentially, so its CSR
+		// form is already the right shape.
+		if !tran1 {
+			if bm := b.bitmapForRead(format.HintMxM); bm != nil {
+				fmtBitmapOps.Add(1)
+				if mask == nil && accumF == nil && plusTimesSemiring(op) {
+					if r, ok := format.TryMxMPlusTimes(ad, bm); ok {
+						fmtFastOps.Add(1)
+						out := r.(*format.Bitmap[DC])
+						// No mask and no accumulator: the product fully
+						// overwrites C, so it can be adopted in whichever
+						// layout C's recorded consumer hint favors — the
+						// "materialize directly in the cheapest format"
+						// payoff of the deferred queue.
+						if format.Choose(c.nr, c.nc, out.NNZ(), c.lastHint()) == format.BitmapKind {
+							c.setDataBitmap(out)
+						} else {
+							c.setData(out.ToCSR())
+							fmtConversions.Add(1)
+						}
+						return nil
+					}
+				}
+				t := format.SpGEMMBitmap(ad, bm, op.Mul.F, op.Add.Op.F, mm)
+				c.setData(sparse.WriteCSR(c.mdat(), t, mm, accumF, replace))
+				return nil
+			}
 		}
 		bd := b.mdat()
 		if tran1 {
 			bd = b.transposed()
 		}
-		mm := resolveMatMask(mask, scmp)
 		t := sparse.SpGEMM(ad, bd, op.Mul.F, op.Add.Op.F, mm)
-		var accumF func(DC, DC) DC
-		if accum.Defined() {
-			accumF = accum.F
-		}
 		c.setData(sparse.WriteCSR(c.mdat(), t, mm, accumF, replace))
 		return nil
 	})
@@ -127,13 +161,14 @@ func MxV[DC, DA, DU, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC,
 	reads := maskReadsV([]*obj{&a.obj, &u.obj}, mask)
 	overwrites := !accum.Defined() && (mask == nil || desc.replace())
 	tran0, scmp, replace := desc.tran0(), desc.scmp(), desc.replace()
-	return enqueue(name, &w.obj, reads, overwrites, func() error {
+	a.noteHint(format.HintMxV)
+	return enqueueHinted(name, &w.obj, reads, overwrites, format.HintMxV, func() error {
 		vm := resolveVecMask(mask, scmp)
 		var t *sparse.Vec[DC]
 		if tran0 {
-			t = sparse.PushMxV(a.mdat(), u.vdat(), op.Mul.F, op.Add.Op.F, vm)
+			t = pushMxVDispatch(a, u.vdat(), op.Mul.F, op.Add.Op.F, vm)
 		} else {
-			t = sparse.DotMxV(a.mdat(), u.vdat(), op.Mul.F, op.Add.Op.F, vm)
+			t = dotMxVDispatch(a, u.vdat(), op, vm)
 		}
 		var accumF func(DC, DC) DC
 		if accum.Defined() {
@@ -190,13 +225,18 @@ func VxM[DC, DU, DA, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC,
 	overwrites := !accum.Defined() && (mask == nil || desc.replace())
 	tran1, scmp, replace := desc.tran1(), desc.scmp(), desc.replace()
 	flip := func(av DA, uv DU) DC { return op.Mul.F(uv, av) }
-	return enqueue(name, &w.obj, reads, overwrites, func() error {
+	// The flipped semiring drives the same dispatch as MxV; the builtin name
+	// survives the flip, and plusTimesSemiring sample-evaluates both operand
+	// orders, so the arithmetic fast path remains reachable.
+	flipped := Semiring[DA, DU, DC]{Add: op.Add, Mul: BinaryOp[DA, DU, DC]{Name: op.Mul.Name, F: flip}}
+	a.noteHint(format.HintMxV)
+	return enqueueHinted(name, &w.obj, reads, overwrites, format.HintMxV, func() error {
 		vm := resolveVecMask(mask, scmp)
 		var t *sparse.Vec[DC]
 		if tran1 {
-			t = sparse.DotMxV(a.mdat(), u.vdat(), flip, op.Add.Op.F, vm)
+			t = dotMxVDispatch(a, u.vdat(), flipped, vm)
 		} else {
-			t = sparse.PushMxV(a.mdat(), u.vdat(), flip, op.Add.Op.F, vm)
+			t = pushMxVDispatch(a, u.vdat(), flip, op.Add.Op.F, vm)
 		}
 		var accumF func(DC, DC) DC
 		if accum.Defined() {

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSerializeFlushesQueuedAssign is the regression test for the Wait
+// semantics of the serialization path: serializing reads values out of the
+// opaque object, so a nonblocking sequence with a queued assign must be
+// forced to completion first — the bytes written always reflect the full
+// program order, never a stale snapshot.
+func TestSerializeFlushesQueuedAssign(t *testing.T) {
+	withMode(t, NonBlocking, func() {
+		m, err := NewMatrix[float64](4, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Build([]int{0, 2}, []int{1, 3}, []float64{5, 6}, NoAccum[float64]()); err != nil {
+			t.Fatal(err)
+		}
+		// Queue a whole-matrix scalar assign and a point update; neither may
+		// run before the serialize call forces the sequence.
+		if err := AssignMatrixScalar(m, NoMask, NoAccum[float64](), 7, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetElement(9, 3, 4); err != nil {
+			t.Fatal(err)
+		}
+		if queued := GetStats().OpsEnqueued; queued == 0 {
+			t.Fatal("assign was not deferred; the regression scenario needs a queued op")
+		}
+
+		var buf bytes.Buffer
+		if err := MatrixSerialize(m, &buf); err != nil {
+			t.Fatalf("MatrixSerialize: %v", err)
+		}
+		got, err := MatrixDeserialize[float64](&buf)
+		if err != nil {
+			t.Fatalf("MatrixDeserialize: %v", err)
+		}
+		is, js, vs, err := got.ExtractTuples()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dmat{}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 5; j++ {
+				want[key{i, j}] = 7
+			}
+		}
+		want[key{3, 4}] = 9
+		d := dmat{}
+		for k := range is {
+			d[key{is[k], js[k]}] = vs[k]
+		}
+		equalDense(t, d, want, "deserialized content after queued assign")
+	})
+}

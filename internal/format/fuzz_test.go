@@ -1,0 +1,64 @@
+package format
+
+import (
+	"testing"
+)
+
+// FuzzBitmapBuilder drives the bitmap point-update surface (Set/Remove) from
+// raw bytes, mirrors the same sequence into a plain map, and asserts the two
+// agree cell-for-cell — then round-trips through CSR and the hypersparse
+// layout to check the conversions preserve exactly the built content. The
+// element-count bookkeeping (nvals under overwrites and double-removes) and
+// the word/bit indexing of cells near the 64-column boundary are the bug
+// surfaces this target exercises.
+func FuzzBitmapBuilder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 1, 63, 2, 64, 3, 65, 4})
+	f.Add([]byte{255, 255, 255, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nr, nc = 5, 70 // 70 columns spans a word boundary
+		b := NewBitmap[int](nr, nc)
+		mirror := map[[2]int]int{}
+		for k := 0; k+2 < len(data); k += 3 {
+			i := int(data[k]) % nr
+			j := int(data[k+1]) % nc
+			op := data[k+2]
+			if op%4 == 0 {
+				b.Remove(i, j)
+				delete(mirror, [2]int{i, j})
+			} else {
+				b.Set(i, j, int(op))
+				mirror[[2]int{i, j}] = int(op)
+			}
+		}
+		if b.NNZ() != len(mirror) {
+			t.Fatalf("NNZ = %d, mirror has %d", b.NNZ(), len(mirror))
+		}
+		for i := 0; i < nr; i++ {
+			for j := 0; j < nc; j++ {
+				want, wantOK := mirror[[2]int{i, j}]
+				got, gotOK := b.Get(i, j)
+				if gotOK != wantOK || (gotOK && got != want) {
+					t.Fatalf("Get(%d,%d) = %v,%v want %v,%v", i, j, got, gotOK, want, wantOK)
+				}
+			}
+		}
+		// Round-trip bitmap → CSR → hypersparse → CSR and compare tuples.
+		c := b.ToCSR()
+		if c.NNZ() != len(mirror) {
+			t.Fatalf("ToCSR nnz = %d, want %d", c.NNZ(), len(mirror))
+		}
+		back := HyperFromCSR(c).ToCSR()
+		bi, bj, bv := b.Tuples()
+		ci, cj, cv := back.Tuples()
+		if len(bi) != len(ci) {
+			t.Fatalf("round trip changed tuple count: %d vs %d", len(bi), len(ci))
+		}
+		for k := range bi {
+			if bi[k] != ci[k] || bj[k] != cj[k] || bv[k] != cv[k] {
+				t.Fatalf("round trip changed tuple %d: (%d,%d,%d) vs (%d,%d,%d)",
+					k, bi[k], bj[k], bv[k], ci[k], cj[k], cv[k])
+			}
+		}
+	})
+}

@@ -1,0 +1,412 @@
+package format
+
+import (
+	"math/bits"
+
+	"graphblas/internal/parallel"
+	"graphblas/internal/sparse"
+)
+
+// This file holds the format-specialized multiply kernels the core package
+// dispatches to when an operand is stored as bitmap or hypersparse. They
+// mirror the contracts of sparse.DotMxV / sparse.SpGEMM: pre-resolved masks,
+// plain function operators, fresh output storage.
+
+// maskCursor tests row membership against a pre-resolved vector mask while
+// rows are visited in increasing order; amortized O(1) per query. It is the
+// counterpart of the sparse package's internal cursor.
+type maskCursor struct {
+	m *sparse.VecMask
+	p int
+}
+
+func (c *maskCursor) allows(i int) bool {
+	if c.m == nil {
+		return true
+	}
+	set := c.m.Idx
+	if c.m.Comp {
+		set = c.m.Structure
+	}
+	for c.p < len(set) && set[c.p] < i {
+		c.p++
+	}
+	member := c.p < len(set) && set[c.p] == i
+	if c.m.Comp {
+		return !member
+	}
+	return member
+}
+
+// denseWithBits scatters u into a dense value array plus a presence bitset
+// of the given word count (ceil(u.N/64), matching Bitmap row words).
+func denseWithBits[T any](u *sparse.Vec[T], words int) ([]T, []uint64) {
+	d := make([]T, u.N)
+	bs := make([]uint64, words)
+	for k, i := range u.Idx {
+		d[i] = u.Val[k]
+		bs[i>>6] |= 1 << (uint(i) & 63)
+	}
+	return d, bs
+}
+
+// DotMxVBitmap computes w(i) = ⊕_k mul(a(i,k), u(k)) with a stored as
+// bitmap. Presence of both operands over 64 consecutive columns is resolved
+// by a single word AND (the matrix row's bitset against the vector's), so
+// the per-entry index load and presence branch of the CSR kernel disappear;
+// remaining per-entry cost is the two operator calls.
+func DotMxVBitmap[DA, DU, DC any](a *Bitmap[DA], u *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *sparse.VecMask) *sparse.Vec[DC] {
+	dense, ubits := denseWithBits(u, a.Words)
+	rowOut := make([]DC, a.NRows)
+	rowHas := make([]bool, a.NRows)
+	parallel.For(a.NRows, 8, func(lo, hi int) {
+		cur := maskCursor{m: mask}
+		for i := lo; i < hi; i++ {
+			if !cur.allows(i) {
+				continue
+			}
+			rb := a.RowBits(i)
+			rv := a.RowVals(i)
+			var acc DC
+			has := false
+			for wi, w := range rb {
+				w &= ubits[wi]
+				if w == 0 {
+					continue
+				}
+				base := wi << 6
+				for w != 0 {
+					j := base + bits.TrailingZeros64(w)
+					w &= w - 1
+					x := mul(rv[j], dense[j])
+					if has {
+						acc = add(acc, x)
+					} else {
+						acc = x
+						has = true
+					}
+				}
+			}
+			if has {
+				rowOut[i] = acc
+				rowHas[i] = true
+			}
+		}
+	})
+	return sparse.FromDense(rowOut, rowHas)
+}
+
+// Arith constrains the domains eligible for the specialized plus-times
+// kernels: built-in numeric types whose ⊕ and ⊗ compile to machine add and
+// multiply, with 0 as the additive identity.
+type Arith interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// dotMxVBitmapPlusTimes is DotMxVBitmap for the arithmetic semiring with the
+// operator calls inlined: acc += a(i,j)·u(j). This is the kernel the
+// "dense-ish mxv" benchmark point exercises; eliminating the two indirect
+// calls per entry is where the bitmap layout's speedup comes from.
+func dotMxVBitmapPlusTimes[T Arith](a *Bitmap[T], u *sparse.Vec[T], mask *sparse.VecMask) *sparse.Vec[T] {
+	dense, ubits := denseWithBits(u, a.Words)
+	rowOut := make([]T, a.NRows)
+	rowHas := make([]bool, a.NRows)
+	parallel.For(a.NRows, 8, func(lo, hi int) {
+		cur := maskCursor{m: mask}
+		for i := lo; i < hi; i++ {
+			if !cur.allows(i) {
+				continue
+			}
+			rb := a.RowBits(i)
+			rv := a.RowVals(i)
+			var acc T
+			has := false
+			for wi, w := range rb {
+				w &= ubits[wi]
+				if w == 0 {
+					continue
+				}
+				has = true
+				base := wi << 6
+				if w == ^uint64(0) {
+					// Saturated word: straight-line multiply-accumulate
+					// over 64 contiguous cells, no per-bit scanning.
+					for j := base; j < base+64; j++ {
+						acc += rv[j] * dense[j]
+					}
+					continue
+				}
+				for w != 0 {
+					j := base + bits.TrailingZeros64(w)
+					w &= w - 1
+					acc += rv[j] * dense[j]
+				}
+			}
+			if has {
+				rowOut[i] = acc
+				rowHas[i] = true
+			}
+		}
+	})
+	return sparse.FromDense(rowOut, rowHas)
+}
+
+// TryDotMxVPlusTimes dispatches the specialized arithmetic dot kernel when
+// the any-wrapped operands are a bitmap matrix and sparse vector over a
+// supported built-in numeric domain. The caller is responsible for having
+// verified that the semiring is ⟨+,×⟩ (core checks the builtin operator
+// names and sample-evaluates the functions before calling).
+func TryDotMxVPlusTimes(a, u any, mask *sparse.VecMask) (any, bool) {
+	switch am := a.(type) {
+	case *Bitmap[float64]:
+		if uv, ok := u.(*sparse.Vec[float64]); ok {
+			return dotMxVBitmapPlusTimes(am, uv, mask), true
+		}
+	case *Bitmap[float32]:
+		if uv, ok := u.(*sparse.Vec[float32]); ok {
+			return dotMxVBitmapPlusTimes(am, uv, mask), true
+		}
+	case *Bitmap[int]:
+		if uv, ok := u.(*sparse.Vec[int]); ok {
+			return dotMxVBitmapPlusTimes(am, uv, mask), true
+		}
+	case *Bitmap[int32]:
+		if uv, ok := u.(*sparse.Vec[int32]); ok {
+			return dotMxVBitmapPlusTimes(am, uv, mask), true
+		}
+	case *Bitmap[int64]:
+		if uv, ok := u.(*sparse.Vec[int64]); ok {
+			return dotMxVBitmapPlusTimes(am, uv, mask), true
+		}
+	}
+	return nil, false
+}
+
+// DotMxVHyper computes w(i) = ⊕_k mul(a(i,k), u(k)) with a stored
+// hypersparse: only the non-empty rows are visited, so cost scales with the
+// stored structure instead of nrows. Empty rows produce no output entry,
+// exactly as in the CSR kernel.
+func DotMxVHyper[DA, DU, DC any](a *Hyper[DA], u *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *sparse.VecMask) *sparse.Vec[DC] {
+	dense, present := u.Dense()
+	out := &sparse.Vec[DC]{N: a.NRows}
+	cur := maskCursor{m: mask}
+	for k, i := range a.Rows {
+		if !cur.allows(i) {
+			continue
+		}
+		idx, val := a.RowAt(k)
+		var acc DC
+		has := false
+		for p, j := range idx {
+			if !present[j] {
+				continue
+			}
+			x := mul(val[p], dense[j])
+			if has {
+				acc = add(acc, x)
+			} else {
+				acc = x
+				has = true
+			}
+		}
+		if has {
+			out.Idx = append(out.Idx, i)
+			out.Val = append(out.Val, acc)
+		}
+	}
+	return out
+}
+
+// PushMxVHyper computes w(i) = ⊕_k mul(a(k,i), u(k)) — w = Aᵀ ⊕.⊗ u — with
+// a stored hypersparse. u's stored indices and a's non-empty rows are both
+// increasing, so one merge walk finds the rows to expand in O(e + nnz(u))
+// instead of per-entry lookups.
+func PushMxVHyper[DA, DU, DC any](a *Hyper[DA], u *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *sparse.VecMask) *sparse.Vec[DC] {
+	spa := sparse.NewSPA[DC](a.NCols)
+	spa.Reset()
+	var allowed *sparse.BitSPA
+	comp := false
+	if mask != nil {
+		allowed = sparse.NewBitSPA(a.NCols)
+		allowed.Reset()
+		comp = mask.Comp
+		if comp {
+			allowed.MarkAll(mask.Structure)
+		} else {
+			allowed.MarkAll(mask.Idx)
+		}
+	}
+	r := 0
+	for pu, k := range u.Idx {
+		for r < len(a.Rows) && a.Rows[r] < k {
+			r++
+		}
+		if r >= len(a.Rows) {
+			break
+		}
+		if a.Rows[r] != k {
+			continue
+		}
+		uv := u.Val[pu]
+		idx, val := a.RowAt(r)
+		for p, i := range idx {
+			if allowed != nil && allowed.Has(i) == comp {
+				continue
+			}
+			spa.Accumulate(i, mul(val[p], uv), add)
+		}
+	}
+	idx, val := spa.Gather(nil, nil)
+	return &sparse.Vec[DC]{N: a.NCols, Idx: idx, Val: val}
+}
+
+// SpGEMMBitmap computes C = A ⊕.⊗ B with B stored as bitmap: Gustavson's
+// row algorithm where each selected B row is scanned by bitset words rather
+// than through an index array, with the same in-kernel mask pruning as
+// sparse.SpGEMM. Output is CSR (the product of sparse A and anything has
+// sparse rows wherever A does).
+func SpGEMMBitmap[DA, DB, DC any](a *sparse.CSR[DA], b *Bitmap[DB], mul func(DA, DB) DC, add func(DC, DC) DC, mask *sparse.MatMask) *sparse.CSR[DC] {
+	ri := make([][]int, a.NRows)
+	rv := make([][]DC, a.NRows)
+	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
+		spa := sparse.NewSPA[DC](b.NCols)
+		var allowed *sparse.BitSPA
+		if mask != nil {
+			allowed = sparse.NewBitSPA(b.NCols)
+		}
+		var idxArena []int
+		var valArena []DC
+		offs := make([]int, 0, hi-lo+1)
+		offs = append(offs, 0)
+		for i := lo; i < hi; i++ {
+			spa.Reset()
+			maskCol := func(int) bool { return true }
+			if mask != nil {
+				allowed.Reset()
+				if mask.Comp {
+					allowed.MarkAll(mask.StrRow(i))
+					maskCol = func(j int) bool { return !allowed.Has(j) }
+				} else {
+					allowed.MarkAll(mask.EffRow(i))
+					maskCol = allowed.Has
+				}
+			}
+			for pa := a.Ptr[i]; pa < a.Ptr[i+1]; pa++ {
+				k := a.ColIdx[pa]
+				av := a.Val[pa]
+				bv := b.RowVals(k)
+				for wi, w := range b.RowBits(k) {
+					base := wi << 6
+					for w != 0 {
+						j := base + bits.TrailingZeros64(w)
+						w &= w - 1
+						if !maskCol(j) {
+							continue
+						}
+						spa.Accumulate(j, mul(av, bv[j]), add)
+					}
+				}
+			}
+			idxArena, valArena = spa.Gather(idxArena, valArena)
+			offs = append(offs, len(idxArena))
+		}
+		for i := lo; i < hi; i++ {
+			k := i - lo
+			ri[i] = idxArena[offs[k]:offs[k+1]]
+			rv[i] = valArena[offs[k]:offs[k+1]]
+		}
+	})
+	return assembleCSR(a.NRows, b.NCols, ri, rv)
+}
+
+// spGEMMBitmapPlusTimes multiplies A (CSR) by B (bitmap) over ⟨+,×⟩,
+// materializing the result directly as a bitmap: output structure is the
+// word-level OR of the selected B rows and values accumulate in place in the
+// dense row, with no sparse accumulator, no per-row sort, and no final
+// assembly. This is the "materialize in the cheapest format" path for
+// near-dense products.
+func spGEMMBitmapPlusTimes[T Arith](a *sparse.CSR[T], b *Bitmap[T]) *Bitmap[T] {
+	out := NewBitmap[T](a.NRows, b.NCols)
+	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ob := out.RowBits(i)
+			ov := out.RowVals(i)
+			for pa := a.Ptr[i]; pa < a.Ptr[i+1]; pa++ {
+				k := a.ColIdx[pa]
+				av := a.Val[pa]
+				bv := b.RowVals(k)
+				for wi, w := range b.RowBits(k) {
+					if w == 0 {
+						continue
+					}
+					ob[wi] |= w
+					base := wi << 6
+					if w == ^uint64(0) {
+						for j := base; j < base+64; j++ {
+							ov[j] += av * bv[j]
+						}
+						continue
+					}
+					for w != 0 {
+						j := base + bits.TrailingZeros64(w)
+						w &= w - 1
+						ov[j] += av * bv[j]
+					}
+				}
+			}
+		}
+	})
+	out.recount()
+	return out
+}
+
+// TryMxMPlusTimes dispatches the specialized arithmetic SpGEMM when the
+// any-wrapped operands are a CSR A and bitmap B over a supported numeric
+// domain. Returns the product as a *Bitmap of the same domain. As with
+// TryDotMxVPlusTimes, the caller must have verified the semiring is ⟨+,×⟩.
+func TryMxMPlusTimes(a, b any) (any, bool) {
+	switch am := a.(type) {
+	case *sparse.CSR[float64]:
+		if bm, ok := b.(*Bitmap[float64]); ok {
+			return spGEMMBitmapPlusTimes(am, bm), true
+		}
+	case *sparse.CSR[float32]:
+		if bm, ok := b.(*Bitmap[float32]); ok {
+			return spGEMMBitmapPlusTimes(am, bm), true
+		}
+	case *sparse.CSR[int]:
+		if bm, ok := b.(*Bitmap[int]); ok {
+			return spGEMMBitmapPlusTimes(am, bm), true
+		}
+	case *sparse.CSR[int32]:
+		if bm, ok := b.(*Bitmap[int32]); ok {
+			return spGEMMBitmapPlusTimes(am, bm), true
+		}
+	case *sparse.CSR[int64]:
+		if bm, ok := b.(*Bitmap[int64]); ok {
+			return spGEMMBitmapPlusTimes(am, bm), true
+		}
+	}
+	return nil, false
+}
+
+// assembleCSR builds a CSR matrix from per-row slices, the local counterpart
+// of the sparse package's internal assembler.
+func assembleCSR[T any](nrows, ncols int, rowIdx [][]int, rowVal [][]T) *sparse.CSR[T] {
+	c := sparse.NewCSR[T](nrows, ncols)
+	for i := 0; i < nrows; i++ {
+		c.Ptr[i+1] = c.Ptr[i] + len(rowIdx[i])
+	}
+	nnz := c.Ptr[nrows]
+	c.ColIdx = make([]int, nnz)
+	c.Val = make([]T, nnz)
+	parallel.For(nrows, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(c.ColIdx[c.Ptr[i]:], rowIdx[i])
+			copy(c.Val[c.Ptr[i]:], rowVal[i])
+		}
+	})
+	return c
+}

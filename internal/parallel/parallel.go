@@ -31,6 +31,16 @@ func SetMaxWorkers(n int) int {
 // MaxWorkers reports the current worker bound.
 func MaxWorkers() int { return int(maxWorkers.Load()) }
 
+// SetMaxWorkersForTest sets the worker bound for the duration of a test and
+// registers a cleanup restoring the previous value, so a test can never
+// leak a lowered bound into later tests or packages. The parameter is the
+// *testing.T/B/F (any value with a Cleanup method), kept as an interface so
+// this package does not import testing.
+func SetMaxWorkersForTest(t interface{ Cleanup(func()) }, n int) {
+	prev := SetMaxWorkers(n)
+	t.Cleanup(func() { SetMaxWorkers(prev) })
+}
+
 // For runs body(lo, hi) over a partition of [0, n) using up to MaxWorkers
 // goroutines. grain is the minimum chunk size per task; if n/grain is less
 // than two the loop runs inline on the calling goroutine. body must be safe

@@ -94,8 +94,7 @@ func TestPanicPropagation(t *testing.T) {
 }
 
 func TestSetMaxWorkers(t *testing.T) {
-	prev := SetMaxWorkers(1)
-	defer SetMaxWorkers(prev)
+	SetMaxWorkersForTest(t, 1)
 	if MaxWorkers() != 1 {
 		t.Fatalf("MaxWorkers %d", MaxWorkers())
 	}
@@ -110,5 +109,31 @@ func TestSetMaxWorkers(t *testing.T) {
 	}
 	if MaxWorkers() != 1 {
 		t.Fatalf("n<1 should clamp to 1, got %d", MaxWorkers())
+	}
+}
+
+// fakeTB records cleanups like testing.T without running a real subtest.
+type fakeTB struct{ cleanups []func() }
+
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+
+func TestSetMaxWorkersForTestRestores(t *testing.T) {
+	SetMaxWorkersForTest(t, MaxWorkers()) // outer guard
+	orig := MaxWorkers()
+	ft := &fakeTB{}
+	SetMaxWorkersForTest(ft, 2)
+	if MaxWorkers() != 2 {
+		t.Fatalf("bound not applied: %d", MaxWorkers())
+	}
+	SetMaxWorkersForTest(ft, 3)
+	if MaxWorkers() != 3 {
+		t.Fatalf("bound not applied: %d", MaxWorkers())
+	}
+	// LIFO cleanup, as testing.T runs them, must land back on the original.
+	for i := len(ft.cleanups) - 1; i >= 0; i-- {
+		ft.cleanups[i]()
+	}
+	if MaxWorkers() != orig {
+		t.Fatalf("bound leaked: %d, want %d", MaxWorkers(), orig)
 	}
 }
