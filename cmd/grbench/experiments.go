@@ -632,3 +632,165 @@ func runE8(scale, ef int, seed uint64) {
 
 	_ = builtins.PlusFP32
 }
+
+// runE7b exercises the fault-injection harness end to end: deterministic
+// fault plans against the live engine, reporting how many faults were
+// injected, how the engine absorbed them (CSR retries vs transactional
+// rollbacks), and whether the observable results survived intact. This is
+// the quantitative companion to the E7 error-model test suite (Section V).
+func runE7b(scale, ef int, seed uint64) {
+	header("E7b", fmt.Sprintf("Section V: fault injection and transactional recovery, RMAT scale %d", scale))
+	g := generate.RMAT(scale, ef, seed).Dedup(true)
+	n := g.N
+	pt := graphblas.PlusTimes[float64]()
+	defer graphblas.DisableFaults()
+
+	// Dense operand vector and the clean reference result.
+	ones := make([]float64, n)
+	idx := make([]int, n)
+	for i := range ones {
+		ones[i], idx[i] = 1, i
+	}
+	newX := func() *graphblas.Vector[float64] {
+		x, err := graphblas.NewVector[float64](n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := x.Build(idx, ones, graphblas.NoAccum[float64]()); err != nil {
+			log.Fatal(err)
+		}
+		return x
+	}
+	vecOf := func(v *graphblas.Vector[float64]) map[int]float64 {
+		vi, vv, err := v.ExtractTuples()
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := make(map[int]float64, len(vi))
+		for k := range vi {
+			out[vi[k]] = vv[k]
+		}
+		return out
+	}
+	af, _, _ := buildAdjacencies(g)
+	ref, err := graphblas.NewVector[float64](n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := graphblas.MxV(ref, graphblas.NoMaskV, graphblas.NoAccum[float64](), pt, af, newX(), nil); err != nil {
+		log.Fatal(err)
+	}
+	if err := graphblas.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	want := vecOf(ref)
+
+	fmt.Printf("  %-38s %9s %8s %10s %7s   %s\n", "scenario", "injected", "retries", "rollbacks", "errors", "result")
+
+	agree := func(v *graphblas.Vector[float64]) bool {
+		got := vecOf(v)
+		if len(got) != len(want) {
+			return false
+		}
+		for i, x := range want {
+			if got[i] != x {
+				return false
+			}
+		}
+		return true
+	}
+
+	// mxvRound runs rounds MxV products on a fresh bitmap-pinned adjacency
+	// under whatever plan the caller installed and reports the outcome row.
+	mxvRound := func(name string, rounds int) {
+		a, _, _ := buildAdjacencies(g)
+		if err := a.SetFormat(graphblas.FormatBitmap); err != nil {
+			log.Fatal(err)
+		}
+		before := graphblas.GetStats()
+		ok := true
+		for r := 0; r < rounds; r++ {
+			w, err := graphblas.NewVector[float64](n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := graphblas.MxV(w, graphblas.NoMaskV, graphblas.NoAccum[float64](), pt, a, newX(), nil); err != nil {
+				log.Fatal(err)
+			}
+			if err := graphblas.Wait(); err != nil {
+				ok = false
+			}
+			ok = ok && agree(w)
+		}
+		injected := graphblas.InjectedFaults()
+		graphblas.DisableFaults()
+		graphblas.SetAllocBudget(0)
+		after := graphblas.GetStats()
+		fmt.Printf("  %-38s %9d %8d %10d %7d   %s\n", name, injected,
+			after.KernelRetries-before.KernelRetries, after.Rollbacks-before.Rollbacks,
+			len(graphblas.SequenceErrors()),
+			map[bool]string{true: "✓ matches CSR result", false: "✗ diverged"}[ok])
+	}
+
+	graphblas.ConfigureFaults(int64(seed), graphblas.FaultRule{Site: "format.kernel.bitmap.*", Kind: graphblas.FaultErr, Every: 2})
+	mxvRound("bitmap kernel faults (every 2nd call)", 8)
+
+	graphblas.SetAllocBudget(1 << 10)
+	mxvRound("alloc governor starved (1 KiB cap)", 8)
+
+	// Op-level faults: whole operations fail; outputs roll back and the
+	// sequence error log records each failure.
+	graphblas.ConfigureFaults(int64(seed), graphblas.FaultRule{Site: "MxV", Kind: graphblas.FaultOOM, Every: 3})
+	before := graphblas.GetStats()
+	survived, logged := 0, 0
+	const opRounds = 9
+	for r := 0; r < opRounds; r++ {
+		w, err := graphblas.NewVector[float64](n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := graphblas.MxV(w, graphblas.NoMaskV, graphblas.NoAccum[float64](), pt, af, newX(), nil); err != nil {
+			log.Fatal(err)
+		}
+		if err := graphblas.Wait(); err != nil {
+			// Each Wait terminates one sequence; harvest its error log
+			// before the next sequence replaces it.
+			logged += len(graphblas.SequenceErrors())
+			continue
+		}
+		if agree(w) {
+			survived++
+		}
+	}
+	injected := graphblas.InjectedFaults()
+	graphblas.DisableFaults()
+	after := graphblas.GetStats()
+	fmt.Printf("  %-38s %9d %8d %10d %7d   ✓ %d/%d ops survived, failures logged\n",
+		fmt.Sprintf("op-level OOM (every 3rd of %d MxV)", opRounds), injected,
+		after.KernelRetries-before.KernelRetries, after.Rollbacks-before.Rollbacks,
+		logged, survived, opRounds)
+
+	// A faulty user operator panics mid-kernel: the op fails with GrB_PANIC,
+	// the output rolls back, and a full overwrite rehabilitates it.
+	boom, err := graphblas.NewUnaryOp("boom", func(float64) float64 { panic("user operator bug") })
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := graphblas.NewMatrix[float64](n, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before = graphblas.GetStats()
+	_ = graphblas.ApplyM(c, graphblas.NoMask, graphblas.NoAccum[float64](), boom, af, nil)
+	werr := graphblas.Wait()
+	panicLogged := len(graphblas.SequenceErrors())
+	rehab := graphblas.Transpose(c, graphblas.NoMask, graphblas.NoAccum[float64](), af, nil) == nil && graphblas.Wait() == nil
+	after = graphblas.GetStats()
+	status := "✗ not recovered"
+	if graphblas.InfoOf(werr) == graphblas.PanicInfo && rehab {
+		status = "✓ GrB_PANIC + rollback, rehabilitated"
+	}
+	fmt.Printf("  %-38s %9d %8d %10d %7d   %s\n", "faulty user operator (panic)", 0,
+		after.KernelRetries-before.KernelRetries, after.Rollbacks-before.Rollbacks,
+		panicLogged, status)
+}

@@ -7,6 +7,8 @@
 //
 // E4 (API-surface parity) and E7 (error model) are pure test-suite
 // experiments: run `go test -run 'TestAPISurface|TestErrorModel' ./...`.
+// E7b quantifies the fault-injection harness: faults injected, CSR retries,
+// transactional rollbacks, and result integrity under each plan.
 package main
 
 import (
@@ -19,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E8 or all")
+	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E7B E8 or all")
 	scale := flag.Int("scale", 11, "RMAT scale for the workload experiments")
 	ef := flag.Int("ef", 8, "RMAT edge factor")
 	seed := flag.Uint64("seed", 42, "generator seed")
@@ -31,9 +33,9 @@ func main() {
 	defer graphblas.Finalize()
 
 	run := map[string]func(scale, ef int, seed uint64){
-		"E1": runE1, "E2": runE2, "E3": runE3, "E5": runE5, "E6": runE6, "E8": runE8,
+		"E1": runE1, "E2": runE2, "E3": runE3, "E5": runE5, "E6": runE6, "E7B": runE7b, "E8": runE8,
 	}
-	ids := []string{"E1", "E2", "E3", "E5", "E6", "E8"}
+	ids := []string{"E1", "E2", "E3", "E5", "E6", "E7B", "E8"}
 	want := strings.ToUpper(*exp)
 	matched := false
 	for _, id := range ids {

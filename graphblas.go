@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"graphblas/internal/core"
+	"graphblas/internal/faults"
 	"graphblas/internal/format"
 	"graphblas/internal/parallel"
 	"graphblas/internal/setalg"
@@ -230,6 +231,61 @@ func InfoOf(err error) Info { return core.InfoOf(err) }
 
 // IsNoValue reports whether err is the benign NoValue indication.
 func IsNoValue(err error) bool { return core.IsNoValue(err) }
+
+// SequenceError is one entry of the per-sequence execution error log: the
+// failing operation's method name, its program-order position in the
+// sequence, and the error. Wait reports only the first error of a sequence
+// (Section V); SequenceErrors exposes all of them.
+type SequenceError = core.SequenceError
+
+// SequenceErrors returns the execution error log of the current sequence,
+// or of the most recently terminated one if none is open.
+func SequenceErrors() []SequenceError { return core.SequenceErrors() }
+
+// --- fault injection & recovery (robustness extension) ---
+
+// FaultRule describes one rule of a fault-injection plan: which sites it
+// targets (an op name like "MxM", a kernel site like
+// "format.kernel.bitmap.mxv", a "format.*" glob, or "" for all), what kind
+// of fault to inject, and when (call-count and probability gates).
+type FaultRule = faults.Rule
+
+// FaultKind classifies an injected fault.
+type FaultKind = faults.Kind
+
+// Injectable fault kinds.
+const (
+	// FaultOOM injects an allocation failure (GrB_OUT_OF_MEMORY).
+	FaultOOM = faults.OOM
+	// FaultErr injects an unspecified kernel failure (GrB_PANIC).
+	FaultErr = faults.KernelErr
+	// FaultPanic injects a user-operator-path panic (GrB_PANIC).
+	FaultPanic = faults.PanicFault
+)
+
+// ConfigureFaults installs a deterministic fault-injection plan, replacing
+// any previous one. The engine survives what the plan injects: failed
+// operations roll their output back (invalid but restorable), failed
+// fast-path kernels retry on the generic CSR path, and every failure lands
+// in the sequence error log.
+func ConfigureFaults(seed int64, rules ...FaultRule) { faults.Configure(seed, rules...) }
+
+// DisableFaults removes the fault-injection plan.
+func DisableFaults() { faults.Disable() }
+
+// ResetFaultCounters zeroes the plan's call and injection counters so the
+// same schedule replays from the start.
+func ResetFaultCounters() { faults.Reset() }
+
+// InjectedFaults reports the number of faults injected since the plan was
+// installed or last reset.
+func InjectedFaults() int64 { return faults.InjectedCount() }
+
+// SetAllocBudget sets the storage engine's per-allocation byte cap — the
+// allocation-budget governor denies larger requests with OutOfMemory before
+// attempting them — and returns the previous cap. n <= 0 restores the
+// default (1 TiB).
+func SetAllocBudget(n int64) int64 { return faults.SetAllocBudget(n) }
 
 // --- power-set algebra (Table I, row 5) ---
 

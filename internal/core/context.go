@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"graphblas/internal/faults"
 	"graphblas/internal/format"
 )
 
@@ -53,6 +54,13 @@ type Stats struct {
 	HyperKernels      int64
 	FastKernels       int64
 	FormatConversions int64
+
+	// Recovery counters: fast-path kernel failures retried on the generic
+	// CSR path, output objects rolled back after a failed kernel, and faults
+	// injected by the internal/faults plan (including governor denials).
+	KernelRetries  int64
+	Rollbacks      int64
+	FaultsInjected int64
 }
 
 // The format-engine counters are bumped from inside kernels, outside the
@@ -63,6 +71,12 @@ var (
 	fmtHyperOps    atomic.Int64
 	fmtFastOps     atomic.Int64
 	fmtConversions atomic.Int64
+	execRetries    atomic.Int64
+	execRollbacks  atomic.Int64
+	// faultBase is the faults.InjectedCount baseline at the last stats reset,
+	// so Stats.FaultsInjected counts per Init/ResetForTesting epoch even
+	// though the faults package keeps its own global counter.
+	faultBase atomic.Int64
 )
 
 func resetFormatStats() {
@@ -70,6 +84,9 @@ func resetFormatStats() {
 	fmtHyperOps.Store(0)
 	fmtFastOps.Store(0)
 	fmtConversions.Store(0)
+	execRetries.Store(0)
+	execRollbacks.Store(0)
+	faultBase.Store(faults.InjectedCount())
 }
 
 // pendingOp is one deferred method in a nonblocking sequence.
@@ -79,6 +96,9 @@ type pendingOp struct {
 	overwrites bool // completely determines out's new content without reading its old content
 	run        func() error
 	name       string
+	// pos is the operation's zero-based position in its sequence, in program
+	// order, for the per-sequence error log.
+	pos int
 	// hint describes how the operation consumes its matrix operands, so a
 	// deferred producer of one of those operands can materialize its result
 	// directly in the layout this consumer wants (see propagateHints).
@@ -98,6 +118,17 @@ type context struct {
 	stats    Stats
 	elision  bool // dead-store elimination enabled (default true)
 	reinitOK bool // testing escape hatch
+
+	// Per-sequence error log (Section V records only the first error of a
+	// sequence in GrB_error; the log keeps all of them, with op names and
+	// positions). A sequence opens at the first operation after the previous
+	// flush completed and closes when the sequence terminates (Wait, a forced
+	// completion, or Finalize); seqDone retains the last closed sequence's
+	// log so it stays inspectable after Wait returns.
+	errLog  []SequenceError
+	seqDone []SequenceError
+	seqOpen bool
+	seqPos  int
 }
 
 var global context
@@ -132,6 +163,10 @@ func Init(mode Mode) error {
 	global.lastMsg = ""
 	global.stats = Stats{}
 	global.elision = true
+	global.errLog = nil
+	global.seqDone = nil
+	global.seqOpen = false
+	global.seqPos = 0
 	resetFormatStats()
 	return nil
 }
@@ -163,6 +198,10 @@ func ResetForTesting() {
 	global.lastMsg = ""
 	global.stats = Stats{}
 	global.reinitOK = true
+	global.errLog = nil
+	global.seqDone = nil
+	global.seqOpen = false
+	global.seqPos = 0
 	resetFormatStats()
 }
 
@@ -192,6 +231,17 @@ func GetStats() Stats {
 	s.HyperKernels = fmtHyperOps.Load()
 	s.FastKernels = fmtFastOps.Load()
 	s.FormatConversions = fmtConversions.Load()
+	s.KernelRetries = execRetries.Load()
+	s.Rollbacks = execRollbacks.Load()
+	// faults.Configure/Reset zero the package counter independently of the
+	// stats epoch; a counter below the baseline means the plan was
+	// reconfigured since the epoch started, so the baseline is stale.
+	n, b := faults.InjectedCount(), faultBase.Load()
+	if n < b {
+		b = 0
+		faultBase.Store(0)
+	}
+	s.FaultsInjected = n - b
 	return s
 }
 
@@ -229,11 +279,14 @@ func Wait() error {
 }
 
 // flushLocked drains the queue in program order, applying dead-store
-// elimination first. Caller holds global.mu.
+// elimination first. Every failure is appended to the sequence error log;
+// only the first becomes the flush's return value and the GrB_error string,
+// per Section V. Caller holds global.mu.
 func flushLocked() error {
 	queue := global.queue
 	global.queue = nil
 	if len(queue) == 0 {
+		closeSeqLocked()
 		return global.takeExecErrLocked()
 	}
 	elide := markElidable(queue, global.elision)
@@ -244,6 +297,7 @@ func flushLocked() error {
 			continue
 		}
 		if err := runOp(op); err != nil {
+			global.errLog = append(global.errLog, SequenceError{Pos: op.pos, Op: op.name, Err: err})
 			if global.execErr == nil {
 				global.execErr = err
 				global.lastMsg = err.Error()
@@ -251,7 +305,53 @@ func flushLocked() error {
 		}
 		global.stats.OpsExecuted++
 	}
+	if global.execErr == nil {
+		// A clean flush supersedes any stale GrB_error string.
+		global.lastMsg = ""
+	}
+	closeSeqLocked()
 	return global.takeExecErrLocked()
+}
+
+// beginOpLocked assigns the next program-order position in the current
+// sequence, opening a fresh sequence (and clearing the previous log) if the
+// last one has terminated. Caller holds global.mu.
+func beginOpLocked() int {
+	if !global.seqOpen {
+		global.seqOpen = true
+		global.seqPos = 0
+		global.errLog = nil
+	}
+	pos := global.seqPos
+	global.seqPos++
+	return pos
+}
+
+// closeSeqLocked terminates the current sequence, retiring its error log to
+// seqDone so it remains inspectable after Wait returns. Caller holds
+// global.mu.
+func closeSeqLocked() {
+	if !global.seqOpen {
+		return
+	}
+	global.seqOpen = false
+	global.seqPos = 0
+	global.seqDone = global.errLog
+	global.errLog = nil
+}
+
+// SequenceErrors returns the execution error log of the current sequence,
+// or, if no sequence is open, of the most recently terminated one. Wait
+// reports only the first error; this exposes all of them with op names and
+// program-order positions.
+func SequenceErrors() []SequenceError {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	log := global.errLog
+	if !global.seqOpen {
+		log = global.seqDone
+	}
+	return append([]SequenceError(nil), log...)
 }
 
 // takeExecErrLocked returns and clears the recorded execution error.
@@ -320,9 +420,13 @@ func markElidable(queue []*pendingOp, enabled bool) []bool {
 	return elide
 }
 
-// runOp validates object states and executes one operation. An input in an
-// invalid state (from a prior execution error) propagates invalidity to the
-// output, per Section V.
+// runOp validates object states and executes one operation transactionally.
+// An input in an invalid state (from a prior execution error) propagates
+// invalidity to the output, per Section V. Before the kernel runs, the
+// output object's committed store is snapshotted; if the kernel fails or
+// panics, the store is rolled back, so the output is *invalid but
+// restorable* — it holds exactly its prior committed contents, never a
+// half-written result, and a later full overwrite rehabilitates it.
 func runOp(op *pendingOp) error {
 	for _, r := range op.reads {
 		if r.err != nil {
@@ -337,7 +441,15 @@ func runOp(op *pendingOp) error {
 		err := errf(InvalidObject, op.name, "output object invalid from a previous execution error: %v", op.out.err)
 		return err
 	}
+	var restore func()
+	if op.out.snapshot != nil {
+		restore = op.out.snapshot()
+	}
 	if err := runGuarded(op); err != nil {
+		if restore != nil {
+			restore()
+			execRollbacks.Add(1)
+		}
 		op.out.err = err
 		return err
 	}
@@ -346,14 +458,21 @@ func runOp(op *pendingOp) error {
 }
 
 // runGuarded executes an operation's kernel, converting panics (e.g. from a
-// faulty user-defined operator) into the GrB_PANIC execution error rather
-// than crashing the sequence.
+// faulty user-defined operator, or an injected fault) into the matching
+// execution error — GrB_PANIC with a trimmed stack naming the faulty frame,
+// or GrB_OUT_OF_MEMORY for allocation faults — rather than crashing the
+// sequence. It is also the executor-level fault-injection site, keyed by the
+// method name, so a plan can fail whole operations deterministically in
+// either execution mode.
 func runGuarded(op *pendingOp) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = errf(PanicInfo, op.name, "unknown internal error: %v", r)
+			err = recoveredError(op.name, r)
 		}
 	}()
+	if f := faults.Check(op.name); f != nil {
+		return faultError(op.name, f)
+	}
 	return op.run()
 }
 
@@ -381,17 +500,23 @@ func enqueueHinted(name string, out *obj, reads []*obj, overwrites bool, hint fo
 		// sequences in distinct threads (sharing only read-only objects),
 		// and blocking-mode execution must not serialize them globally.
 		global.stats.OpsExecuted++
+		pos := beginOpLocked()
 		global.mu.Unlock()
-		op := &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, hint: hint}
+		op := &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: pos, hint: hint}
 		err := runOp(op)
+		global.mu.Lock()
 		if err != nil {
-			global.mu.Lock()
+			global.errLog = append(global.errLog, SequenceError{Pos: pos, Op: name, Err: err})
 			global.lastMsg = err.Error()
-			global.mu.Unlock()
+		} else {
+			// A successful operation supersedes the previous error: the
+			// GrB_error string describes the *most recent* method outcome.
+			global.lastMsg = ""
 		}
+		global.mu.Unlock()
 		return err
 	}
-	global.queue = append(global.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, hint: hint})
+	global.queue = append(global.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: beginOpLocked(), hint: hint})
 	global.stats.OpsEnqueued++
 	global.mu.Unlock()
 	return nil

@@ -14,6 +14,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"graphblas/internal/faults"
+	"graphblas/internal/parallel"
 )
 
 // Info enumerates the GraphBLAS status codes (the GrB_Info values of
@@ -138,3 +143,92 @@ func InfoOf(err error) Info {
 
 // IsNoValue reports whether err is the benign NoValue indication.
 func IsNoValue(err error) bool { return InfoOf(err) == NoValue }
+
+// SequenceError is one entry of the per-sequence execution error log: which
+// operation of the sequence failed (by method name and position in program
+// order) and with what error. Wait returns only the first error of a
+// sequence, as Section V specifies; SequenceErrors exposes the full log.
+type SequenceError struct {
+	// Pos is the zero-based position of the operation in the sequence, in
+	// program order.
+	Pos int
+	// Op is the method name, e.g. "MxM".
+	Op string
+	// Err is the execution error the operation failed with.
+	Err error
+}
+
+// String formats the entry for diagnostics.
+func (s SequenceError) String() string {
+	return fmt.Sprintf("op %d (%s): %v", s.Pos, s.Op, s.Err)
+}
+
+// faultError maps an injected fault to its GraphBLAS execution error: OOM
+// faults (injected or from the allocation governor) to GrB_OUT_OF_MEMORY,
+// everything else to GrB_PANIC ("unknown internal error").
+func faultError(op string, f *faults.Fault) error {
+	if f.Kind == faults.OOM {
+		return errf(OutOfMemory, op, "%v", f)
+	}
+	return errf(PanicInfo, op, "unknown internal error: %v", f)
+}
+
+// recoveredError converts a recovered panic value into the matching
+// execution error. A *parallel.Panic carries the worker goroutine's stack
+// captured at the moment of the panic — the frames that actually name the
+// faulty operator; an unwrapped value panicked on the calling goroutine, so
+// the stack is taken here (deferred functions run before unwinding, so the
+// faulty frames are still live). Injected faults carry no useful stack.
+func recoveredError(op string, r any) error {
+	var stack []byte
+	if pv, ok := r.(*parallel.Panic); ok {
+		r, stack = pv.Val, pv.Stack
+	}
+	if f, ok := r.(*faults.Fault); ok {
+		return faultError(op, f)
+	}
+	if stack == nil {
+		stack = debug.Stack()
+	}
+	return errf(PanicInfo, op, "unknown internal error: %v\n%s", r, trimStack(stack))
+}
+
+// trimStack reduces a debug.Stack capture to the frames that identify the
+// failing code: the goroutine header and runtime/recovery plumbing frames
+// are dropped and the remainder capped, so a GrB_PANIC message names the
+// faulty operator without pages of scheduler noise.
+func trimStack(stack []byte) string {
+	const maxLines = 16
+	lines := strings.Split(strings.TrimRight(string(stack), "\n"), "\n")
+	out := make([]string, 0, maxLines)
+	skipNext := false
+	for i, ln := range lines {
+		if i == 0 && strings.HasPrefix(ln, "goroutine ") {
+			continue
+		}
+		if skipNext { // file:line of a dropped frame
+			skipNext = false
+			continue
+		}
+		// A frame is a function line followed by a file:line line; function
+		// lines are not indented with a tab.
+		if !strings.HasPrefix(ln, "\t") {
+			fn := ln
+			if strings.HasPrefix(fn, "runtime.") ||
+				strings.HasPrefix(fn, "runtime/debug.") ||
+				strings.HasPrefix(fn, "panic(") ||
+				strings.Contains(fn, "panicBox") ||
+				strings.Contains(fn, "runGuarded") ||
+				strings.Contains(fn, "recoveredError") {
+				skipNext = true
+				continue
+			}
+		}
+		out = append(out, ln)
+		if len(out) >= maxLines {
+			out = append(out, "\t...")
+			break
+		}
+	}
+	return strings.Join(out, "\n")
+}

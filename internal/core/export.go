@@ -69,7 +69,7 @@ func MatrixImportCSR[D any](nrows, ncols int, rowPtr, colIdx []int, values []D) 
 		ColIdx: append([]int(nil), colIdx...),
 		Val:    append([]D(nil), values...),
 	}}
-	m.initObj()
+	m.initMatrix()
 	return m, nil
 }
 
@@ -115,6 +115,6 @@ func VectorImport[D any](n int, indices []int, values []D) (*Vector[D], error) {
 		Idx: append([]int(nil), indices...),
 		Val: append([]D(nil), values...),
 	}}
-	v.initObj()
+	v.initVector()
 	return v, nil
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"graphblas/internal/faults"
 	"graphblas/internal/format"
+	"graphblas/internal/parallel"
 	"graphblas/internal/sparse"
 )
 
@@ -42,35 +44,85 @@ func plusTimesSemiring[DA, DB, DC any](op Semiring[DA, DB, DC]) bool {
 	return false
 }
 
+// runFallible executes a format-engine fast path and converts a recoverable
+// injected fault raised inside it — an allocation denial from the governor
+// or an OOM/KernelErr from the fault plan, possibly wrapped by a worker
+// goroutine's panicBox — into a non-nil fault return, so the caller can
+// retry once on the generic CSR path before any error is surfaced. Genuine
+// panics and Panic-kind faults propagate: those model faulty user-operator
+// code, which must not be silently retried (the operator already ran on
+// some elements).
+func runFallible[T any](f func() (T, bool)) (out T, used bool, fault *faults.Fault) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		v := r
+		if pv, ok := v.(*parallel.Panic); ok {
+			v = pv.Val
+		}
+		if fl, ok := v.(*faults.Fault); ok && fl.Kind != faults.PanicFault {
+			var zero T
+			out, used, fault = zero, false, fl
+			return
+		}
+		panic(r)
+	}()
+	out, used = f()
+	return
+}
+
 // dotMxVDispatch runs the pull-style w = A ⊕.⊗ u kernel in the layout the
 // storage engine picks for A: the specialized bitmap arithmetic kernel when
 // the semiring is genuinely ⟨+,×⟩, the generic bitmap kernel, the
-// hypersparse kernel, or the CSR reference kernel.
+// hypersparse kernel, or the CSR reference kernel. A fast-path kernel that
+// fails with a recoverable fault (injected failure or governed allocation
+// denial) is retried once on the CSR reference path.
 func dotMxVDispatch[DC, DA, DU any](a *Matrix[DA], ud *sparse.Vec[DU], op Semiring[DA, DU, DC], vm *sparse.VecMask) *sparse.Vec[DC] {
-	if bm := a.bitmapForRead(format.HintMxV); bm != nil {
-		fmtBitmapOps.Add(1)
-		if plusTimesSemiring(op) {
-			if r, ok := format.TryDotMxVPlusTimes(bm, ud, vm); ok {
-				fmtFastOps.Add(1)
-				return r.(*sparse.Vec[DC])
+	r, ok, fault := runFallible(func() (*sparse.Vec[DC], bool) {
+		if bm := a.bitmapForRead(format.HintMxV); bm != nil {
+			fmtBitmapOps.Add(1)
+			if plusTimesSemiring(op) {
+				if r, ok := format.TryDotMxVPlusTimes(bm, ud, vm); ok {
+					fmtFastOps.Add(1)
+					return r.(*sparse.Vec[DC]), true
+				}
 			}
+			return format.DotMxVBitmap(bm, ud, op.Mul.F, op.Add.Op.F, vm), true
 		}
-		return format.DotMxVBitmap(bm, ud, op.Mul.F, op.Add.Op.F, vm)
+		if hy := a.hyperForRead(format.HintMxV); hy != nil {
+			fmtHyperOps.Add(1)
+			return format.DotMxVHyper(hy, ud, op.Mul.F, op.Add.Op.F, vm), true
+		}
+		return nil, false
+	})
+	if ok {
+		return r
 	}
-	if hy := a.hyperForRead(format.HintMxV); hy != nil {
-		fmtHyperOps.Add(1)
-		return format.DotMxVHyper(hy, ud, op.Mul.F, op.Add.Op.F, vm)
+	if fault != nil {
+		execRetries.Add(1)
 	}
 	return sparse.DotMxV(a.mdat(), ud, op.Mul.F, op.Add.Op.F, vm)
 }
 
 // pushMxVDispatch runs the push-style w = Aᵀ ⊕.⊗ u kernel, using the
 // hypersparse row list when the engine picks it for A: frontier expansion
-// over a nearly-empty matrix then skips the empty-row scan entirely.
+// over a nearly-empty matrix then skips the empty-row scan entirely. A
+// failed hypersparse kernel is retried once on the CSR path.
 func pushMxVDispatch[DC, DA, DU any](a *Matrix[DA], ud *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, vm *sparse.VecMask) *sparse.Vec[DC] {
-	if hy := a.hyperForRead(format.HintMxV); hy != nil {
-		fmtHyperOps.Add(1)
-		return format.PushMxVHyper(hy, ud, mul, add, vm)
+	r, ok, fault := runFallible(func() (*sparse.Vec[DC], bool) {
+		if hy := a.hyperForRead(format.HintMxV); hy != nil {
+			fmtHyperOps.Add(1)
+			return format.PushMxVHyper(hy, ud, mul, add, vm), true
+		}
+		return nil, false
+	})
+	if ok {
+		return r
+	}
+	if fault != nil {
+		execRetries.Add(1)
 	}
 	return sparse.PushMxV(a.mdat(), ud, mul, add, vm)
 }

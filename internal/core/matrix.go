@@ -46,8 +46,33 @@ func NewMatrix[D any](nrows, ncols int) (*Matrix[D], error) {
 		return nil, errf(InvalidValue, "NewMatrix", "dimensions must be positive, got %dx%d", nrows, ncols)
 	}
 	m := &Matrix[D]{nr: nrows, nc: ncols, data: sparse.NewCSR[D](nrows, ncols)}
-	m.initObj()
+	m.initMatrix()
 	return m, nil
+}
+
+// initMatrix stamps a fresh identity and registers the transactional
+// snapshot hook the executor uses to roll back a failed kernel. Every
+// Matrix constructor funnels through here.
+func (m *Matrix[D]) initMatrix() {
+	m.initObj()
+	m.snapshot = m.snapshotState
+}
+
+// snapshotState captures the committed store — the pointers to the CSR,
+// buffered updates, and format caches; all immutable once installed — and
+// returns a closure restoring them. O(len(pending)) and allocation-light,
+// so taking one per operation is cheap.
+func (m *Matrix[D]) snapshotState() func() {
+	m.mu.Lock()
+	data, tcache, bcache, hcache := m.data, m.tcache, m.bcache, m.hcache
+	pending := append([]sparse.Tuple[D](nil), m.pending...)
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		m.data, m.tcache, m.bcache, m.hcache = data, tcache, bcache, hcache
+		m.pending = pending
+		m.mu.Unlock()
+	}
 }
 
 // setData replaces the storage, drops buffered updates, and invalidates the
@@ -117,11 +142,10 @@ func (m *Matrix[D]) nnzLocked() int {
 // concurrent readers.
 func (m *Matrix[D]) mdat() *sparse.CSR[D] {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.flushPendingLocked()
 	m.materializeLocked()
-	d := m.data
-	m.mu.Unlock()
-	return d
+	return m.data
 }
 
 // transposed returns (computing and caching on first use) the CSR form of
@@ -282,7 +306,7 @@ func (m *Matrix[D]) Dup() (*Matrix[D], error) {
 		return nil, err
 	}
 	w := &Matrix[D]{nr: m.nr, nc: m.nc, data: sparse.NewCSR[D](m.nr, m.nc), forced: m.forced}
-	w.initObj()
+	w.initMatrix()
 	err := enqueue("Matrix.Dup", &w.obj, []*obj{&m.obj}, true, func() error {
 		w.setData(m.mdat().Clone())
 		return nil
@@ -304,7 +328,9 @@ func (m *Matrix[D]) Resize(nrows, ncols int) error {
 	}
 	m.nr, m.nc = nrows, ncols
 	return enqueue("Matrix.Resize", &m.obj, nil, false, func() error {
-		d := m.mdat()
+		// Clone before trimming: the committed CSR must stay intact so the
+		// executor's rollback restores the pre-Resize content on failure.
+		d := m.mdat().Clone()
 		d.Resize(nrows, ncols)
 		m.setData(d)
 		return nil

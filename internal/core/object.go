@@ -13,6 +13,14 @@ type obj struct {
 	id          uint64
 	err         error
 	initialized bool
+	// snapshot captures the object's committed store (pointers, not
+	// payloads — stores are immutable once committed) and returns a closure
+	// restoring it. The executor takes a snapshot before each kernel and
+	// rolls back on failure, so an output object is never observed
+	// half-written: it holds its prior committed contents (invalid but
+	// restorable, Section V) or the new result. Registered by the typed
+	// constructors; nil for objects with no transactional store.
+	snapshot func() func()
 	// hint records how the object was last — or, after hint propagation at
 	// flush time, will next be — consumed. The storage engine's adaptive
 	// policy reads it when deciding which layout to materialize. Atomic

@@ -79,9 +79,14 @@ func MxM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC,
 		// The B operand benefits from the bitmap layout (Gustavson selects B
 		// rows by A's column indices, and the bitmap gives O(1) row access
 		// with word-level scans). A is consumed row-sequentially, so its CSR
-		// form is already the right shape.
+		// form is already the right shape. A bitmap kernel that fails with a
+		// recoverable fault falls through to the generic CSR path below.
 		if !tran1 {
-			if bm := b.bitmapForRead(format.HintMxM); bm != nil {
+			_, handled, fault := runFallible(func() (struct{}, bool) {
+				bm := b.bitmapForRead(format.HintMxM)
+				if bm == nil {
+					return struct{}{}, false
+				}
 				fmtBitmapOps.Add(1)
 				if mask == nil && accumF == nil && plusTimesSemiring(op) {
 					if r, ok := format.TryMxMPlusTimes(ad, bm); ok {
@@ -98,12 +103,18 @@ func MxM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC,
 							c.setData(out.ToCSR())
 							fmtConversions.Add(1)
 						}
-						return nil
+						return struct{}{}, true
 					}
 				}
 				t := format.SpGEMMBitmap(ad, bm, op.Mul.F, op.Add.Op.F, mm)
 				c.setData(sparse.WriteCSR(c.mdat(), t, mm, accumF, replace))
+				return struct{}{}, true
+			})
+			if handled {
 				return nil
+			}
+			if fault != nil {
+				execRetries.Add(1)
 			}
 		}
 		bd := b.mdat()

@@ -192,7 +192,7 @@ func Diag[D any](v *Vector[D], k int) (*Matrix[D], error) {
 		n += k
 	}
 	m := &Matrix[D]{nr: n, nc: n, data: sparse.NewCSR[D](n, n)}
-	m.initObj()
+	m.initMatrix()
 	err := enqueue(name, &m.obj, []*obj{&v.obj}, true, func() error {
 		is := make([]int, len(v.vdat().Idx))
 		js := make([]int, len(v.vdat().Idx))

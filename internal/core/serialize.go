@@ -281,7 +281,7 @@ func MatrixDeserialize[D any](r io.Reader) (*Matrix[D], error) {
 		}
 	}
 	m := &Matrix[D]{nr: nr, nc: nc, data: &sparse.CSR[D]{NRows: nr, NCols: nc, Ptr: ptr, ColIdx: colIdx, Val: vals}}
-	m.initObj()
+	m.initMatrix()
 	return m, nil
 }
 
@@ -359,7 +359,7 @@ func VectorDeserialize[D any](r io.Reader) (*Vector[D], error) {
 		}
 	}
 	v := &Vector[D]{n: n, data: &sparse.Vec[D]{N: n, Idx: idx, Val: vals}}
-	v.initObj()
+	v.initVector()
 	return v, nil
 }
 

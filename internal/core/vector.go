@@ -36,13 +36,34 @@ func (v *Vector[D]) setVData(d *sparse.Vec[D]) {
 // first. Safe for concurrent readers.
 func (v *Vector[D]) vdat() *sparse.Vec[D] {
 	v.mu.Lock()
+	defer v.mu.Unlock()
 	if len(v.pending) > 0 {
 		v.data = sparse.ApplyVecTuples(v.data, v.pending)
 		v.pending = nil
 	}
-	d := v.data
+	return v.data
+}
+
+// initVector stamps a fresh identity and registers the transactional
+// snapshot hook; see Matrix.initMatrix.
+func (v *Vector[D]) initVector() {
+	v.initObj()
+	v.snapshot = v.snapshotState
+}
+
+// snapshotState captures the vector's committed store and returns a closure
+// restoring it; see Matrix.snapshotState.
+func (v *Vector[D]) snapshotState() func() {
+	v.mu.Lock()
+	data := v.data
+	pending := append([]sparse.Tuple[D](nil), v.pending...)
 	v.mu.Unlock()
-	return d
+	return func() {
+		v.mu.Lock()
+		v.data = data
+		v.pending = pending
+		v.mu.Unlock()
+	}
 }
 
 // NewVector creates a vector of size n (GrB_Vector_new). n must be
@@ -55,7 +76,7 @@ func NewVector[D any](n int) (*Vector[D], error) {
 		return nil, errf(InvalidValue, "NewVector", "size must be positive, got %d", n)
 	}
 	v := &Vector[D]{n: n, data: sparse.NewVec[D](n)}
-	v.initObj()
+	v.initVector()
 	return v, nil
 }
 
@@ -101,7 +122,7 @@ func (v *Vector[D]) Dup() (*Vector[D], error) {
 		return nil, err
 	}
 	w := &Vector[D]{n: v.n, data: sparse.NewVec[D](v.n)}
-	w.initObj()
+	w.initVector()
 	err := enqueue("Vector.Dup", &w.obj, []*obj{&v.obj}, true, func() error {
 		w.setVData(v.vdat().Clone())
 		return nil
@@ -124,7 +145,8 @@ func (v *Vector[D]) Resize(n int) error {
 	}
 	v.n = n
 	return enqueue("Vector.Resize", &v.obj, nil, false, func() error {
-		d := v.vdat()
+		// Clone before trimming so rollback can restore the committed store.
+		d := v.vdat().Clone()
 		d.Resize(n)
 		v.setVData(d)
 		return nil

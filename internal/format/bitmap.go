@@ -3,9 +3,15 @@ package format
 import (
 	"math/bits"
 
+	"graphblas/internal/faults"
 	"graphblas/internal/parallel"
 	"graphblas/internal/sparse"
 )
+
+// elemBytes is the per-element size estimate the allocation governor uses
+// for generic value arrays: the dominant domains are 8-byte scalars, and an
+// estimate only needs to be monotone in the true size to bound allocations.
+const elemBytes = 8
 
 // Bitmap is the dense matrix layout: a validity bitset (one bit per cell,
 // row-major, 64 cells per word) over a full nrows×ncols value array. Stored
@@ -25,9 +31,13 @@ type Bitmap[T any] struct {
 	nvals int
 }
 
-// NewBitmap returns an empty nrows×ncols bitmap matrix.
+// NewBitmap returns an empty nrows×ncols bitmap matrix. The dense form is
+// the storage engine's largest allocation class, so it passes through the
+// allocation-budget governor: an oversized request fails with an injected
+// OutOfMemory before the allocation is attempted.
 func NewBitmap[T any](nrows, ncols int) *Bitmap[T] {
 	w := (ncols + 63) / 64
+	faults.GovernAlloc("format.alloc.bitmap", int64(nrows)*int64(w)*8+int64(nrows)*int64(ncols)*elemBytes)
 	return &Bitmap[T]{
 		NRows: nrows, NCols: ncols, Words: w,
 		Bits: make([]uint64, nrows*w),

@@ -3,6 +3,7 @@ package format
 import (
 	"sort"
 
+	"graphblas/internal/faults"
 	"graphblas/internal/sparse"
 )
 
@@ -67,6 +68,7 @@ func (h *Hyper[T]) Has(i, j int) bool {
 // arrays are shared with m (CSR stores them contiguously already); only the
 // row structure is recompressed, so the conversion is O(nrows).
 func HyperFromCSR[T any](m *sparse.CSR[T]) *Hyper[T] {
+	faults.GovernAlloc("format.alloc.hyper", int64(m.NRows)*16)
 	h := &Hyper[T]{NRows: m.NRows, NCols: m.NCols, ColIdx: m.ColIdx, Val: m.Val}
 	for i := 0; i < m.NRows; i++ {
 		if m.Ptr[i] < m.Ptr[i+1] {

@@ -3,9 +3,15 @@ package format
 import (
 	"math/bits"
 
+	"graphblas/internal/faults"
 	"graphblas/internal/parallel"
 	"graphblas/internal/sparse"
 )
+
+// Each kernel consults the fault-injection plan once at entry, before its
+// parallel region, so an injected failure is raised deterministically on the
+// dispatching goroutine and the core's retry-with-fallback can re-run the
+// operation on the generic CSR path.
 
 // This file holds the format-specialized multiply kernels the core package
 // dispatches to when an operand is stored as bitmap or hypersparse. They
@@ -56,6 +62,7 @@ func denseWithBits[T any](u *sparse.Vec[T], words int) ([]T, []uint64) {
 // the per-entry index load and presence branch of the CSR kernel disappear;
 // remaining per-entry cost is the two operator calls.
 func DotMxVBitmap[DA, DU, DC any](a *Bitmap[DA], u *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *sparse.VecMask) *sparse.Vec[DC] {
+	faults.Step("format.kernel.bitmap.mxv")
 	dense, ubits := denseWithBits(u, a.Words)
 	rowOut := make([]DC, a.NRows)
 	rowHas := make([]bool, a.NRows)
@@ -110,6 +117,7 @@ type Arith interface {
 // "dense-ish mxv" benchmark point exercises; eliminating the two indirect
 // calls per entry is where the bitmap layout's speedup comes from.
 func dotMxVBitmapPlusTimes[T Arith](a *Bitmap[T], u *sparse.Vec[T], mask *sparse.VecMask) *sparse.Vec[T] {
+	faults.Step("format.kernel.bitmap.mxv.fast")
 	dense, ubits := denseWithBits(u, a.Words)
 	rowOut := make([]T, a.NRows)
 	rowHas := make([]bool, a.NRows)
@@ -189,6 +197,7 @@ func TryDotMxVPlusTimes(a, u any, mask *sparse.VecMask) (any, bool) {
 // stored structure instead of nrows. Empty rows produce no output entry,
 // exactly as in the CSR kernel.
 func DotMxVHyper[DA, DU, DC any](a *Hyper[DA], u *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *sparse.VecMask) *sparse.Vec[DC] {
+	faults.Step("format.kernel.hyper.mxv")
 	dense, present := u.Dense()
 	out := &sparse.Vec[DC]{N: a.NRows}
 	cur := maskCursor{m: mask}
@@ -224,6 +233,7 @@ func DotMxVHyper[DA, DU, DC any](a *Hyper[DA], u *sparse.Vec[DU], mul func(DA, D
 // increasing, so one merge walk finds the rows to expand in O(e + nnz(u))
 // instead of per-entry lookups.
 func PushMxVHyper[DA, DU, DC any](a *Hyper[DA], u *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *sparse.VecMask) *sparse.Vec[DC] {
+	faults.Step("format.kernel.hyper.mxv")
 	spa := sparse.NewSPA[DC](a.NCols)
 	spa.Reset()
 	var allowed *sparse.BitSPA
@@ -268,6 +278,7 @@ func PushMxVHyper[DA, DU, DC any](a *Hyper[DA], u *sparse.Vec[DU], mul func(DA, 
 // sparse.SpGEMM. Output is CSR (the product of sparse A and anything has
 // sparse rows wherever A does).
 func SpGEMMBitmap[DA, DB, DC any](a *sparse.CSR[DA], b *Bitmap[DB], mul func(DA, DB) DC, add func(DC, DC) DC, mask *sparse.MatMask) *sparse.CSR[DC] {
+	faults.Step("format.kernel.bitmap.mxm")
 	ri := make([][]int, a.NRows)
 	rv := make([][]DC, a.NRows)
 	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
@@ -328,6 +339,7 @@ func SpGEMMBitmap[DA, DB, DC any](a *sparse.CSR[DA], b *Bitmap[DB], mul func(DA,
 // assembly. This is the "materialize in the cheapest format" path for
 // near-dense products.
 func spGEMMBitmapPlusTimes[T Arith](a *sparse.CSR[T], b *Bitmap[T]) *Bitmap[T] {
+	faults.Step("format.kernel.bitmap.mxm.fast")
 	out := NewBitmap[T](a.NRows, b.NCols)
 	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -400,6 +412,7 @@ func assembleCSR[T any](nrows, ncols int, rowIdx [][]int, rowVal [][]T) *sparse.
 		c.Ptr[i+1] = c.Ptr[i] + len(rowIdx[i])
 	}
 	nnz := c.Ptr[nrows]
+	faults.GovernAlloc("format.alloc.csr", int64(nnz)*(8+elemBytes))
 	c.ColIdx = make([]int, nnz)
 	c.Val = make([]T, nnz)
 	parallel.For(nrows, 256, func(lo, hi int) {

@@ -6,7 +6,9 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -83,21 +85,40 @@ func For(n, grain int, body func(lo, hi int)) {
 	pan.repanic()
 }
 
+// Panic wraps a panic value captured on a worker goroutine together with
+// that goroutine's stack at the moment of the panic. The caller's recover
+// site runs on the invoking goroutine, whose stack no longer names the
+// faulty operator — so the stack must be taken where the panic happened or
+// the frame that matters is lost. Nested parallel loops pass an existing
+// *Panic through unchanged to preserve the innermost capture.
+type Panic struct {
+	Val   any
+	Stack []byte
+}
+
+// Error implements the error interface so a *Panic escaping through code
+// that stringifies panic values still reads sensibly.
+func (p *Panic) Error() string { return fmt.Sprintf("panic in parallel section: %v", p.Val) }
+
 // panicBox transports the first panic from worker goroutines back to the
 // caller, so user-defined operators that panic inside a parallel kernel
 // surface on the invoking goroutine (where the GraphBLAS error model can
 // convert them to GrB_PANIC) instead of crashing the process.
 type panicBox struct {
 	mu  sync.Mutex
-	val any
+	val *Panic
 	set bool
 }
 
 func (p *panicBox) capture() {
 	if r := recover(); r != nil {
+		pv, ok := r.(*Panic)
+		if !ok {
+			pv = &Panic{Val: r, Stack: debug.Stack()}
+		}
 		p.mu.Lock()
 		if !p.set {
-			p.val, p.set = r, true
+			p.val, p.set = pv, true
 		}
 		p.mu.Unlock()
 	}
