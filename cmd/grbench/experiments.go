@@ -375,7 +375,7 @@ func runE6(scale, ef int, seed uint64) {
 	dOff := timeIt(sequence)
 	graphblas.SetElision(true)
 	dOn := timeIt(sequence)
-	st := graphblas.GetStats()
+	st := graphblas.StatsSnapshot()
 	fmt.Printf("  8 redundant A² overwrites, elision off: %12v\n", dOff.Round(time.Microsecond))
 	fmt.Printf("  8 redundant A² overwrites, elision on:  %12v   speedup ×%.2f\n",
 		dOn.Round(time.Microsecond), float64(dOff)/float64(dOn))
@@ -707,7 +707,7 @@ func runE7b(scale, ef int, seed uint64) {
 		if err := a.SetFormat(graphblas.FormatBitmap); err != nil {
 			log.Fatal(err)
 		}
-		before := graphblas.GetStats()
+		before := graphblas.StatsSnapshot()
 		ok := true
 		for r := 0; r < rounds; r++ {
 			w, err := graphblas.NewVector[float64](n)
@@ -725,7 +725,7 @@ func runE7b(scale, ef int, seed uint64) {
 		injected := graphblas.InjectedFaults()
 		graphblas.DisableFaults()
 		graphblas.SetAllocBudget(0)
-		after := graphblas.GetStats()
+		after := graphblas.StatsSnapshot()
 		fmt.Printf("  %-38s %9d %8d %10d %7d   %s\n", name, injected,
 			after.KernelRetries-before.KernelRetries, after.Rollbacks-before.Rollbacks,
 			len(graphblas.SequenceErrors()),
@@ -741,7 +741,7 @@ func runE7b(scale, ef int, seed uint64) {
 	// Op-level faults: whole operations fail; outputs roll back and the
 	// sequence error log records each failure.
 	graphblas.ConfigureFaults(int64(seed), graphblas.FaultRule{Site: "MxV", Kind: graphblas.FaultOOM, Every: 3})
-	before := graphblas.GetStats()
+	before := graphblas.StatsSnapshot()
 	survived, logged := 0, 0
 	const opRounds = 9
 	for r := 0; r < opRounds; r++ {
@@ -764,7 +764,7 @@ func runE7b(scale, ef int, seed uint64) {
 	}
 	injected := graphblas.InjectedFaults()
 	graphblas.DisableFaults()
-	after := graphblas.GetStats()
+	after := graphblas.StatsSnapshot()
 	fmt.Printf("  %-38s %9d %8d %10d %7d   ✓ %d/%d ops survived, failures logged\n",
 		fmt.Sprintf("op-level OOM (every 3rd of %d MxV)", opRounds), injected,
 		after.KernelRetries-before.KernelRetries, after.Rollbacks-before.Rollbacks,
@@ -780,12 +780,12 @@ func runE7b(scale, ef int, seed uint64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	before = graphblas.GetStats()
+	before = graphblas.StatsSnapshot()
 	_ = graphblas.ApplyM(c, graphblas.NoMask, graphblas.NoAccum[float64](), boom, af, nil)
 	werr := graphblas.Wait()
 	panicLogged := len(graphblas.SequenceErrors())
 	rehab := graphblas.Transpose(c, graphblas.NoMask, graphblas.NoAccum[float64](), af, nil) == nil && graphblas.Wait() == nil
-	after = graphblas.GetStats()
+	after = graphblas.StatsSnapshot()
 	status := "✗ not recovered"
 	if graphblas.InfoOf(werr) == graphblas.PanicInfo && rehab {
 		status = "✓ GrB_PANIC + rollback, rehabilitated"

@@ -4,11 +4,14 @@
 //
 //	grbench -exp all
 //	grbench -exp E5 -scale 12
+//	grbench -exp DAG -sched dag
 //
 // E4 (API-surface parity) and E7 (error model) are pure test-suite
 // experiments: run `go test -run 'TestAPISurface|TestErrorModel' ./...`.
 // E7b quantifies the fault-injection harness: faults injected, CSR retries,
 // transactional rollbacks, and result integrity under each plan.
+// DAG sweeps the flush-parallelism experiment (sequential vs DAG scheduler
+// on chained vs independent workloads) and writes BENCH_dataflow.json.
 package main
 
 import (
@@ -21,10 +24,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E7B E8 or all")
+	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E7B E8 DAG or all")
 	scale := flag.Int("scale", 11, "RMAT scale for the workload experiments")
 	ef := flag.Int("ef", 8, "RMAT edge factor")
 	seed := flag.Uint64("seed", 42, "generator seed")
+	sched := flag.String("sched", "dag", "nonblocking flush scheduler: dag or sequential")
 	flag.Parse()
 
 	if err := graphblas.Init(graphblas.NonBlocking); err != nil {
@@ -32,10 +36,20 @@ func main() {
 	}
 	defer graphblas.Finalize()
 
+	switch strings.ToLower(*sched) {
+	case "dag":
+		graphblas.SetScheduler(graphblas.SchedDag)
+	case "sequential", "seq":
+		graphblas.SetScheduler(graphblas.SchedSequential)
+	default:
+		log.Fatalf("unknown scheduler %q (valid: dag, sequential)", *sched)
+	}
+
 	run := map[string]func(scale, ef int, seed uint64){
 		"E1": runE1, "E2": runE2, "E3": runE3, "E5": runE5, "E6": runE6, "E7B": runE7b, "E8": runE8,
+		"DAG": runDag,
 	}
-	ids := []string{"E1", "E2", "E3", "E5", "E6", "E7B", "E8"}
+	ids := []string{"E1", "E2", "E3", "E5", "E6", "E7B", "E8", "DAG"}
 	want := strings.ToUpper(*exp)
 	matched := false
 	for _, id := range ids {
@@ -50,7 +64,10 @@ func main() {
 	}
 }
 
-// header prints a section banner.
+// header prints a section banner. Every experiment header names the active
+// flush scheduler and worker bound, so logs and the bench JSONs derived
+// from them are self-describing about how the engine executed.
 func header(id, title string) {
-	fmt.Printf("=== %s — %s ===\n", id, title)
+	fmt.Printf("=== %s — %s [sched=%v workers=%d] ===\n",
+		id, title, graphblas.CurrentScheduler(), graphblas.MaxWorkers())
 }

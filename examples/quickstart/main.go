@@ -69,7 +69,7 @@ func main() {
 	idx, _, _ := visited.ExtractTuples()
 	fmt.Printf("reachable from 0: %v\n", idx)
 
-	stats := graphblas.GetStats()
+	stats := graphblas.StatsSnapshot()
 	fmt.Printf("execution engine: %d ops deferred, %d executed, %d flushes\n",
 		stats.OpsEnqueued, stats.OpsExecuted, stats.Flushes)
 }

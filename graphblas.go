@@ -175,6 +175,20 @@ const (
 // Stats reports execution-engine counters.
 type Stats = core.Stats
 
+// Scheduler selects how a nonblocking flush executes the deferred queue.
+type Scheduler = core.Scheduler
+
+// Flush schedulers.
+const (
+	// SchedSequential drains the queue one operation at a time in program
+	// order.
+	SchedSequential = core.SchedSequential
+	// SchedDag executes independent queued operations concurrently on the
+	// dataflow scheduler (the default), preserving observable program-order
+	// semantics.
+	SchedDag = core.SchedDag
+)
+
 // Init establishes the GraphBLAS context (GrB_init); once per program.
 func Init(mode Mode) error { return core.Init(mode) }
 
@@ -191,11 +205,22 @@ func ResetForTesting() { core.ResetForTesting() }
 // CurrentMode reports the context mode.
 func CurrentMode() Mode { return core.CurrentMode() }
 
-// GetStats returns execution-engine counters.
-func GetStats() Stats { return core.GetStats() }
+// StatsSnapshot returns a consistent snapshot of the execution-engine
+// counters; the sanctioned way to read them once flushes run in parallel.
+func StatsSnapshot() Stats { return core.StatsSnapshot() }
+
+// GetStats is an alias for StatsSnapshot, kept for source compatibility.
+func GetStats() Stats { return core.StatsSnapshot() }
 
 // SetElision toggles dead-store elimination in the nonblocking engine.
 func SetElision(on bool) bool { return core.SetElision(on) }
+
+// SetScheduler selects the nonblocking flush strategy (SchedDag by default)
+// and returns the previous one.
+func SetScheduler(s Scheduler) Scheduler { return core.SetScheduler(s) }
+
+// CurrentScheduler reports the nonblocking flush strategy.
+func CurrentScheduler() Scheduler { return core.CurrentScheduler() }
 
 // LastError returns the most recent execution-error detail (GrB_error).
 func LastError() string { return core.LastError() }

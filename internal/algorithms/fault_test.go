@@ -24,7 +24,7 @@ func TestBFSLevels_UnderKernelFaults(t *testing.T) {
 				t.Fatalf("SetFormat: %v", err)
 			}
 			faults.Configure(1, faults.Rule{Site: "format.kernel.hyper.mxv", Kind: faults.KernelErr})
-			base := core.GetStats().KernelRetries
+			base := core.StatsSnapshot().KernelRetries
 			want := refalgo.BFSLevels(adj, 0)
 			levels, err := BFSLevels(a, 0)
 			if err != nil {
@@ -47,7 +47,7 @@ func TestBFSLevels_UnderKernelFaults(t *testing.T) {
 					t.Errorf("level[%d]: got %d want %d", v, got[v], want[v])
 				}
 			}
-			if st := core.GetStats(); st.KernelRetries == base {
+			if st := core.StatsSnapshot(); st.KernelRetries == base {
 				t.Fatalf("no kernel retries recorded: %+v", st)
 			}
 		})

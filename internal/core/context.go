@@ -6,6 +6,7 @@ import (
 
 	"graphblas/internal/faults"
 	"graphblas/internal/format"
+	"graphblas/internal/parallel"
 )
 
 // Mode selects the execution mode of the GraphBLAS context (Section IV).
@@ -27,6 +28,29 @@ func (m Mode) String() string {
 		return "Blocking"
 	}
 	return "NonBlocking"
+}
+
+// Scheduler selects how a nonblocking flush executes the deferred queue.
+type Scheduler int
+
+const (
+	// SchedSequential drains the queue one operation at a time in program
+	// order — the pre-dataflow behavior, kept for ablation and debugging.
+	SchedSequential Scheduler = iota
+	// SchedDag builds the hazard DAG over the queue (internal/dataflow) and
+	// executes independent operations concurrently on a bounded worker pool,
+	// preserving observable program-order semantics. The default. It engages
+	// only when the worker bound exceeds one and the flush has more than one
+	// runnable operation; otherwise the sequential path runs.
+	SchedDag
+)
+
+// String returns the scheduler name.
+func (s Scheduler) String() string {
+	if s == SchedSequential {
+		return "sequential"
+	}
+	return "dag"
 }
 
 // contextState tracks the once-only lifecycle of Section IV: Init may be
@@ -61,6 +85,15 @@ type Stats struct {
 	KernelRetries  int64
 	Rollbacks      int64
 	FaultsInjected int64
+
+	// Dataflow-scheduler counters: flushes executed on the DAG-parallel
+	// path, total DAG nodes scheduled and hazard edges honored across those
+	// flushes, and the high-water number of operations ever observed
+	// executing simultaneously.
+	ParallelFlushes int64
+	DagNodes        int64
+	DagEdges        int64
+	MaxWidth        int64
 }
 
 // The format-engine counters are bumped from inside kernels, outside the
@@ -116,8 +149,9 @@ type context struct {
 	execErr  error
 	lastMsg  string
 	stats    Stats
-	elision  bool // dead-store elimination enabled (default true)
-	reinitOK bool // testing escape hatch
+	elision  bool      // dead-store elimination enabled (default true)
+	sched    Scheduler // nonblocking flush strategy (default SchedDag)
+	reinitOK bool      // testing escape hatch
 
 	// Per-sequence error log (Section V records only the first error of a
 	// sequence in GrB_error; the log keeps all of them, with op names and
@@ -163,6 +197,7 @@ func Init(mode Mode) error {
 	global.lastMsg = ""
 	global.stats = Stats{}
 	global.elision = true
+	global.sched = SchedDag
 	global.errLog = nil
 	global.seqDone = nil
 	global.seqOpen = false
@@ -197,6 +232,8 @@ func ResetForTesting() {
 	global.execErr = nil
 	global.lastMsg = ""
 	global.stats = Stats{}
+	global.elision = true
+	global.sched = SchedDag
 	global.reinitOK = true
 	global.errLog = nil
 	global.seqDone = nil
@@ -222,8 +259,30 @@ func SetElision(on bool) bool {
 	return prev
 }
 
-// GetStats returns a snapshot of the execution-engine counters.
-func GetStats() Stats {
+// SetScheduler selects the nonblocking flush strategy and returns the
+// previous one. SchedDag (the default) runs independent queued operations
+// concurrently; SchedSequential restores the strict program-order drain,
+// for ablation benchmarks and debugging.
+func SetScheduler(s Scheduler) Scheduler {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	prev := global.sched
+	global.sched = s
+	return prev
+}
+
+// CurrentScheduler reports the nonblocking flush strategy.
+func CurrentScheduler() Scheduler {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	return global.sched
+}
+
+// StatsSnapshot returns a consistent snapshot of the execution-engine
+// counters. It is the only sanctioned way to read them: the fields are
+// written under the context lock (or in dedicated atomics), so direct field
+// access from another goroutine is a data race once flushes go parallel.
+func StatsSnapshot() Stats {
 	global.mu.Lock()
 	defer global.mu.Unlock()
 	s := global.stats
@@ -244,6 +303,9 @@ func GetStats() Stats {
 	s.FaultsInjected = n - b
 	return s
 }
+
+// GetStats is an alias for StatsSnapshot, kept for source compatibility.
+func GetStats() Stats { return StatsSnapshot() }
 
 // LastError returns the additional error information of the most recent
 // execution error (the GrB_error() string), or "" if none.
@@ -278,10 +340,14 @@ func Wait() error {
 	return err
 }
 
-// flushLocked drains the queue in program order, applying dead-store
-// elimination first. Every failure is appended to the sequence error log;
-// only the first becomes the flush's return value and the GrB_error string,
-// per Section V. Caller holds global.mu.
+// flushLocked drains the queue, applying dead-store elimination and
+// format-hint propagation first, then executing the surviving operations —
+// on the DAG-parallel scheduler when it is selected and can pay off, else
+// strictly sequentially in program order. Either way the observable outcome
+// is identical: every failure is appended to the sequence error log in
+// program order, and only the program-order-first error becomes the flush's
+// return value and the GrB_error string, per Section V. Caller holds
+// global.mu.
 func flushLocked() error {
 	queue := global.queue
 	global.queue = nil
@@ -291,12 +357,28 @@ func flushLocked() error {
 	}
 	elide := markElidable(queue, global.elision)
 	propagateHints(queue, elide)
+	nodes := queue[:0]
 	for k, op := range queue {
 		if elide[k] {
 			global.stats.OpsElided++
 			continue
 		}
-		if err := runOp(op); err != nil {
+		nodes = append(nodes, op)
+	}
+	var results []error
+	if global.sched == SchedDag && len(nodes) > 1 && parallel.MaxWorkers() > 1 {
+		results = runQueueDag(nodes)
+	} else {
+		results = make([]error, len(nodes))
+		for i, op := range nodes {
+			results[i] = runOp(op)
+		}
+	}
+	// Fold the per-operation outcomes in program order: nodes is ordered by
+	// queue position, so the error log and first-error selection come out
+	// exactly as a sequential drain would produce them.
+	for i, op := range nodes {
+		if err := results[i]; err != nil {
 			global.errLog = append(global.errLog, SequenceError{Pos: op.pos, Op: op.name, Err: err})
 			if global.execErr == nil {
 				global.execErr = err
@@ -361,6 +443,16 @@ func (c *context) takeExecErrLocked() error {
 	return err
 }
 
+// scanReverse walks the queue positions len(queue)-1 … 0 — the direction
+// both pre-scheduling analysis passes need, since each decides an op's fate
+// from what *later* operations do with its output. It is the shared
+// backward-walk skeleton of markElidable and propagateHints.
+func scanReverse(n int, visit func(k int)) {
+	for k := n - 1; k >= 0; k-- {
+		visit(k)
+	}
+}
+
 // propagateHints stamps each operation's hint onto the objects it reads,
 // before any queued operation runs. Walking backward makes the *first*
 // consumer's stamp win, so when an earlier producer executes and goes to
@@ -369,16 +461,19 @@ func (c *context) takeExecErrLocked() error {
 // directly. This is the payoff of deferral the paper's Section IV allows:
 // only in nonblocking mode is the whole sequence visible before execution.
 // Elided consumers never read their operands, so their hints are skipped.
+// (Hint stamping happens here, before scheduling, rather than during DAG
+// execution: the stamp order is significant — first consumer wins — and a
+// hazard edge already orders every producer after this pass.)
 func propagateHints(queue []*pendingOp, elide []bool) {
-	for k := len(queue) - 1; k >= 0; k-- {
+	scanReverse(len(queue), func(k int) {
 		op := queue[k]
 		if elide[k] || op.hint == format.HintNone {
-			continue
+			return
 		}
 		for _, r := range op.reads {
 			r.noteHint(op.hint)
 		}
-	}
+	})
 }
 
 // markElidable performs the backward dead-store-elimination pass: an
@@ -386,7 +481,9 @@ func propagateHints(queue []*pendingOp, elide []bool) {
 // with no intervening read of that object, need not execute. This is the
 // lazy-evaluation freedom Section IV grants nonblocking mode ("methods may
 // be placed in a queue and deferred... as long as the final result agrees
-// with the mathematical definition").
+// with the mathematical definition"). Elided operations never reach the
+// dataflow DAG: they are pruned here, so the scheduler sees only work that
+// will actually run.
 func markElidable(queue []*pendingOp, enabled bool) []bool {
 	elide := make([]bool, len(queue))
 	if !enabled {
@@ -395,11 +492,11 @@ func markElidable(queue []*pendingOp, enabled bool) []bool {
 	// deadUntilRead[id] is true when a later op fully overwrites the object
 	// and nothing in between reads it.
 	dead := make(map[uint64]bool)
-	for k := len(queue) - 1; k >= 0; k-- {
+	scanReverse(len(queue), func(k int) {
 		op := queue[k]
 		if dead[op.out.id] {
 			elide[k] = true
-			continue // an elided op neither reads nor writes
+			return // an elided op neither reads nor writes
 		}
 		readsOwnOutput := false
 		for _, r := range op.reads {
@@ -416,18 +513,43 @@ func markElidable(queue []*pendingOp, enabled bool) []bool {
 			// output — so the prior content is live.
 			dead[op.out.id] = false
 		}
-	}
+	})
 	return elide
 }
 
-// runOp validates object states and executes one operation transactionally.
+// runOp validates object states and executes one operation transactionally —
+// the sequential form of runOpAt (no fault-draw gate needed when operations
+// run one at a time).
+func runOp(op *pendingOp) error {
+	return runOpAt(op, nil, 0, false)
+}
+
+// runOpAt validates object states and executes one operation transactionally.
 // An input in an invalid state (from a prior execution error) propagates
-// invalidity to the output, per Section V. Before the kernel runs, the
-// output object's committed store is snapshotted; if the kernel fails or
+// invalidity to the output, per Section V — under the DAG scheduler this *is*
+// the cancellation mechanism: a failed op marks its output invalid, every
+// dependent observes the invalid input when its hazard edges release it, and
+// short-circuits with the same InvalidObject error a sequential drain logs,
+// while independent chains never see it and complete. Before the kernel runs,
+// the output object's committed store is snapshotted; if the kernel fails or
 // panics, the store is rolled back, so the output is *invalid but
 // restorable* — it holds exactly its prior committed contents, never a
 // half-written result, and a later full overwrite rehabilitates it.
-func runOp(op *pendingOp) error {
+//
+// gate (nil when no fault plan is installed) orders fault-plan draws from
+// concurrently executing operations by program position idx, keeping the
+// injection schedule identical to a sequential drain. Every return path
+// releases the gate — including short circuits, which never reach the
+// injection site and so must not strand later positions. With serialBody
+// set (the plan can match kernel-internal sites), the gate is held across
+// the whole operation body, serializing execution in program order while
+// still exercising the DAG machinery.
+func runOpAt(op *pendingOp, gate *faults.Sequencer, idx int, serialBody bool) error {
+	if serialBody {
+		gate.Wait(idx)
+	}
+	// Idempotent: a no-op on the paths that already released.
+	defer gate.Release(idx)
 	for _, r := range op.reads {
 		if r.err != nil {
 			err := errf(InvalidObject, op.name, "input object invalid from a previous execution error: %v", r.err)
@@ -445,7 +567,7 @@ func runOp(op *pendingOp) error {
 	if op.out.snapshot != nil {
 		restore = op.out.snapshot()
 	}
-	if err := runGuarded(op); err != nil {
+	if err := runGuardedAt(op, gate, idx, serialBody); err != nil {
 		if restore != nil {
 			restore()
 			execRollbacks.Add(1)
@@ -457,20 +579,32 @@ func runOp(op *pendingOp) error {
 	return nil
 }
 
-// runGuarded executes an operation's kernel, converting panics (e.g. from a
+// runGuardedAt executes an operation's kernel, converting panics (e.g. from a
 // faulty user-defined operator, or an injected fault) into the matching
 // execution error — GrB_PANIC with a trimmed stack naming the faulty frame,
 // or GrB_OUT_OF_MEMORY for allocation faults — rather than crashing the
 // sequence. It is also the executor-level fault-injection site, keyed by the
 // method name, so a plan can fail whole operations deterministically in
-// either execution mode.
-func runGuarded(op *pendingOp) (err error) {
+// either execution mode. Under the DAG scheduler the draw is gated on
+// program position; unless the whole body is serialized, the gate is
+// released right after the draw so later operations' kernels may overlap
+// this one's.
+func runGuardedAt(op *pendingOp, gate *faults.Sequencer, idx int, serialBody bool) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = recoveredError(op.name, r)
 		}
 	}()
-	if f := faults.Check(op.name); f != nil {
+	f := func() *faults.Fault {
+		if !serialBody {
+			gate.Wait(idx)
+			// Deferred so an injected PanicFault releases before unwinding
+			// to the recover above.
+			defer gate.Release(idx)
+		}
+		return faults.Check(op.name)
+	}()
+	if f != nil {
 		return faultError(op.name, f)
 	}
 	return op.run()

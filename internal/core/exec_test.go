@@ -52,7 +52,7 @@ func TestExecModel_NonblockingDefersUntilForced(t *testing.T) {
 		if err := MxM(c, NoMask, NoAccum[float64](), s, a, a, nil); err != nil {
 			t.Fatalf("MxM: %v", err)
 		}
-		st := GetStats()
+		st := StatsSnapshot()
 		if st.OpsEnqueued == 0 {
 			t.Fatalf("MxM did not defer: %+v", st)
 		}
@@ -67,7 +67,7 @@ func TestExecModel_NonblockingDefersUntilForced(t *testing.T) {
 		if nv != 3 {
 			t.Fatalf("nvals %d want 3", nv)
 		}
-		st = GetStats()
+		st = StatsSnapshot()
 		if st.OpsExecuted == 0 {
 			t.Fatalf("force did not run deferred ops: %+v", st)
 		}
@@ -137,7 +137,7 @@ func TestExecModel_DeadStoreElimination(t *testing.T) {
 		if err := Wait(); err != nil {
 			t.Fatalf("Wait: %v", err)
 		}
-		st := GetStats()
+		st := StatsSnapshot()
 		if st.OpsElided != 2 {
 			t.Fatalf("elided %d want 2 (%+v)", st.OpsElided, st)
 		}
@@ -153,7 +153,7 @@ func TestExecModel_DeadStoreElimination(t *testing.T) {
 		if err := Wait(); err != nil {
 			t.Fatalf("Wait: %v", err)
 		}
-		st2 := GetStats()
+		st2 := StatsSnapshot()
 		if st2.OpsElided != st.OpsElided {
 			t.Fatalf("accumulating op elided its input: %+v", st2)
 		}
@@ -175,7 +175,7 @@ func TestExecModel_ElisionRespectsReads(t *testing.T) {
 		if err := Wait(); err != nil {
 			t.Fatalf("Wait: %v", err)
 		}
-		if st := GetStats(); st.OpsElided != 0 {
+		if st := StatsSnapshot(); st.OpsElided != 0 {
 			t.Fatalf("elided %d want 0", st.OpsElided)
 		}
 		// d must reflect write 1: (a·a)ᵀ where a·a has 4s on the cycle squared.
@@ -299,7 +299,7 @@ func TestExecModel_ElisionMaskAlias(t *testing.T) {
 		if err := Wait(); err != nil {
 			t.Fatalf("Wait: %v", err)
 		}
-		if st := GetStats(); st.OpsElided != 0 {
+		if st := StatsSnapshot(); st.OpsElided != 0 {
 			t.Fatalf("mask read elided: %+v", st)
 		}
 		// Semantics check: a is a cyclic permutation so a·a is also a
@@ -323,9 +323,9 @@ func TestExecModel_RequeueAfterForce(t *testing.T) {
 		if _, err := c.NVals(); err != nil {
 			t.Fatal(err)
 		}
-		before := GetStats()
+		before := StatsSnapshot()
 		_ = MxM(c, NoMask, NoAccum[float64](), s, a, a, nil)
-		after := GetStats()
+		after := StatsSnapshot()
 		if after.OpsEnqueued != before.OpsEnqueued+1 {
 			t.Fatalf("op after force did not defer: %+v -> %+v", before, after)
 		}
@@ -393,13 +393,13 @@ func TestObjectScopedWait(t *testing.T) {
 		_ = a.Build([]int{0, 1}, []int{1, 0}, []float64{2, 3}, NoAccum[float64]())
 		c, _ := NewMatrix[float64](2, 2)
 		_ = MxM(c, NoMask, NoAccum[float64](), s, a, a, nil)
-		if st := GetStats(); st.OpsExecuted != 0 {
+		if st := StatsSnapshot(); st.OpsExecuted != 0 {
 			t.Fatalf("ran early: %+v", st)
 		}
 		if err := c.Wait(); err != nil {
 			t.Fatal(err)
 		}
-		if st := GetStats(); st.OpsExecuted == 0 {
+		if st := StatsSnapshot(); st.OpsExecuted == 0 {
 			t.Fatalf("Wait did not force: %+v", st)
 		}
 		// Poisoned object reports InvalidObject from Wait.

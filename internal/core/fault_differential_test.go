@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"graphblas/internal/faults"
+	"graphblas/internal/parallel"
 )
 
 // The differential sweep (and the fuzz target below) runs the same program
@@ -54,15 +55,22 @@ func normalizeFaultOp(op faultOp) faultOp {
 	return op
 }
 
-// runFaultProgram executes prog in the given mode under the fault plan and
-// returns a printable fingerprint of every cross-mode-comparable outcome.
-// Values are small integers, so all float64 arithmetic is exact and results
-// do not depend on which storage kernel performed them.
-func runFaultProgram(t *testing.T, mode Mode, prog []faultOp, seed int64, rules []faults.Rule) string {
+// runFaultProgram executes prog in the given mode and flush scheduler under
+// the fault plan and returns a printable fingerprint of every cross-mode-
+// comparable outcome. Values are small integers, so all float64 arithmetic
+// is exact and results do not depend on which storage kernel performed them.
+// With sched == SchedDag the worker bound is raised so the DAG path really
+// engages (and really runs operations concurrently).
+func runFaultProgram(t *testing.T, mode Mode, sched Scheduler, prog []faultOp, seed int64, rules []faults.Rule) string {
 	t.Helper()
 	ResetForTesting()
 	if err := Init(mode); err != nil {
 		t.Fatalf("Init(%v): %v", mode, err)
+	}
+	SetScheduler(sched)
+	if sched == SchedDag {
+		prev := parallel.SetMaxWorkers(4)
+		defer parallel.SetMaxWorkers(prev)
 	}
 	defer func() {
 		faults.Disable()
@@ -164,10 +172,14 @@ func TestFaults_DifferentialSweep(t *testing.T) {
 			prog[i] = faultOp{kind: rng.Intn(4), dst: rng.Intn(diffPool), s1: rng.Intn(diffPool), s2: rng.Intn(diffPool)}
 		}
 		seed := rng.Int63()
-		blk := runFaultProgram(t, Blocking, prog, seed, rules)
-		nbl := runFaultProgram(t, NonBlocking, prog, seed, rules)
+		blk := runFaultProgram(t, Blocking, SchedSequential, prog, seed, rules)
+		nbl := runFaultProgram(t, NonBlocking, SchedSequential, prog, seed, rules)
+		dag := runFaultProgram(t, NonBlocking, SchedDag, prog, seed, rules)
 		if blk != nbl {
 			t.Fatalf("sweep %d diverged (prog %v)\n-- blocking --\n%s-- nonblocking --\n%s", sweep, prog, blk, nbl)
+		}
+		if blk != dag {
+			t.Fatalf("sweep %d DAG diverged (prog %v)\n-- blocking --\n%s-- dag --\n%s", sweep, prog, blk, dag)
 		}
 		if !strings.Contains(blk, "err pos=") {
 			t.Logf("sweep %d injected nothing", sweep)
@@ -208,10 +220,57 @@ func FuzzFaultSchedule(f *testing.F) {
 		if len(prog) == 0 {
 			t.Skip()
 		}
-		blk := runFaultProgram(t, Blocking, prog, seed, []faults.Rule{rule})
-		nbl := runFaultProgram(t, NonBlocking, prog, seed, []faults.Rule{rule})
+		blk := runFaultProgram(t, Blocking, SchedSequential, prog, seed, []faults.Rule{rule})
+		nbl := runFaultProgram(t, NonBlocking, SchedSequential, prog, seed, []faults.Rule{rule})
 		if blk != nbl {
 			t.Fatalf("modes diverged (rule %+v, prog %v)\n-- blocking --\n%s-- nonblocking --\n%s", rule, prog, blk, nbl)
+		}
+	})
+}
+
+// FuzzDagSchedule is the DAG-scheduler variant of FuzzFaultSchedule: the
+// same derived program and fault plan must leave blocking mode, the
+// sequential nonblocking drain, and the DAG-parallel nonblocking flush in
+// identical observable states — surviving-object contents, invalidity
+// classes, and the sequence error log. This is the executable statement of
+// the dataflow scheduler's contract: concurrency may reorder *when* work
+// happens, never *what* the program observes.
+func FuzzDagSchedule(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 2, 0, 1, 2, 3, 1, 2, 3, 0})
+	f.Add([]byte{7, 3, 0, 0, 2, 1, 3, 2, 0, 0, 1, 1, 2, 2, 3, 3})
+	f.Add([]byte{2, 2, 1, 0, 5, 0, 0, 1, 3, 2, 1, 1, 3, 0, 2})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 249, 248, 247})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			t.Skip()
+		}
+		rule := faults.Rule{
+			Site:  faultOpNames[int(data[0])%len(faultOpNames)],
+			Kind:  []faults.Kind{faults.OOM, faults.KernelErr, faults.PanicFault}[int(data[1])%3],
+			After: int(data[2]) % 3,
+			Every: int(data[3]) % 3,
+		}
+		seed := int64(data[4])
+		var prog []faultOp
+		for i := 5; i+2 < len(data) && len(prog) < 12; i += 3 {
+			prog = append(prog, faultOp{
+				kind: int(data[i]),
+				dst:  int(data[i+1]),
+				s1:   int(data[i+2]),
+				s2:   int(data[i+1]) >> 4,
+			})
+		}
+		if len(prog) == 0 {
+			t.Skip()
+		}
+		blk := runFaultProgram(t, Blocking, SchedSequential, prog, seed, []faults.Rule{rule})
+		seq := runFaultProgram(t, NonBlocking, SchedSequential, prog, seed, []faults.Rule{rule})
+		dag := runFaultProgram(t, NonBlocking, SchedDag, prog, seed, []faults.Rule{rule})
+		if blk != seq {
+			t.Fatalf("blocking vs sequential diverged (rule %+v, prog %v)\n-- blocking --\n%s-- sequential --\n%s", rule, prog, blk, seq)
+		}
+		if blk != dag {
+			t.Fatalf("blocking vs dag diverged (rule %+v, prog %v)\n-- blocking --\n%s-- dag --\n%s", rule, prog, blk, dag)
 		}
 	})
 }

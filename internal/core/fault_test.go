@@ -62,7 +62,7 @@ func TestFaults_OpLevelRollback(t *testing.T) {
 		}
 		equalDense(t, committedTuples(c), before, "rolled-back contents")
 
-		st := GetStats()
+		st := StatsSnapshot()
 		if st.FaultsInjected == 0 {
 			t.Fatalf("FaultsInjected not counted: %+v", st)
 		}
@@ -216,7 +216,7 @@ func vecTuples(t *testing.T, v *Vector[float64]) map[int]float64 {
 
 // TestFaults_KernelFallbackMxV: a bitmap MxV kernel that fails with an
 // injected fault is transparently retried on the generic CSR path; the
-// result is correct and the retry is visible in GetStats.
+// result is correct and the retry is visible in StatsSnapshot.
 func TestFaults_KernelFallbackMxV(t *testing.T) {
 	withMode(t, Blocking, func() {
 		rng := rand.New(rand.NewSource(7))
@@ -234,7 +234,7 @@ func TestFaults_KernelFallbackMxV(t *testing.T) {
 		want := vecTuples(t, wantV)
 
 		withFaults(t, 1, faults.Rule{Site: "format.kernel.bitmap.mxv*", Kind: faults.KernelErr})
-		base := GetStats().KernelRetries
+		base := StatsSnapshot().KernelRetries
 		w, _ := NewVector[float64](24)
 		if err := MxV(w, NoMaskV, NoAccum[float64](), s, a, u, nil); err != nil {
 			t.Fatalf("MxV under injection not recovered: %v", err)
@@ -248,7 +248,7 @@ func TestFaults_KernelFallbackMxV(t *testing.T) {
 				t.Fatalf("w[%d] got %v want %v", i, got[i], x)
 			}
 		}
-		if st := GetStats(); st.KernelRetries == base {
+		if st := StatsSnapshot(); st.KernelRetries == base {
 			t.Fatalf("retry not counted: %+v", st)
 		}
 	})
@@ -272,13 +272,13 @@ func TestFaults_KernelFallbackMxM(t *testing.T) {
 		want := denseOf(t, wantC)
 
 		withFaults(t, 1, faults.Rule{Site: "format.kernel.bitmap.mxm*", Kind: faults.OOM})
-		base := GetStats().KernelRetries
+		base := StatsSnapshot().KernelRetries
 		c, _ := NewMatrix[float64](16, 16)
 		if err := MxM(c, NoMask, NoAccum[float64](), s, a, b, nil); err != nil {
 			t.Fatalf("MxM under injection not recovered: %v", err)
 		}
 		equalDense(t, denseOf(t, c), want, "fallback MxM")
-		if st := GetStats(); st.KernelRetries == base {
+		if st := StatsSnapshot(); st.KernelRetries == base {
 			t.Fatalf("retry not counted: %+v", st)
 		}
 	})
@@ -307,7 +307,7 @@ func TestFaults_AllocGovernorFallback(t *testing.T) {
 		// The cached bitmap from the reference run must not mask the governed
 		// conversion; drop it by touching the matrix.
 		a.setData(a.mdat())
-		base := GetStats().KernelRetries
+		base := StatsSnapshot().KernelRetries
 		w, _ := NewVector[float64](32)
 		if err := MxV(w, NoMaskV, NoAccum[float64](), s, a, u, nil); err != nil {
 			t.Fatalf("MxV under governor not recovered: %v", err)
@@ -318,7 +318,7 @@ func TestFaults_AllocGovernorFallback(t *testing.T) {
 				t.Fatalf("w[%d] got %v want %v", i, got[i], x)
 			}
 		}
-		if st := GetStats(); st.KernelRetries == base {
+		if st := StatsSnapshot(); st.KernelRetries == base {
 			t.Fatalf("governed denial not retried: %+v", st)
 		}
 	})
@@ -337,12 +337,12 @@ func TestFaults_PanicKindNotRetried(t *testing.T) {
 			t.Fatalf("SetFormat: %v", err)
 		}
 		withFaults(t, 1, faults.Rule{Site: "format.kernel.bitmap.mxv*", Kind: faults.PanicFault, Times: 1})
-		base := GetStats().KernelRetries
+		base := StatsSnapshot().KernelRetries
 		w, _ := NewVector[float64](16)
 		if err := MxV(w, NoMaskV, NoAccum[float64](), s, a, u, nil); InfoOf(err) != PanicInfo {
 			t.Fatalf("Panic-kind fault surfaced as %v", err)
 		}
-		if st := GetStats(); st.KernelRetries != base {
+		if st := StatsSnapshot(); st.KernelRetries != base {
 			t.Fatalf("panic fault was retried: %+v", st)
 		}
 	})

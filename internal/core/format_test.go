@@ -133,7 +133,7 @@ func TestAdaptiveSelectionAndStats(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	before := GetStats()
+	before := StatsSnapshot()
 	w, err := NewVector[float64](64)
 	if err != nil {
 		t.Fatal(err)
@@ -141,7 +141,7 @@ func TestAdaptiveSelectionAndStats(t *testing.T) {
 	if err := MxV(w, NoMaskV, NoAccum[float64](), s, a, u, nil); err != nil {
 		t.Fatal(err)
 	}
-	after := GetStats()
+	after := StatsSnapshot()
 	if after.BitmapKernels <= before.BitmapKernels {
 		t.Errorf("BitmapKernels did not advance: %d -> %d", before.BitmapKernels, after.BitmapKernels)
 	}
@@ -283,11 +283,11 @@ func TestUserOpNamedTimesNotFastPathed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := GetStats()
+	before := StatsSnapshot()
 	if err := MxV(w, NoMaskV, NoAccum[float64](), fake, a, u, nil); err != nil {
 		t.Fatal(err)
 	}
-	after := GetStats()
+	after := StatsSnapshot()
 	if after.FastKernels != before.FastKernels {
 		t.Error("mis-named user semiring took the arithmetic fast path")
 	}

@@ -1,0 +1,72 @@
+package core
+
+// The DAG-parallel flush path: internal/dataflow supplies the hazard-graph
+// construction and the bounded worker pool; this file adapts the pending-op
+// queue to it and folds the concurrent outcomes back into the context's
+// sequential observable state (error log, first error, stats).
+//
+// Concurrency contract. The flushing goroutine holds global.mu for the whole
+// flush, exactly as the sequential drain does; workers never touch the
+// context. Everything a worker does is safe under the hazard edges:
+//
+//   - object stores and caches are guarded by the per-object mutex
+//     (Matrix.mu / Vector.mu), so a reader and the independent producer of
+//     some other object can overlap freely;
+//   - obj.err and the snapshot/restore pair are plain state, but any two
+//     operations touching the same object are ordered by a RAW/WAW/WAR edge,
+//     and the scheduler's internal lock turns edge order into happens-before;
+//   - format and recovery counters are package atomics;
+//   - fault-plan draws are ordered by a faults.Sequencer so the injection
+//     schedule stays identical to a sequential drain (see runOpAt).
+
+import (
+	"graphblas/internal/dataflow"
+	"graphblas/internal/faults"
+	"graphblas/internal/parallel"
+)
+
+// opMetas projects the runnable queue onto the dataflow package's semantics-
+// free footprint triples, preserving order (node i = nodes[i]).
+func opMetas(nodes []*pendingOp) []dataflow.OpMeta {
+	metas := make([]dataflow.OpMeta, len(nodes))
+	for i, op := range nodes {
+		reads := make([]uint64, len(op.reads))
+		for j, r := range op.reads {
+			reads[j] = r.id
+		}
+		metas[i] = dataflow.OpMeta{Out: op.out.id, Reads: reads, Overwrites: op.overwrites}
+	}
+	return metas
+}
+
+// runQueueDag executes the runnable operations of one flush on the dataflow
+// scheduler and returns their outcomes indexed like nodes (program order).
+// Caller holds global.mu and folds the results into the error log itself, so
+// the observable state — SequenceErrors order, first-error selection, the
+// GrB_error string — is byte-identical to a sequential drain. Caller
+// guarantees len(nodes) > 1.
+func runQueueDag(nodes []*pendingOp) []error {
+	g := dataflow.Build(opMetas(nodes))
+	var gate *faults.Sequencer
+	serialBody := false
+	if faults.Enabled() {
+		// A fault plan consumes per-site counters and a shared seeded RNG;
+		// draws must happen in program order for the schedule to replay
+		// identically to sequential mode. Plans that can reach inside kernel
+		// bodies (dotted sites, globs) additionally force the bodies
+		// themselves to run one at a time.
+		gate = faults.NewSequencer(len(nodes))
+		serialBody = faults.PlanCoversKernelSites()
+	}
+	results := make([]error, len(nodes))
+	rs := g.Run(parallel.MaxWorkers(), func(i int) {
+		results[i] = runOpAt(nodes[i], gate, i, serialBody)
+	})
+	global.stats.ParallelFlushes++
+	global.stats.DagNodes += int64(g.Nodes())
+	global.stats.DagEdges += int64(g.Edges())
+	if w := int64(rs.MaxWidth); w > global.stats.MaxWidth {
+		global.stats.MaxWidth = w
+	}
+	return results
+}

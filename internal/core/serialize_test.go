@@ -158,14 +158,14 @@ func TestSerializeForcesCompletion(t *testing.T) {
 		if err := MxM(c, NoMask, NoAccum[float64](), s, a, a, nil); err != nil {
 			t.Fatal(err)
 		}
-		if st := GetStats(); st.OpsExecuted != 0 {
+		if st := StatsSnapshot(); st.OpsExecuted != 0 {
 			t.Fatalf("op ran before serialize: %+v", st)
 		}
 		var buf bytes.Buffer
 		if err := MatrixSerialize(c, &buf); err != nil {
 			t.Fatal(err)
 		}
-		if st := GetStats(); st.OpsExecuted == 0 {
+		if st := StatsSnapshot(); st.OpsExecuted == 0 {
 			t.Fatalf("serialize did not force: %+v", st)
 		}
 		back, err := MatrixDeserialize[float64](&buf)

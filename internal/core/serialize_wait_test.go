@@ -27,7 +27,7 @@ func TestSerializeFlushesQueuedAssign(t *testing.T) {
 		if err := m.SetElement(9, 3, 4); err != nil {
 			t.Fatal(err)
 		}
-		if queued := GetStats().OpsEnqueued; queued == 0 {
+		if queued := StatsSnapshot().OpsEnqueued; queued == 0 {
 			t.Fatal("assign was not deferred; the regression scenario needs a queued op")
 		}
 

@@ -1,0 +1,287 @@
+package dataflow
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphblas/internal/parallel"
+)
+
+// edgeSet collects the graph's edges as (from, to) pairs for comparison.
+func edgeSet(g *Graph) map[[2]int]bool {
+	set := map[[2]int]bool{}
+	for i := 0; i < g.Nodes(); i++ {
+		for _, s := range g.Succ(i) {
+			set[[2]int{i, int(s)}] = true
+		}
+	}
+	return set
+}
+
+// TestBuildHazards checks the hazard table case by case: each row is a tiny
+// program over object ids, with the exact dependency edges it must induce.
+func TestBuildHazards(t *testing.T) {
+	w := func(out uint64, reads ...uint64) OpMeta { return OpMeta{Out: out, Reads: reads, Overwrites: true} }
+	acc := func(out uint64, reads ...uint64) OpMeta { return OpMeta{Out: out, Reads: reads, Overwrites: false} }
+	cases := []struct {
+		name  string
+		ops   []OpMeta
+		edges [][2]int
+		raw   int
+		waw   int
+		war   int
+	}{
+		{
+			name:  "RAW: reader depends on last writer",
+			ops:   []OpMeta{w(1, 10), w(2, 1)},
+			edges: [][2]int{{0, 1}},
+			raw:   1,
+		},
+		{
+			name: "RAW: only the *latest* writer",
+			ops:  []OpMeta{w(1, 10), w(1, 11), w(2, 1)},
+			// op2 reads obj 1 written by op1; op0's write is superseded. The
+			// op0→op1 edge is the WAW.
+			edges: [][2]int{{0, 1}, {1, 2}},
+			raw:   1,
+			waw:   1,
+		},
+		{
+			name:  "WAW: same output twice",
+			ops:   []OpMeta{w(1, 10), w(1, 11)},
+			edges: [][2]int{{0, 1}},
+			waw:   1,
+		},
+		{
+			name: "WAR: overwrite waits for earlier reader",
+			ops:  []OpMeta{w(2, 1), w(1, 10)},
+			// op0 reads obj 1; op1 replaces obj 1's store wholesale.
+			edges: [][2]int{{0, 1}},
+			war:   1,
+		},
+		{
+			name: "accumulate reads own output (RAW to previous writer)",
+			ops:  []OpMeta{w(1, 10), acc(1, 11)},
+			// The accumulator consults obj 1's prior content: a true flow
+			// dependence, classified RAW (dedup ranks RAW over WAW).
+			edges: [][2]int{{0, 1}},
+			raw:   1,
+		},
+		{
+			name:  "independent chains share no edges",
+			ops:   []OpMeta{w(1, 10), w(2, 1), w(3, 11), w(4, 3)},
+			edges: [][2]int{{0, 1}, {2, 3}},
+			raw:   2,
+		},
+		{
+			name: "shared operand alone induces no edge",
+			ops:  []OpMeta{w(1, 10), w(2, 10)},
+		},
+		{
+			name: "dedup: reader of two outputs of one op",
+			ops:  []OpMeta{w(1, 10), w(2, 1), acc(2, 1)},
+			// op2 reads obj 1 (RAW on op0... no: obj1 written by op0) and obj 2
+			// (its own output, written by op1): edges 0→2 (RAW), 1→2 (RAW via
+			// own-output read, deduped with WAW), 0→1 (RAW).
+			edges: [][2]int{{0, 1}, {0, 2}, {1, 2}},
+			raw:   3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := Build(tc.ops)
+			want := map[[2]int]bool{}
+			for _, e := range tc.edges {
+				want[e] = true
+			}
+			got := edgeSet(g)
+			if len(got) != len(want) {
+				t.Fatalf("edges = %v, want %v", got, want)
+			}
+			for e := range want {
+				if !got[e] {
+					t.Fatalf("missing edge %v; got %v", e, got)
+				}
+			}
+			raw, waw, war := g.EdgeKinds()
+			if raw != tc.raw || waw != tc.waw || war != tc.war {
+				t.Fatalf("edge kinds = RAW %d, WAW %d, WAR %d; want %d %d %d",
+					raw, waw, war, tc.raw, tc.waw, tc.war)
+			}
+			if g.Edges() != len(tc.edges) {
+				t.Fatalf("Edges() = %d, want %d", g.Edges(), len(tc.edges))
+			}
+		})
+	}
+}
+
+// TestRunRespectsDependencies executes a diamond DAG with many workers and
+// verifies every node ran exactly once, after all of its dependencies.
+func TestRunRespectsDependencies(t *testing.T) {
+	// 0 → {1, 2} → 3, plus a free-standing chain 4 → 5.
+	ops := []OpMeta{
+		{Out: 1, Reads: []uint64{100}, Overwrites: true},
+		{Out: 2, Reads: []uint64{1}, Overwrites: true},
+		{Out: 3, Reads: []uint64{1}, Overwrites: true},
+		{Out: 4, Reads: []uint64{2, 3}, Overwrites: true},
+		{Out: 5, Reads: []uint64{101}, Overwrites: true},
+		{Out: 6, Reads: []uint64{5}, Overwrites: true},
+	}
+	g := Build(ops)
+	var mu sync.Mutex
+	finished := make([]bool, len(ops))
+	ran := make([]int32, len(ops))
+	deps := map[int][]int{1: {0}, 2: {0}, 3: {1, 2}, 5: {4}}
+	g.Run(4, func(i int) {
+		mu.Lock()
+		for _, d := range deps[i] {
+			if !finished[d] {
+				t.Errorf("node %d started before dependency %d finished", i, d)
+			}
+		}
+		mu.Unlock()
+		atomic.AddInt32(&ran[i], 1)
+		mu.Lock()
+		finished[i] = true
+		mu.Unlock()
+	})
+	for i, n := range ran {
+		if n != 1 {
+			t.Fatalf("node %d executed %d times", i, n)
+		}
+	}
+}
+
+// TestRunOverlapsIndependentNodes proves independent nodes really run
+// concurrently: two nodes block on each other's arrival at a barrier, which
+// only a parallel schedule can satisfy. (Safe on one CPU: channel waits
+// yield the processor.)
+func TestRunOverlapsIndependentNodes(t *testing.T) {
+	ops := []OpMeta{
+		{Out: 1, Reads: []uint64{100}, Overwrites: true},
+		{Out: 2, Reads: []uint64{101}, Overwrites: true},
+	}
+	g := Build(ops)
+	if g.Edges() != 0 {
+		t.Fatalf("expected independent nodes, got %d edges", g.Edges())
+	}
+	barrier := make(chan struct{}, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.Run(2, func(i int) {
+			barrier <- struct{}{}
+			// Wait until both nodes have arrived.
+			for len(barrier) < 2 {
+				time.Sleep(time.Millisecond)
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("independent nodes did not overlap: Run deadlocked on the barrier")
+	}
+}
+
+// TestRunMinPosDispatch verifies ready nodes are dispatched in ascending
+// program order when a single worker drains a fully independent queue.
+func TestRunMinPosDispatch(t *testing.T) {
+	var ops []OpMeta
+	for i := 0; i < 16; i++ {
+		ops = append(ops, OpMeta{Out: uint64(1 + i), Reads: []uint64{100}, Overwrites: true})
+	}
+	g := Build(ops)
+	var order []int
+	g.Run(1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("single-worker dispatch order %v is not program order", order)
+		}
+	}
+}
+
+// TestRunPanicReleasesDependents verifies a panicking node does not strand
+// its dependents: every node still executes (or observes the panic),
+// and the panic resurfaces to the caller as a *parallel.Panic.
+func TestRunPanicReleasesDependents(t *testing.T) {
+	ops := []OpMeta{
+		{Out: 1, Reads: []uint64{100}, Overwrites: true},
+		{Out: 2, Reads: []uint64{1}, Overwrites: true},
+		{Out: 3, Reads: []uint64{2}, Overwrites: true},
+	}
+	g := Build(ops)
+	var ran int32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the node panic to resurface")
+		}
+		if _, ok := r.(*parallel.Panic); !ok {
+			t.Fatalf("panic value = %T, want *parallel.Panic", r)
+		}
+		if n := atomic.LoadInt32(&ran); n != 3 {
+			t.Fatalf("only %d of 3 nodes executed before the panic resurfaced", n)
+		}
+	}()
+	g.Run(2, func(i int) {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			panic("node 0 exploded")
+		}
+	})
+}
+
+// TestRunWidthBound verifies the pool never runs more nodes at once than
+// the worker bound allows.
+func TestRunWidthBound(t *testing.T) {
+	var ops []OpMeta
+	for i := 0; i < 12; i++ {
+		ops = append(ops, OpMeta{Out: uint64(1 + i), Reads: []uint64{100}, Overwrites: true})
+	}
+	g := Build(ops)
+	var cur, peak int32
+	rs := g.Run(3, func(i int) {
+		n := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > 3 {
+		t.Fatalf("observed %d concurrent nodes with a 3-worker bound", peak)
+	}
+	if rs.MaxWidth < 1 || rs.MaxWidth > 3 {
+		t.Fatalf("RunStats.MaxWidth = %d, want within [1, 3]", rs.MaxWidth)
+	}
+}
+
+// TestRunChainIsSequential verifies a fully dependent chain reports width 1:
+// hazards leave nothing to overlap.
+func TestRunChainIsSequential(t *testing.T) {
+	var ops []OpMeta
+	for i := 0; i < 8; i++ {
+		ops = append(ops, OpMeta{Out: uint64(i + 1), Reads: []uint64{uint64(i)}, Overwrites: true})
+	}
+	g := Build(ops)
+	if g.Edges() != len(ops)-1 {
+		t.Fatalf("chain built %d edges, want %d", g.Edges(), len(ops)-1)
+	}
+	rs := g.Run(4, func(i int) { time.Sleep(time.Millisecond) })
+	if rs.MaxWidth != 1 {
+		t.Fatalf("dependent chain ran with width %d, want 1", rs.MaxWidth)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	rs := Build(nil).Run(4, func(int) { t.Fatal("exec called on empty graph") })
+	if rs.MaxWidth != 0 {
+		t.Fatalf("MaxWidth = %d on empty graph", rs.MaxWidth)
+	}
+}

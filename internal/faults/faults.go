@@ -32,6 +32,7 @@ package faults
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -262,6 +263,86 @@ func Step(site string) {
 	if f := evaluate(site); f != nil {
 		panic(f)
 	}
+}
+
+// PlanCoversKernelSites reports whether any installed rule could match a
+// kernel-internal (dotted) site or the allocation governor, as opposed to
+// only exact executor-level op names. Kernel sites draw from the plan in the
+// middle of op bodies, so a DAG-parallel flush must serialize entire op
+// bodies to keep such a plan's schedule deterministic; plans made of exact
+// op-name rules only need the op-level draw ordered (see Sequencer), letting
+// kernel work overlap.
+func PlanCoversKernelSites() bool {
+	if !enabled.Load() {
+		return false
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for i := range reg.rules {
+		s := reg.rules[i].Site
+		if s == "" || s == "*" ||
+			strings.Contains(s, ".") ||
+			strings.HasSuffix(s, "*") {
+			return true
+		}
+	}
+	return false
+}
+
+// Sequencer orders fault-plan draws from concurrently executing operations
+// by program position: position i's Wait returns only once every position
+// j < i has released. Combined with the DAG scheduler's min-position
+// dispatch (which guarantees the smallest unfinished position is always
+// running or about to run, never parked behind blocked workers), this makes
+// the per-site call counts and the seeded RNG advance in exactly the
+// sequential-flush order, so a fault schedule replays identically under a
+// parallel flush.
+//
+// Release is idempotent and must eventually be called for every position —
+// including operations that short-circuit before reaching their injection
+// site. A nil *Sequencer is inert: Wait and Release are no-ops, so callers
+// can pass nil when no fault plan is installed.
+type Sequencer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	done []bool
+	next int // smallest position not yet released
+}
+
+// NewSequencer returns a Sequencer for positions [0, n).
+func NewSequencer(n int) *Sequencer {
+	s := &Sequencer{done: make([]bool, n)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Wait blocks until every position before pos has been released.
+func (s *Sequencer) Wait(pos int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for s.next < pos {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Release marks pos as done, unblocking later positions once every earlier
+// one is also done. Calling it more than once for the same pos is harmless.
+func (s *Sequencer) Release(pos int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done[pos] {
+		s.done[pos] = true
+		for s.next < len(s.done) && s.done[s.next] {
+			s.next++
+		}
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
 }
 
 // GovernAlloc is the allocation-budget governor: called with the byte size

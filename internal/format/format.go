@@ -71,6 +71,25 @@ const (
 	HintIterate
 )
 
+// String returns the hint name.
+func (h OpHint) String() string {
+	switch h {
+	case HintNone:
+		return "none"
+	case HintMxV:
+		return "mxv"
+	case HintMxM:
+		return "mxm"
+	case HintEWise:
+		return "ewise"
+	case HintAssign:
+		return "assign"
+	case HintIterate:
+		return "iterate"
+	}
+	return "unknown"
+}
+
 // Threshold constants of the adaptive policy. Fill ratio is nvals/(nrows·
 // ncols); row fill is nvals/nrows (average stored entries per row).
 const (

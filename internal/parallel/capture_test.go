@@ -1,0 +1,40 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCaptureNoPanic(t *testing.T) {
+	ran := false
+	if p := Capture(func() { ran = true }); p != nil {
+		t.Fatalf("Capture returned %v for a clean function", p)
+	}
+	if !ran {
+		t.Fatal("Capture did not run the function")
+	}
+}
+
+func TestCaptureWrapsPanic(t *testing.T) {
+	p := Capture(func() { panic("boom") })
+	if p == nil {
+		t.Fatal("Capture returned nil for a panicking function")
+	}
+	if p.Val != "boom" {
+		t.Fatalf("captured Val = %v, want boom", p.Val)
+	}
+	if len(p.Stack) == 0 || !strings.Contains(string(p.Stack), "TestCaptureWrapsPanic") {
+		t.Fatal("captured stack does not name the panic site")
+	}
+}
+
+// TestCapturePassthrough verifies an already-wrapped *Panic (e.g. from a
+// nested parallel loop) passes through unchanged, preserving the innermost
+// stack.
+func TestCapturePassthrough(t *testing.T) {
+	inner := &Panic{Val: "inner", Stack: []byte("inner stack")}
+	p := Capture(func() { panic(inner) })
+	if p != inner {
+		t.Fatalf("Capture rewrapped an existing *Panic: got %v", p)
+	}
+}

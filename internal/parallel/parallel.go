@@ -130,6 +130,26 @@ func (p *panicBox) repanic() {
 	}
 }
 
+// Capture runs f and returns the panic it raised, if any, wrapped in a
+// *Panic carrying the stack taken at the panic site (an existing *Panic
+// value passes through unchanged, preserving the innermost capture). It is
+// the per-task form of the panicBox used by the parallel loops: the DAG
+// scheduler runs each flush node under Capture so one faulty operation
+// cannot unwind a worker and strand the nodes that depend on it.
+func Capture(f func()) (p *Panic) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv, ok := r.(*Panic)
+			if !ok {
+				pv = &Panic{Val: r, Stack: debug.Stack()}
+			}
+			p = pv
+		}
+	}()
+	f()
+	return nil
+}
+
 // ForEachIndex runs body(i) for each i in [0, n) in parallel with automatic
 // chunking. Convenience wrapper over For.
 func ForEachIndex(n, grain int, body func(i int)) {
