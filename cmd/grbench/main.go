@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"graphblas"
@@ -29,12 +30,24 @@ func main() {
 	ef := flag.Int("ef", 8, "RMAT edge factor")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	sched := flag.String("sched", "dag", "nonblocking flush scheduler: dag or sequential")
+	metrics := flag.Bool("metrics", false, "trace the run and dump the engine metrics registry (Prometheus text) after the experiments")
 	flag.Parse()
 
 	if err := graphblas.Init(graphblas.NonBlocking); err != nil {
 		log.Fatal(err)
 	}
 	defer graphblas.Finalize()
+
+	if *metrics {
+		graphblas.SetTracer(graphblas.NewMetricsTracer())
+		graphblas.SetProfilingLabels(true)
+		defer func() {
+			fmt.Println("=== engine metrics (Prometheus text exposition) ===")
+			if err := graphblas.WriteMetricsText(os.Stdout); err != nil {
+				log.Printf("metrics dump failed: %v", err)
+			}
+		}()
+	}
 
 	switch strings.ToLower(*sched) {
 	case "dag":

@@ -40,6 +40,7 @@ import (
 	"graphblas/internal/core"
 	"graphblas/internal/faults"
 	"graphblas/internal/format"
+	"graphblas/internal/obs"
 	"graphblas/internal/parallel"
 	"graphblas/internal/setalg"
 )
@@ -311,6 +312,64 @@ func InjectedFaults() int64 { return faults.InjectedCount() }
 // attempting them — and returns the previous cap. n <= 0 restores the
 // default (1 TiB).
 func SetAllocBudget(n int64) int64 { return faults.SetAllocBudget(n) }
+
+// --- observability (extension) ---
+
+// Span is the record of one operation's passage through the execution
+// engine: method name, program-order position, the storage layout the kernel
+// consumed, bytes touched, stage timestamps (enqueue → schedule → kernel →
+// done), whether the op retried on the generic path or rolled back, and the
+// outcome.
+type Span = obs.Span
+
+// SpanOutcome classifies how an operation's execution concluded.
+type SpanOutcome = obs.Outcome
+
+// Span outcomes.
+const (
+	// SpanOK: the kernel ran and the result committed.
+	SpanOK = obs.OutcomeOK
+	// SpanError: the kernel failed; the output rolled back and was marked
+	// invalid.
+	SpanError = obs.OutcomeError
+	// SpanShortCircuit: the operation was cancelled because an input carried
+	// a prior execution error.
+	SpanShortCircuit = obs.OutcomeShortCircuit
+	// SpanElided: dead-store elimination pruned the operation.
+	SpanElided = obs.OutcomeElided
+)
+
+// Tracer receives completed operation spans. OnSpan may be called from
+// concurrent flush workers, so implementations must be concurrency-safe.
+type Tracer = obs.Tracer
+
+// SetTracer registers t as the engine's span consumer and returns the
+// previous one. Passing nil disables span collection entirely; the disabled
+// per-operation cost is a single atomic load and no allocation.
+func SetTracer(t Tracer) Tracer { return obs.SetTracer(t) }
+
+// NewMetricsTracer returns the built-in tracer that folds spans into the
+// engine metrics registry (per-op latency and queue-delay histograms,
+// per-outcome counters), making them visible through WriteMetricsText and
+// MetricsSnapshot.
+func NewMetricsTracer() Tracer { return obs.NewMetricsTracer() }
+
+// WriteMetricsText writes the engine metrics registry in the Prometheus text
+// exposition format.
+func WriteMetricsText(w io.Writer) error { return obs.WriteText(w) }
+
+// MetricsSnapshot returns a JSON-able snapshot of the engine metrics
+// registry: counter values and histogram bucket counts keyed by metric name.
+func MetricsSnapshot() map[string]any { return obs.Snapshot() }
+
+// PublishExpvarMetrics publishes the metrics snapshot under the expvar name
+// "graphblas_metrics" (visible at /debug/vars). Idempotent.
+func PublishExpvarMetrics() { obs.PublishExpvar() }
+
+// SetProfilingLabels toggles pprof labeling of operation execution and
+// returns the previous setting: CPU profile samples taken inside flush
+// workers then carry a "graphblas_op" label naming the operation kind.
+func SetProfilingLabels(on bool) bool { return obs.SetProfilingLabels(on) }
 
 // --- power-set algebra (Table I, row 5) ---
 

@@ -6,6 +6,7 @@ import (
 
 	"graphblas/internal/faults"
 	"graphblas/internal/format"
+	"graphblas/internal/obs"
 	"graphblas/internal/parallel"
 )
 
@@ -96,29 +97,25 @@ type Stats struct {
 	MaxWidth        int64
 }
 
-// The format-engine counters are bumped from inside kernels, outside the
-// context lock, so they live in dedicated atomics and are folded into the
-// Stats snapshot on read.
+// The execution-engine counters live in the internal/obs metrics registry —
+// lock-free atomics bumped from inside kernels and flush workers, outside
+// the context lock — and are folded into the Stats snapshot on read. The
+// handles below keep the historic short names at their call sites.
 var (
-	fmtBitmapOps   atomic.Int64
-	fmtHyperOps    atomic.Int64
-	fmtFastOps     atomic.Int64
-	fmtConversions atomic.Int64
-	execRetries    atomic.Int64
-	execRollbacks  atomic.Int64
+	fmtBitmapOps   = obs.FormatKernels.With("bitmap")
+	fmtHyperOps    = obs.FormatKernels.With("hyper")
+	fmtFastOps     = obs.FormatKernels.With("fast")
+	fmtConversions = obs.FormatConversions
+	execRetries    = obs.KernelRetries
+	execRollbacks  = obs.Rollbacks
 	// faultBase is the faults.InjectedCount baseline at the last stats reset,
 	// so Stats.FaultsInjected counts per Init/ResetForTesting epoch even
 	// though the faults package keeps its own global counter.
 	faultBase atomic.Int64
 )
 
-func resetFormatStats() {
-	fmtBitmapOps.Store(0)
-	fmtHyperOps.Store(0)
-	fmtFastOps.Store(0)
-	fmtConversions.Store(0)
-	execRetries.Store(0)
-	execRollbacks.Store(0)
+func resetEngineStats() {
+	obs.ResetEngine()
 	faultBase.Store(faults.InjectedCount())
 }
 
@@ -136,6 +133,9 @@ type pendingOp struct {
 	// deferred producer of one of those operands can materialize its result
 	// directly in the layout this consumer wants (see propagateHints).
 	hint format.OpHint
+	// span is the operation's observability record, nil when no tracer is
+	// registered (every obs.Span method is nil-safe).
+	span *obs.Span
 }
 
 // context is the GraphBLAS execution context. The paper defines exactly one
@@ -148,7 +148,6 @@ type context struct {
 	queue    []*pendingOp
 	execErr  error
 	lastMsg  string
-	stats    Stats
 	elision  bool      // dead-store elimination enabled (default true)
 	sched    Scheduler // nonblocking flush strategy (default SchedDag)
 	reinitOK bool      // testing escape hatch
@@ -195,14 +194,13 @@ func Init(mode Mode) error {
 	global.queue = nil
 	global.execErr = nil
 	global.lastMsg = ""
-	global.stats = Stats{}
 	global.elision = true
 	global.sched = SchedDag
 	global.errLog = nil
 	global.seqDone = nil
 	global.seqOpen = false
 	global.seqPos = 0
-	resetFormatStats()
+	resetEngineStats()
 	return nil
 }
 
@@ -214,7 +212,7 @@ func Finalize() error {
 	if global.state != stateActive {
 		return errf(UninitializedContext, "Finalize", "context not initialized")
 	}
-	global.stats.Flushes++
+	obs.Flushes.Inc()
 	err := flushLocked()
 	global.state = stateFinalized
 	return err
@@ -231,7 +229,6 @@ func ResetForTesting() {
 	global.queue = nil
 	global.execErr = nil
 	global.lastMsg = ""
-	global.stats = Stats{}
 	global.elision = true
 	global.sched = SchedDag
 	global.reinitOK = true
@@ -239,7 +236,7 @@ func ResetForTesting() {
 	global.seqDone = nil
 	global.seqOpen = false
 	global.seqPos = 0
-	resetFormatStats()
+	resetEngineStats()
 }
 
 // CurrentMode reports the context mode.
@@ -279,19 +276,29 @@ func CurrentScheduler() Scheduler {
 }
 
 // StatsSnapshot returns a consistent snapshot of the execution-engine
-// counters. It is the only sanctioned way to read them: the fields are
-// written under the context lock (or in dedicated atomics), so direct field
-// access from another goroutine is a data race once flushes go parallel.
+// counters, now derived entirely from the internal/obs metrics registry (the
+// Stats struct remains the stable programmatic view; the registry adds the
+// Prometheus/expvar exports on top of the same instruments). Taken under the
+// context lock so a snapshot after Wait sees every counter the flush folded.
 func StatsSnapshot() Stats {
 	global.mu.Lock()
 	defer global.mu.Unlock()
-	s := global.stats
-	s.BitmapKernels = fmtBitmapOps.Load()
-	s.HyperKernels = fmtHyperOps.Load()
-	s.FastKernels = fmtFastOps.Load()
-	s.FormatConversions = fmtConversions.Load()
-	s.KernelRetries = execRetries.Load()
-	s.Rollbacks = execRollbacks.Load()
+	s := Stats{
+		OpsEnqueued:       obs.OpsEnqueued.Total(),
+		OpsExecuted:       obs.OpsExecuted.Total() + obs.OpsFailed.Total(),
+		OpsElided:         obs.OpsElided.Value(),
+		Flushes:           obs.Flushes.Value(),
+		BitmapKernels:     fmtBitmapOps.Value(),
+		HyperKernels:      fmtHyperOps.Value(),
+		FastKernels:       fmtFastOps.Value(),
+		FormatConversions: fmtConversions.Value(),
+		KernelRetries:     execRetries.Value(),
+		Rollbacks:         execRollbacks.Value(),
+		ParallelFlushes:   obs.ParallelFlushes.Value(),
+		DagNodes:          obs.DagNodes.Value(),
+		DagEdges:          obs.DagEdges.Value(),
+		MaxWidth:          obs.DagWidth.Value(),
+	}
 	// faults.Configure/Reset zero the package counter independently of the
 	// stats epoch; a counter below the baseline means the plan was
 	// reconfigured since the epoch started, so the baseline is stale.
@@ -334,7 +341,7 @@ func Wait() error {
 		global.mu.Unlock()
 		return errf(UninitializedContext, "Wait", "call Init before any GraphBLAS method")
 	}
-	global.stats.Flushes++
+	obs.Flushes.Inc()
 	err := flushLocked()
 	global.mu.Unlock()
 	return err
@@ -351,16 +358,20 @@ func Wait() error {
 func flushLocked() error {
 	queue := global.queue
 	global.queue = nil
+	obs.QueueDepth.Set(0)
 	if len(queue) == 0 {
 		closeSeqLocked()
 		return global.takeExecErrLocked()
 	}
+	obs.FlushDepth.Observe(float64(len(queue)))
 	elide := markElidable(queue, global.elision)
 	propagateHints(queue, elide)
 	nodes := queue[:0]
 	for k, op := range queue {
 		if elide[k] {
-			global.stats.OpsElided++
+			obs.OpsElided.Inc()
+			op.span.Finish(obs.OutcomeElided, nil)
+			obs.Emit(op.span)
 			continue
 		}
 		nodes = append(nodes, op)
@@ -385,7 +396,6 @@ func flushLocked() error {
 				global.lastMsg = err.Error()
 			}
 		}
-		global.stats.OpsExecuted++
 	}
 	if global.execErr == nil {
 		// A clean flush supersedes any stale GrB_error string.
@@ -545,6 +555,7 @@ func runOp(op *pendingOp) error {
 // the whole operation body, serializing execution in program order while
 // still exercising the DAG machinery.
 func runOpAt(op *pendingOp, gate *faults.Sequencer, idx int, serialBody bool) error {
+	op.span.MarkScheduled()
 	if serialBody {
 		gate.Wait(idx)
 	}
@@ -554,29 +565,43 @@ func runOpAt(op *pendingOp, gate *faults.Sequencer, idx int, serialBody bool) er
 		if r.err != nil {
 			err := errf(InvalidObject, op.name, "input object invalid from a previous execution error: %v", r.err)
 			op.out.err = err
-			return err
+			return failOp(op, obs.OutcomeShortCircuit, err)
 		}
 	}
 	if op.out.err != nil && !op.overwrites {
 		// Reading an invalid output (merge/accumulate) is also an error; a
 		// full overwrite rehabilitates the object.
 		err := errf(InvalidObject, op.name, "output object invalid from a previous execution error: %v", op.out.err)
-		return err
+		return failOp(op, obs.OutcomeShortCircuit, err)
 	}
 	var restore func()
 	if op.out.snapshot != nil {
 		restore = op.out.snapshot()
 	}
+	op.span.MarkKernel()
 	if err := runGuardedAt(op, gate, idx, serialBody); err != nil {
 		if restore != nil {
 			restore()
 			execRollbacks.Add(1)
+			op.span.NoteRollback()
 		}
 		op.out.err = err
-		return err
+		return failOp(op, obs.OutcomeError, err)
 	}
 	op.out.err = nil
+	obs.OpsExecuted.With(op.name).Inc()
+	op.span.Finish(obs.OutcomeOK, nil)
+	obs.Emit(op.span)
 	return nil
+}
+
+// failOp records an operation's failure in the metrics and its span, then
+// returns err for the caller's error-log fold.
+func failOp(op *pendingOp, outcome obs.Outcome, err error) error {
+	obs.OpsFailed.With(op.name).Inc()
+	op.span.Finish(outcome, err)
+	obs.Emit(op.span)
+	return err
 }
 
 // runGuardedAt executes an operation's kernel, converting panics (e.g. from a
@@ -624,6 +649,14 @@ func enqueue(name string, out *obj, reads []*obj, overwrites bool, run func() er
 // operands. In nonblocking mode the hint rides on the queued op so
 // flushLocked can propagate it backward to the producers of those operands.
 func enqueueHinted(name string, out *obj, reads []*obj, overwrites bool, hint format.OpHint, run func() error) error {
+	return enqueueSpanned(name, out, reads, overwrites, hint, obs.Begin(name), run)
+}
+
+// enqueueSpanned is the full-argument enqueue: operations that thread their
+// observability span into kernel dispatch (the multiply family) open it
+// themselves with obs.Begin and pass it in; everything else arrives here via
+// enqueueHinted. sp is nil whenever tracing is disabled.
+func enqueueSpanned(name string, out *obj, reads []*obj, overwrites bool, hint format.OpHint, sp *obs.Span, run func() error) error {
 	global.mu.Lock()
 	if global.state != stateActive {
 		global.mu.Unlock()
@@ -633,10 +666,10 @@ func enqueueHinted(name string, out *obj, reads []*obj, overwrites bool, hint fo
 		// Run outside the context lock: the paper permits concurrent
 		// sequences in distinct threads (sharing only read-only objects),
 		// and blocking-mode execution must not serialize them globally.
-		global.stats.OpsExecuted++
 		pos := beginOpLocked()
 		global.mu.Unlock()
-		op := &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: pos, hint: hint}
+		sp.SetPos(pos)
+		op := &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: pos, hint: hint, span: sp}
 		err := runOp(op)
 		global.mu.Lock()
 		if err != nil {
@@ -650,8 +683,11 @@ func enqueueHinted(name string, out *obj, reads []*obj, overwrites bool, hint fo
 		global.mu.Unlock()
 		return err
 	}
-	global.queue = append(global.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: beginOpLocked(), hint: hint})
-	global.stats.OpsEnqueued++
+	pos := beginOpLocked()
+	sp.SetPos(pos)
+	global.queue = append(global.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: pos, hint: hint, span: sp})
+	obs.OpsEnqueued.With(name).Inc()
+	obs.QueueDepth.Set(int64(len(global.queue)))
 	global.mu.Unlock()
 	return nil
 }
@@ -668,6 +704,6 @@ func force(name string) error {
 	if len(global.queue) == 0 {
 		return global.takeExecErrLocked()
 	}
-	global.stats.Flushes++
+	obs.Flushes.Inc()
 	return flushLocked()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"graphblas/internal/faults"
 	"graphblas/internal/format"
+	"graphblas/internal/obs"
 	"graphblas/internal/parallel"
 	"graphblas/internal/sparse"
 )
@@ -78,21 +79,25 @@ func runFallible[T any](f func() (T, bool)) (out T, used bool, fault *faults.Fau
 // the semiring is genuinely ⟨+,×⟩, the generic bitmap kernel, the
 // hypersparse kernel, or the CSR reference kernel. A fast-path kernel that
 // fails with a recoverable fault (injected failure or governed allocation
-// denial) is retried once on the CSR reference path.
-func dotMxVDispatch[DC, DA, DU any](a *Matrix[DA], ud *sparse.Vec[DU], op Semiring[DA, DU, DC], vm *sparse.VecMask) *sparse.Vec[DC] {
+// denial) is retried once on the CSR reference path. sp (nil when tracing is
+// off) records the layout that actually produced the result and any retry.
+func dotMxVDispatch[DC, DA, DU any](a *Matrix[DA], ud *sparse.Vec[DU], op Semiring[DA, DU, DC], vm *sparse.VecMask, sp *obs.Span) *sparse.Vec[DC] {
 	r, ok, fault := runFallible(func() (*sparse.Vec[DC], bool) {
 		if bm := a.bitmapForRead(format.HintMxV); bm != nil {
 			fmtBitmapOps.Add(1)
 			if plusTimesSemiring(op) {
 				if r, ok := format.TryDotMxVPlusTimes(bm, ud, vm); ok {
 					fmtFastOps.Add(1)
+					sp.NoteLayout("bitmap-fast")
 					return r.(*sparse.Vec[DC]), true
 				}
 			}
+			sp.NoteLayout("bitmap")
 			return format.DotMxVBitmap(bm, ud, op.Mul.F, op.Add.Op.F, vm), true
 		}
 		if hy := a.hyperForRead(format.HintMxV); hy != nil {
 			fmtHyperOps.Add(1)
+			sp.NoteLayout("hyper")
 			return format.DotMxVHyper(hy, ud, op.Mul.F, op.Add.Op.F, vm), true
 		}
 		return nil, false
@@ -102,18 +107,22 @@ func dotMxVDispatch[DC, DA, DU any](a *Matrix[DA], ud *sparse.Vec[DU], op Semiri
 	}
 	if fault != nil {
 		execRetries.Add(1)
+		sp.NoteRetry()
 	}
+	sp.NoteLayout("csr")
 	return sparse.DotMxV(a.mdat(), ud, op.Mul.F, op.Add.Op.F, vm)
 }
 
 // pushMxVDispatch runs the push-style w = Aᵀ ⊕.⊗ u kernel, using the
 // hypersparse row list when the engine picks it for A: frontier expansion
 // over a nearly-empty matrix then skips the empty-row scan entirely. A
-// failed hypersparse kernel is retried once on the CSR path.
-func pushMxVDispatch[DC, DA, DU any](a *Matrix[DA], ud *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, vm *sparse.VecMask) *sparse.Vec[DC] {
+// failed hypersparse kernel is retried once on the CSR path. sp records the
+// consumed layout and any retry, as in dotMxVDispatch.
+func pushMxVDispatch[DC, DA, DU any](a *Matrix[DA], ud *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, vm *sparse.VecMask, sp *obs.Span) *sparse.Vec[DC] {
 	r, ok, fault := runFallible(func() (*sparse.Vec[DC], bool) {
 		if hy := a.hyperForRead(format.HintMxV); hy != nil {
 			fmtHyperOps.Add(1)
+			sp.NoteLayout("hyper")
 			return format.PushMxVHyper(hy, ud, mul, add, vm), true
 		}
 		return nil, false
@@ -123,6 +132,8 @@ func pushMxVDispatch[DC, DA, DU any](a *Matrix[DA], ud *sparse.Vec[DU], mul func
 	}
 	if fault != nil {
 		execRetries.Add(1)
+		sp.NoteRetry()
 	}
+	sp.NoteLayout("csr")
 	return sparse.PushMxV(a.mdat(), ud, mul, add, vm)
 }

@@ -222,8 +222,9 @@ func (m *Matrix[D]) SetFormat(k format.Kind) error {
 	default:
 		return errf(InvalidValue, "Matrix.SetFormat", "unknown format kind %d", int(k))
 	}
-	if k == format.BitmapKind && !format.BitmapFeasible(m.nr, m.nc) {
-		return errf(InvalidValue, "Matrix.SetFormat", "%dx%d dense form exceeds the bitmap cell cap", m.nr, m.nc)
+	nr, nc := m.dims()
+	if k == format.BitmapKind && !format.BitmapFeasible(nr, nc) {
+		return errf(InvalidValue, "Matrix.SetFormat", "%dx%d dense form exceeds the bitmap cell cap", nr, nc)
 	}
 	m.mu.Lock()
 	m.forced = k
@@ -251,12 +252,24 @@ func (m *Matrix[D]) Format() (format.Kind, error) {
 	return format.Choose(m.nr, m.nc, m.nnzLocked(), m.lastHint()), nil
 }
 
+// dims returns the logical dimensions under the object lock. Resize updates
+// the metadata eagerly from the caller's goroutine while previously enqueued
+// operations may still be executing on flush workers, so any read that can
+// run concurrently with a user-side Resize — deferred closures, accessors —
+// must go through here rather than touching m.nr/m.nc bare.
+func (m *Matrix[D]) dims() (int, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nr, m.nc
+}
+
 // NRows reports the number of rows (GrB_Matrix_nrows); never forces.
 func (m *Matrix[D]) NRows() (int, error) {
 	if err := objOK(&m.obj, "Matrix.NRows", "m"); err != nil {
 		return 0, err
 	}
-	return m.nr, nil
+	nr, _ := m.dims()
+	return nr, nil
 }
 
 // NCols reports the number of columns (GrB_Matrix_ncols); never forces.
@@ -264,7 +277,8 @@ func (m *Matrix[D]) NCols() (int, error) {
 	if err := objOK(&m.obj, "Matrix.NCols", "m"); err != nil {
 		return 0, err
 	}
-	return m.nc, nil
+	_, nc := m.dims()
+	return nc, nil
 }
 
 // NVals reports the number of stored elements (GrB_Matrix_nvals). Forces
@@ -294,7 +308,10 @@ func (m *Matrix[D]) Clear() error {
 		return err
 	}
 	return enqueue("Matrix.Clear", &m.obj, nil, true, func() error {
-		m.setData(sparse.NewCSR[D](m.nr, m.nc))
+		// Executes on a flush worker; read the dimensions under the lock in
+		// case the user goroutine Resizes while the flush is in flight.
+		nr, nc := m.dims()
+		m.setData(sparse.NewCSR[D](nr, nc))
 		return nil
 	})
 }
@@ -326,7 +343,14 @@ func (m *Matrix[D]) Resize(nrows, ncols int) error {
 	if nrows <= 0 || ncols <= 0 {
 		return errf(InvalidValue, "Matrix.Resize", "dimensions must be positive, got %dx%d", nrows, ncols)
 	}
+	// The metadata write is eager — NRows/NCols reflect the new shape
+	// immediately, and a later rollback keeps it (only storage is restored) —
+	// but it must happen under the object lock: deferred operations from
+	// before this call may still be running on flush workers, and they read
+	// the dimensions through dims().
+	m.mu.Lock()
 	m.nr, m.nc = nrows, ncols
+	m.mu.Unlock()
 	return enqueue("Matrix.Resize", &m.obj, nil, false, func() error {
 		// Clone before trimming: the committed CSR must stay intact so the
 		// executor's rollback restores the pre-Resize content on failure.

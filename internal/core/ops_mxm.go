@@ -2,6 +2,7 @@ package core
 
 import (
 	"graphblas/internal/format"
+	"graphblas/internal/obs"
 	"graphblas/internal/sparse"
 )
 
@@ -66,7 +67,10 @@ func MxM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC,
 	overwrites := !accum.Defined() && (mask == nil || desc.replace())
 	tran0, tran1, scmp, replace := desc.tran0(), desc.tran1(), desc.scmp(), desc.replace()
 	b.noteHint(format.HintMxM)
-	return enqueueHinted(name, &c.obj, reads, overwrites, format.HintMxM, func() error {
+	// The span is opened here (rather than inside enqueueSpanned) so the
+	// closure can record which storage layout the dispatch below consumed.
+	sp := obs.Begin(name)
+	return enqueueSpanned(name, &c.obj, reads, overwrites, format.HintMxM, sp, func() error {
 		ad := a.mdat()
 		if tran0 {
 			ad = a.transposed()
@@ -91,6 +95,7 @@ func MxM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC,
 				if mask == nil && accumF == nil && plusTimesSemiring(op) {
 					if r, ok := format.TryMxMPlusTimes(ad, bm); ok {
 						fmtFastOps.Add(1)
+						sp.NoteLayout("bitmap-fast")
 						out := r.(*format.Bitmap[DC])
 						// No mask and no accumulator: the product fully
 						// overwrites C, so it can be adopted in whichever
@@ -106,7 +111,9 @@ func MxM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC,
 						return struct{}{}, true
 					}
 				}
+				sp.NoteLayout("bitmap")
 				t := format.SpGEMMBitmap(ad, bm, op.Mul.F, op.Add.Op.F, mm)
+				sp.AddBytes(t.ApproxBytes())
 				c.setData(sparse.WriteCSR(c.mdat(), t, mm, accumF, replace))
 				return struct{}{}, true
 			})
@@ -115,13 +122,16 @@ func MxM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC,
 			}
 			if fault != nil {
 				execRetries.Add(1)
+				sp.NoteRetry()
 			}
 		}
 		bd := b.mdat()
 		if tran1 {
 			bd = b.transposed()
 		}
+		sp.NoteLayout("csr")
 		t := sparse.SpGEMM(ad, bd, op.Mul.F, op.Add.Op.F, mm)
+		sp.AddBytes(t.ApproxBytes())
 		c.setData(sparse.WriteCSR(c.mdat(), t, mm, accumF, replace))
 		return nil
 	})
@@ -173,14 +183,16 @@ func MxV[DC, DA, DU, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC,
 	overwrites := !accum.Defined() && (mask == nil || desc.replace())
 	tran0, scmp, replace := desc.tran0(), desc.scmp(), desc.replace()
 	a.noteHint(format.HintMxV)
-	return enqueueHinted(name, &w.obj, reads, overwrites, format.HintMxV, func() error {
+	sp := obs.Begin(name)
+	return enqueueSpanned(name, &w.obj, reads, overwrites, format.HintMxV, sp, func() error {
 		vm := resolveVecMask(mask, scmp)
 		var t *sparse.Vec[DC]
 		if tran0 {
-			t = pushMxVDispatch(a, u.vdat(), op.Mul.F, op.Add.Op.F, vm)
+			t = pushMxVDispatch(a, u.vdat(), op.Mul.F, op.Add.Op.F, vm, sp)
 		} else {
-			t = dotMxVDispatch(a, u.vdat(), op, vm)
+			t = dotMxVDispatch(a, u.vdat(), op, vm, sp)
 		}
+		sp.AddBytes(t.ApproxBytes())
 		var accumF func(DC, DC) DC
 		if accum.Defined() {
 			accumF = accum.F
@@ -241,14 +253,16 @@ func VxM[DC, DU, DA, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC,
 	// orders, so the arithmetic fast path remains reachable.
 	flipped := Semiring[DA, DU, DC]{Add: op.Add, Mul: BinaryOp[DA, DU, DC]{Name: op.Mul.Name, F: flip}}
 	a.noteHint(format.HintMxV)
-	return enqueueHinted(name, &w.obj, reads, overwrites, format.HintMxV, func() error {
+	sp := obs.Begin(name)
+	return enqueueSpanned(name, &w.obj, reads, overwrites, format.HintMxV, sp, func() error {
 		vm := resolveVecMask(mask, scmp)
 		var t *sparse.Vec[DC]
 		if tran1 {
-			t = dotMxVDispatch(a, u.vdat(), flipped, vm)
+			t = dotMxVDispatch(a, u.vdat(), flipped, vm, sp)
 		} else {
-			t = pushMxVDispatch(a, u.vdat(), flip, op.Add.Op.F, vm)
+			t = pushMxVDispatch(a, u.vdat(), flip, op.Add.Op.F, vm, sp)
 		}
+		sp.AddBytes(t.ApproxBytes())
 		var accumF func(DC, DC) DC
 		if accum.Defined() {
 			accumF = accum.F

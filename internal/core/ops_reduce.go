@@ -1,11 +1,60 @@
 package core
 
-import "graphblas/internal/sparse"
+import (
+	"graphblas/internal/faults"
+	"graphblas/internal/obs"
+	"graphblas/internal/sparse"
+)
 
 // reduce (Table II): w ⊙= ⊕_j A(:,j) — fold each matrix row into a vector
 // element with a monoid — plus the scalar reductions over a whole matrix or
 // vector. Scalar outputs are non-opaque, so the scalar forms force
 // completion per the execution model; the vector form may defer.
+
+// runScalarReduce executes a scalar-reduce kernel body on the caller's
+// goroutine with the same protections the executor gives queued kernels: an
+// executor-level fault draw keyed by the method name, and panic recovery
+// converting an injected kernel fault or a panicking user monoid into the
+// matching execution error. The scalar forms used to call the kernel bare
+// (`acc, _ :=`), so a fault raised inside it crashed the program or — worse —
+// was swallowed, handing the caller a silently wrong scalar; now it surfaces
+// as the method's error and lands in the sequence error log.
+func runScalarReduce[D any](name string, f func() D) (out D, err error) {
+	sp := obs.Begin(name)
+	sp.MarkScheduled()
+	defer func() {
+		if r := recover(); r != nil {
+			err = recoveredError(name, r)
+		}
+		if err != nil {
+			var zero D
+			out = zero
+			recordScalarError(name, err)
+			sp.Finish(obs.OutcomeError, err)
+		} else {
+			sp.Finish(obs.OutcomeOK, nil)
+		}
+		obs.Emit(sp)
+	}()
+	if fl := faults.Check(name); fl != nil {
+		return out, faultError(name, fl)
+	}
+	sp.MarkKernel()
+	return f(), nil
+}
+
+// recordScalarError folds a scalar-read failure into the sequence error
+// state: it takes the next program-order position and appends to the log,
+// setting the GrB_error string. A sequence is opened only because an error
+// actually occurred — the success path touches neither the log nor the
+// error string, so passing sequences observe no change.
+func recordScalarError(name string, err error) {
+	global.mu.Lock()
+	pos := beginOpLocked()
+	global.errLog = append(global.errLog, SequenceError{Pos: pos, Op: name, Err: err})
+	global.lastMsg = err.Error()
+	global.mu.Unlock()
+}
 
 // ReduceMatrixToVector computes w ⊙= ⊕_j A(i,j) (GrB_reduce, the Figure 3
 // line 78 form). Rows with no stored elements produce no output entry. Use
@@ -88,7 +137,13 @@ func ReduceMatrixToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], a 
 	if a.err != nil {
 		return zero, errf(InvalidObject, name, "%v", a.err)
 	}
-	acc, _ := sparse.ReduceAllCSR(a.mdat(), m.Op.F, m.Identity, m.Terminal)
+	acc, err := runScalarReduce(name, func() D {
+		r, _ := sparse.ReduceAllCSR(a.mdat(), m.Op.F, m.Identity, m.Terminal)
+		return r
+	})
+	if err != nil {
+		return zero, err
+	}
 	if accum.Defined() {
 		return accum.F(val, acc), nil
 	}
@@ -118,7 +173,13 @@ func ReduceVectorToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], u 
 	if u.err != nil {
 		return zero, errf(InvalidObject, name, "%v", u.err)
 	}
-	acc, _ := sparse.VecReduce(u.vdat(), m.Op.F, m.Identity, m.Terminal)
+	acc, err := runScalarReduce(name, func() D {
+		r, _ := sparse.VecReduce(u.vdat(), m.Op.F, m.Identity, m.Terminal)
+		return r
+	})
+	if err != nil {
+		return zero, err
+	}
 	if accum.Defined() {
 		return accum.F(val, acc), nil
 	}

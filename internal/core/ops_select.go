@@ -203,7 +203,14 @@ func Diag[D any](v *Vector[D], k int) (*Matrix[D], error) {
 				is[p], js[p] = i-k, i
 			}
 		}
-		built, _ := sparse.BuildCSR(n, n, is, js, v.vdat().Val, nil)
+		built, ok := sparse.BuildCSR(n, n, is, js, v.vdat().Val, nil)
+		if !ok {
+			// Defensive: the diagonal coordinates are unique by construction,
+			// so a failed build means the kernel saw malformed tuples. That is
+			// an internal invariant violation, not a user error — surface it
+			// through the executor instead of committing an empty matrix.
+			return errf(PanicInfo, name, "diagonal tuple build failed for %d entries", len(is))
+		}
 		m.setData(built)
 		return nil
 	})

@@ -22,6 +22,7 @@ package core
 import (
 	"graphblas/internal/dataflow"
 	"graphblas/internal/faults"
+	"graphblas/internal/obs"
 	"graphblas/internal/parallel"
 )
 
@@ -60,13 +61,20 @@ func runQueueDag(nodes []*pendingOp) []error {
 	}
 	results := make([]error, len(nodes))
 	rs := g.Run(parallel.MaxWorkers(), func(i int) {
+		if obs.ProfilingLabels() {
+			// The pprof label names the op kind while the worker executes it,
+			// so CPU profiles attribute samples to MxM vs Reduce rather than
+			// to an anonymous pool goroutine. Branching here (instead of
+			// always calling obs.Do) keeps the disabled path free of the
+			// label-closure allocation.
+			obs.Do(nodes[i].name, func() { results[i] = runOpAt(nodes[i], gate, i, serialBody) })
+			return
+		}
 		results[i] = runOpAt(nodes[i], gate, i, serialBody)
 	})
-	global.stats.ParallelFlushes++
-	global.stats.DagNodes += int64(g.Nodes())
-	global.stats.DagEdges += int64(g.Edges())
-	if w := int64(rs.MaxWidth); w > global.stats.MaxWidth {
-		global.stats.MaxWidth = w
-	}
+	obs.ParallelFlushes.Inc()
+	obs.DagNodes.Add(int64(g.Nodes()))
+	obs.DagEdges.Add(int64(g.Edges()))
+	obs.DagWidth.SetMax(int64(rs.MaxWidth))
 	return results
 }

@@ -80,13 +80,21 @@ func NewVector[D any](n int) (*Vector[D], error) {
 	return v, nil
 }
 
+// size returns the logical size under the object lock; see Matrix.dims for
+// why concurrent readers must not touch v.n bare.
+func (v *Vector[D]) size() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.n
+}
+
 // Size reports the vector's size N (GrB_Vector_size). Dimension metadata is
 // maintained eagerly, so this never forces pending operations.
 func (v *Vector[D]) Size() (int, error) {
 	if err := objOK(&v.obj, "Vector.Size", "v"); err != nil {
 		return 0, err
 	}
-	return v.n, nil
+	return v.size(), nil
 }
 
 // NVals reports the number of stored elements (GrB_Vector_nvals). Reading a
@@ -110,7 +118,9 @@ func (v *Vector[D]) Clear() error {
 		return err
 	}
 	return enqueue("Vector.Clear", &v.obj, nil, true, func() error {
-		v.setVData(sparse.NewVec[D](v.n))
+		// Executes on a flush worker; read the size under the lock in case
+		// the user goroutine Resizes while the flush is in flight.
+		v.setVData(sparse.NewVec[D](v.size()))
 		return nil
 	})
 }
@@ -143,7 +153,13 @@ func (v *Vector[D]) Resize(n int) error {
 	if n <= 0 {
 		return errf(InvalidValue, "Vector.Resize", "size must be positive, got %d", n)
 	}
+	// Eager metadata update, but under the object lock: deferred operations
+	// from before this call may still be running on flush workers and read
+	// the size through size(). Rollback semantics are unchanged — a failed
+	// trim restores storage only, the new size stays.
+	v.mu.Lock()
 	v.n = n
+	v.mu.Unlock()
 	return enqueue("Vector.Resize", &v.obj, nil, false, func() error {
 		// Clone before trimming so rollback can restore the committed store.
 		d := v.vdat().Clone()

@@ -39,6 +39,7 @@ import (
 	"container/heap"
 	"sync"
 
+	"graphblas/internal/obs"
 	"graphblas/internal/parallel"
 )
 
@@ -206,10 +207,13 @@ func (g *Graph) Run(workers int, exec func(node int)) RunStats {
 				}
 				node := int(heap.Pop(&ready).(int32))
 				running++
+				width := running
 				if running > maxWidth {
 					maxWidth = running
 				}
 				mu.Unlock()
+				obs.DagDispatches.Inc()
+				obs.DagWidth.SetMax(int64(width))
 
 				p := parallel.Capture(func() { exec(node) })
 
@@ -217,6 +221,9 @@ func (g *Graph) Run(workers int, exec func(node int)) RunStats {
 				running--
 				if p != nil && pan == nil {
 					pan = p
+				}
+				if p != nil {
+					obs.DagPoisoned.Inc()
 				}
 				for _, s := range g.succ[node] {
 					indeg[s]--

@@ -25,7 +25,8 @@
 // Everything is deterministic: rules fire on per-site call counts and a
 // seeded RNG, so a schedule replays identically across runs and across
 // blocking/nonblocking execution modes (the differential sweep depends on
-// this). The package has no dependencies on the rest of the engine, so both
+// this). The package depends only on the leaf observability registry
+// (internal/obs, where every injection is also counted), so both
 // internal/core and internal/format may import it.
 package faults
 
@@ -35,6 +36,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"graphblas/internal/obs"
 )
 
 // Kind classifies an injected fault.
@@ -232,6 +235,7 @@ func evaluate(site string) *Fault {
 		}
 		reg.hits[i]++
 		injected.Add(1)
+		obs.FaultsInjected.Inc()
 		return &Fault{Site: site, Kind: r.Kind}
 	}
 	return nil
@@ -352,6 +356,7 @@ func (s *Sequencer) Release(pos int) {
 func GovernAlloc(site string, bytes int64) {
 	if bytes > allocBudget.Load() {
 		injected.Add(1)
+		obs.FaultsInjected.Inc()
 		panic(&Fault{Site: site, Kind: OOM, Bytes: bytes})
 	}
 	if !enabled.Load() {

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"expvar"
+	"io"
+	"sync"
+)
+
+// WriteText writes the Default registry in the Prometheus text exposition
+// format — suitable for serving at a /metrics endpoint or dumping after a
+// benchmark run.
+func WriteText(w io.Writer) error { return Default.WriteText(w) }
+
+// Snapshot returns a JSON-able view of the Default registry.
+func Snapshot() map[string]any { return Default.Snapshot() }
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the Default registry's snapshot under the expvar
+// name "graphblas_metrics", so a process already serving /debug/vars exposes
+// the engine metrics with no extra wiring. Safe to call more than once;
+// only the first call registers.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("graphblas_metrics", expvar.Func(func() any { return Snapshot() }))
+	})
+}

@@ -1,0 +1,448 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is the registry-facing contract shared by counters, gauges, and
+// histograms (and their labeled vec variants): Prometheus text exposition,
+// a JSON-able snapshot, and a reset for test isolation.
+type metric interface {
+	name() string
+	help() string
+	promText(w io.Writer)
+	snapshotInto(m map[string]any)
+	reset()
+}
+
+// Registry owns a set of metrics. Registration happens at package init;
+// after that the hot paths (Add/Observe on the contained metrics) never
+// touch the registry lock.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+}
+
+// Default is the engine-wide registry every predeclared metric registers
+// into.
+var Default = &Registry{}
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, m)
+}
+
+// sorted returns the registered metrics ordered by name for stable output.
+func (r *Registry) sorted() []metric {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name() < ms[j].name() })
+	return ms
+}
+
+// WriteText writes every registered metric in the Prometheus text exposition
+// format.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	for _, m := range r.sorted() {
+		m.promText(bw)
+	}
+	return bw.err
+}
+
+// Snapshot returns a JSON-able view of every registered metric: plain
+// numbers for counters and gauges, label→number maps for vecs, and
+// {count,sum,buckets} objects for histograms.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, m := range r.sorted() {
+		m.snapshotInto(out)
+	}
+	return out
+}
+
+// Reset zeroes every registered metric (labeled children are dropped). Test
+// and benchmark isolation only; production consumers should read cumulative
+// values.
+func (r *Registry) Reset() {
+	for _, m := range r.sorted() {
+		m.reset()
+	}
+}
+
+// errWriter latches the first write error so exposition code can skip
+// per-line error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}
+
+func promHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// fmtFloat renders a sample value the way Prometheus expects: integers
+// without exponents, +Inf for the overflow bucket bound.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing count with an atomic hot path.
+type Counter struct {
+	nm, hp string
+	v      atomic.Int64
+}
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name, help string) *Counter {
+	c := &Counter{nm: name, hp: help}
+	Default.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; this is unchecked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) name() string { return c.nm }
+func (c *Counter) help() string { return c.hp }
+func (c *Counter) reset()       { c.v.Store(0) }
+
+func (c *Counter) promText(w io.Writer) {
+	promHeader(w, c.nm, c.hp, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.nm, c.v.Load())
+}
+
+func (c *Counter) snapshotInto(m map[string]any) { m[c.nm] = c.v.Load() }
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is an instantaneous value; Set/Add/SetMax are all atomic.
+type Gauge struct {
+	nm, hp string
+	v      atomic.Int64
+}
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, help string) *Gauge {
+	g := &Gauge{nm: name, hp: help}
+	Default.register(g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to v if v exceeds the current value — a running
+// high-water mark (used for schedule width).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) name() string { return g.nm }
+func (g *Gauge) help() string { return g.hp }
+func (g *Gauge) reset()       { g.v.Store(0) }
+
+func (g *Gauge) promText(w io.Writer) {
+	promHeader(w, g.nm, g.hp, "gauge")
+	fmt.Fprintf(w, "%s %d\n", g.nm, g.v.Load())
+}
+
+func (g *Gauge) snapshotInto(m map[string]any) { m[g.nm] = g.v.Load() }
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Histogram is a fixed-bucket distribution. Observe is lock-free: a bucket
+// increment plus a CAS loop folding the sample into the float-bits sum.
+type Histogram struct {
+	nm, hp  string
+	bounds  []float64      // upper bounds, strictly increasing
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewHistogram registers a histogram with the given upper bucket bounds in
+// the Default registry. An implicit +Inf bucket is appended.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(name, help, bounds)
+	Default.register(h)
+	return h
+}
+
+func newHistogram(name, help string, bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{nm: name, hp: help, bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// SearchFloat64s finds the first bound >= v when bounds are treated as
+	// upper limits: index i means v <= bounds[i], matching Prometheus "le".
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) name() string { return h.nm }
+func (h *Histogram) help() string { return h.hp }
+
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+}
+
+// promLines writes the histogram sample lines with extra pre-rendered labels
+// (e.g. `op="MxM",`) spliced into each line; labels may be empty.
+func (h *Histogram) promLines(w io.Writer, labels string) {
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", h.nm, labels, fmtFloat(bound), cum)
+	}
+	if base := strings.TrimSuffix(labels, ","); base != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", h.nm, base, h.Sum())
+		fmt.Fprintf(w, "%s_count{%s} %d\n", h.nm, base, h.count.Load())
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n", h.nm, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", h.nm, h.count.Load())
+	}
+}
+
+func (h *Histogram) promText(w io.Writer) {
+	promHeader(w, h.nm, h.hp, "histogram")
+	h.promLines(w, "")
+}
+
+// snapshotValue returns the JSON-able view of one histogram.
+func (h *Histogram) snapshotValue() map[string]any {
+	buckets := make(map[string]int64, len(h.buckets))
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		buckets[fmtFloat(bound)] = cum
+	}
+	return map[string]any{"count": h.count.Load(), "sum": h.Sum(), "buckets": buckets}
+}
+
+func (h *Histogram) snapshotInto(m map[string]any) { m[h.nm] = h.snapshotValue() }
+
+// ---------------------------------------------------------------------------
+// Labeled vecs
+//
+// Both vecs share the same shape: a sync.Map from label value to child
+// metric, so the steady-state read path (label already seen) is a lock-free
+// map load; child creation is serialized by a mutex with a double-check.
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct {
+	nm, hp, label string
+	mu            sync.Mutex
+	children      sync.Map // string -> *Counter
+}
+
+// NewCounterVec registers a one-label counter family in the Default
+// registry.
+func NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{nm: name, hp: help, label: label}
+	Default.register(v)
+	return v
+}
+
+// With returns the child counter for the given label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	if c, ok := v.children.Load(value); ok {
+		return c.(*Counter)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children.Load(value); ok {
+		return c.(*Counter)
+	}
+	c := &Counter{nm: v.nm, hp: v.hp} // unregistered: exposed through the vec
+	v.children.Store(value, c)
+	return c
+}
+
+// Value returns the child's count, 0 if the label was never used.
+func (v *CounterVec) Value(value string) int64 {
+	if c, ok := v.children.Load(value); ok {
+		return c.(*Counter).Value()
+	}
+	return 0
+}
+
+// Total sums all children.
+func (v *CounterVec) Total() int64 {
+	var t int64
+	v.children.Range(func(_, c any) bool { t += c.(*Counter).Value(); return true })
+	return t
+}
+
+func (v *CounterVec) name() string { return v.nm }
+func (v *CounterVec) help() string { return v.hp }
+
+// reset zeroes children in place rather than dropping them: callers cache
+// With() handles at init, and those must stay live across resets.
+func (v *CounterVec) reset() {
+	v.children.Range(func(_, c any) bool { c.(*Counter).reset(); return true })
+}
+
+// sortedKeys returns the label values seen so far in sorted order.
+func (v *CounterVec) sortedKeys() []string {
+	var ks []string
+	v.children.Range(func(k, _ any) bool { ks = append(ks, k.(string)); return true })
+	sort.Strings(ks)
+	return ks
+}
+
+func (v *CounterVec) promText(w io.Writer) {
+	promHeader(w, v.nm, v.hp, "counter")
+	for _, k := range v.sortedKeys() {
+		c, _ := v.children.Load(k)
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.nm, v.label, k, c.(*Counter).Value())
+	}
+}
+
+func (v *CounterVec) snapshotInto(m map[string]any) {
+	vals := make(map[string]int64)
+	v.children.Range(func(k, c any) bool { vals[k.(string)] = c.(*Counter).Value(); return true })
+	m[v.nm] = vals
+}
+
+// HistogramVec is a histogram family keyed by one label; all children share
+// the family's bucket bounds.
+type HistogramVec struct {
+	nm, hp, label string
+	bounds        []float64
+	mu            sync.Mutex
+	children      sync.Map // string -> *Histogram
+}
+
+// NewHistogramVec registers a one-label histogram family in the Default
+// registry.
+func NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	v := &HistogramVec{nm: name, hp: help, label: label, bounds: bounds}
+	Default.register(v)
+	return v
+}
+
+// With returns the child histogram for the given label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	if h, ok := v.children.Load(value); ok {
+		return h.(*Histogram)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.children.Load(value); ok {
+		return h.(*Histogram)
+	}
+	h := newHistogram(v.nm, v.hp, v.bounds)
+	v.children.Store(value, h)
+	return h
+}
+
+func (v *HistogramVec) name() string { return v.nm }
+func (v *HistogramVec) help() string { return v.hp }
+
+// reset zeroes children in place; see CounterVec.reset.
+func (v *HistogramVec) reset() {
+	v.children.Range(func(_, h any) bool { h.(*Histogram).reset(); return true })
+}
+
+func (v *HistogramVec) sortedKeys() []string {
+	var ks []string
+	v.children.Range(func(k, _ any) bool { ks = append(ks, k.(string)); return true })
+	sort.Strings(ks)
+	return ks
+}
+
+func (v *HistogramVec) promText(w io.Writer) {
+	promHeader(w, v.nm, v.hp, "histogram")
+	for _, k := range v.sortedKeys() {
+		h, _ := v.children.Load(k)
+		h.(*Histogram).promLines(w, fmt.Sprintf("%s=%q,", v.label, k))
+	}
+}
+
+func (v *HistogramVec) snapshotInto(m map[string]any) {
+	vals := make(map[string]any)
+	v.children.Range(func(k, h any) bool {
+		vals[k.(string)] = h.(*Histogram).snapshotValue()
+		return true
+	})
+	m[v.nm] = vals
+}

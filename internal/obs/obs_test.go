@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector is a test tracer that records every span it receives.
+type collector struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+func (c *collector) OnSpan(s *Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+func TestSpanLifecycle(t *testing.T) {
+	c := &collector{}
+	prev := SetTracer(c)
+	defer SetTracer(prev)
+
+	s := Begin("MxM")
+	if s == nil {
+		t.Fatal("Begin returned nil with a tracer registered")
+	}
+	s.SetPos(3)
+	s.MarkScheduled()
+	s.MarkKernel()
+	s.NoteLayout("bitmap")
+	s.AddBytes(1024)
+	s.NoteRetry()
+	s.Finish(OutcomeOK, nil)
+	Emit(s)
+
+	if len(c.spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(c.spans))
+	}
+	got := c.spans[0]
+	if got.Op != "MxM" || got.Pos != 3 || got.Layout != "bitmap" || got.Bytes != 1024 || !got.Retried {
+		t.Errorf("span fields = %+v", got)
+	}
+	if got.Outcome != OutcomeOK {
+		t.Errorf("outcome = %v, want ok", got.Outcome)
+	}
+	if got.Done.Before(got.Enqueued) || got.Duration() <= 0 {
+		t.Errorf("timestamps not monotone: %+v", got)
+	}
+	if got.QueueLatency() < 0 {
+		t.Errorf("negative queue latency")
+	}
+}
+
+func TestDisabledSpanIsNilSafe(t *testing.T) {
+	prev := SetTracer(nil)
+	defer SetTracer(prev)
+
+	s := Begin("MxV")
+	if s != nil {
+		t.Fatal("Begin returned non-nil with no tracer")
+	}
+	// Every method must tolerate the nil receiver.
+	s.SetPos(1)
+	s.MarkScheduled()
+	s.MarkKernel()
+	s.NoteLayout("csr")
+	s.AddBytes(8)
+	s.NoteRetry()
+	s.NoteRollback()
+	s.Finish(OutcomeError, nil)
+	if s.Duration() != 0 || s.QueueLatency() != 0 {
+		t.Error("nil span reported nonzero durations")
+	}
+	Emit(s)
+}
+
+// TestDisabledPathAllocFree is the zero-overhead contract: with no tracer
+// registered, the full per-op instrumentation sequence must not allocate.
+// This is the non-flaky stand-in for a timing gate — if the disabled path
+// allocates, it shows up here deterministically rather than as benchmark
+// noise.
+func TestDisabledPathAllocFree(t *testing.T) {
+	prev := SetTracer(nil)
+	defer SetTracer(prev)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := Begin("MxM")
+		s.SetPos(0)
+		s.MarkScheduled()
+		s.MarkKernel()
+		s.NoteLayout("csr")
+		s.Finish(OutcomeOK, nil)
+		Emit(s)
+		done := KernelStart("spgemm")
+		done(42)
+		Do("MxM", func() {})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeOK: "ok", OutcomeError: "error",
+		OutcomeShortCircuit: "short_circuit", OutcomeElided: "elided",
+		Outcome(99): "unknown",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := &Registry{}
+	c := &Counter{nm: "c_total", hp: "test counter"}
+	g := &Gauge{nm: "g", hp: "test gauge"}
+	r.register(c)
+	r.register(g)
+
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g.Set(7)
+	g.Add(-2)
+	g.SetMax(3) // below current: no-op
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Errorf("gauge after SetMax = %d, want 11", g.Value())
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE c_total counter", "c_total 5",
+		"# TYPE g gauge", "g 11",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("Reset did not zero metrics")
+	}
+}
+
+func TestHistogramBucketsAndProm(t *testing.T) {
+	h := newHistogram("lat_seconds", "test latencies", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %g, want 556.5", h.Sum())
+	}
+
+	var sb strings.Builder
+	h.promText(&sb)
+	text := sb.String()
+	// Cumulative le buckets: 0.5 and 1 fall in le=1; 5 in le=10; 50 in
+	// le=100; 500 only in +Inf.
+	for _, want := range []string{
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="10"} 3`,
+		`lat_seconds_bucket{le="100"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 556.5",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVecsCreateAndExpose(t *testing.T) {
+	r := &Registry{}
+	cv := &CounterVec{nm: "ops_total", hp: "per-op", label: "op"}
+	hv := &HistogramVec{nm: "ops_seconds", hp: "per-op time", label: "op", bounds: []float64{1}}
+	r.register(cv)
+	r.register(hv)
+
+	cv.With("MxM").Add(2)
+	cv.With("MxV").Inc()
+	if cv.Value("MxM") != 2 || cv.Value("MxV") != 1 || cv.Value("unused") != 0 {
+		t.Errorf("counter vec values wrong: MxM=%d MxV=%d", cv.Value("MxM"), cv.Value("MxV"))
+	}
+	if cv.Total() != 3 {
+		t.Errorf("total = %d, want 3", cv.Total())
+	}
+	hv.With("MxM").Observe(0.5)
+	hv.With("MxM").Observe(2)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`ops_total{op="MxM"} 2`,
+		`ops_total{op="MxV"} 1`,
+		`ops_seconds_bucket{op="MxM",le="1"} 1`,
+		`ops_seconds_bucket{op="MxM",le="+Inf"} 2`,
+		`ops_seconds_count{op="MxM"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	r.Reset()
+	if cv.Total() != 0 {
+		t.Error("Reset left counter-vec children")
+	}
+}
+
+func TestSnapshotIsJSONable(t *testing.T) {
+	r := &Registry{}
+	c := &Counter{nm: "a_total", hp: "h"}
+	cv := &CounterVec{nm: "b_total", hp: "h", label: "op"}
+	h := newHistogram("c_seconds", "h", []float64{1})
+	r.register(c)
+	r.register(cv)
+	r.register(h)
+	c.Add(3)
+	cv.With("x").Inc()
+	h.Observe(0.25)
+
+	snap := r.Snapshot()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot not JSON-able: %v", err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["a_total"].(float64) != 3 {
+		t.Errorf("a_total = %v, want 3", back["a_total"])
+	}
+	hv := back["c_seconds"].(map[string]any)
+	if hv["count"].(float64) != 1 || hv["sum"].(float64) != 0.25 {
+		t.Errorf("histogram snapshot = %v", hv)
+	}
+}
+
+func TestMetricsTracerFeedsRegistry(t *testing.T) {
+	ResetEngine()
+	prev := SetTracer(NewMetricsTracer())
+	defer func() { SetTracer(prev); ResetEngine() }()
+
+	s := Begin("EWiseAdd")
+	s.MarkScheduled()
+	s.AddBytes(2048)
+	s.Finish(OutcomeOK, nil)
+	time.Sleep(time.Microsecond)
+	Emit(s)
+
+	f := Begin("MxM")
+	f.Finish(OutcomeError, nil)
+	Emit(f)
+
+	if SpanOutcomes.Value("ok") != 1 || SpanOutcomes.Value("error") != 1 {
+		t.Errorf("span outcomes: ok=%d error=%d, want 1/1",
+			SpanOutcomes.Value("ok"), SpanOutcomes.Value("error"))
+	}
+	if OpSeconds.With("EWiseAdd").Count() != 1 {
+		t.Errorf("OpSeconds[EWiseAdd] count = %d, want 1", OpSeconds.With("EWiseAdd").Count())
+	}
+	if OpBytes.With("EWiseAdd").Count() != 1 {
+		t.Errorf("OpBytes[EWiseAdd] count = %d, want 1", OpBytes.With("EWiseAdd").Count())
+	}
+}
+
+func TestKernelStartRecordsWhenEnabled(t *testing.T) {
+	ResetEngine()
+	prev := SetTracer(NewMetricsTracer())
+	defer func() { SetTracer(prev); ResetEngine() }()
+
+	done := KernelStart("spgemm")
+	done(1234)
+	if KernelSeconds.With("spgemm").Count() != 1 {
+		t.Errorf("kernel seconds count = %d, want 1", KernelSeconds.With("spgemm").Count())
+	}
+	if KernelNNZ.With("spgemm").Count() != 1 {
+		t.Errorf("kernel nnz count = %d, want 1", KernelNNZ.With("spgemm").Count())
+	}
+}
+
+func TestSetTracerReturnsPrevious(t *testing.T) {
+	c1, c2 := &collector{}, &collector{}
+	orig := SetTracer(c1)
+	if got := SetTracer(c2); got != c1 {
+		t.Errorf("SetTracer returned %v, want first collector", got)
+	}
+	if got := SetTracer(orig); got != c2 {
+		t.Errorf("SetTracer returned %v, want second collector", got)
+	}
+}
+
+func TestProfilingLabelsToggle(t *testing.T) {
+	prev := SetProfilingLabels(true)
+	defer SetProfilingLabels(prev)
+	if !ProfilingLabels() {
+		t.Fatal("labels not enabled")
+	}
+	ran := false
+	Do("MxM", func() { ran = true })
+	if !ran {
+		t.Fatal("Do did not run f under labels")
+	}
+	SetProfilingLabels(false)
+	ran = false
+	Do("MxM", func() { ran = true })
+	if !ran {
+		t.Fatal("Do did not run f with labels off")
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := &Registry{}
+	c := &Counter{nm: "n_total", hp: "h"}
+	h := newHistogram("n_seconds", "h", []float64{1, 2})
+	cv := &CounterVec{nm: "nv_total", hp: "h", label: "op"}
+	r.register(c)
+	r.register(h)
+	r.register(cv)
+
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i % 3))
+				cv.With([]string{"a", "b"}[w%2]).Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if cv.Total() != workers*perWorker {
+		t.Errorf("vec total = %d, want %d", cv.Total(), workers*perWorker)
+	}
+}

@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"sort"
+	"unsafe"
 
 	"graphblas/internal/parallel"
 )
@@ -24,6 +25,15 @@ func NewCSR[T any](nrows, ncols int) *CSR[T] {
 
 // NNZ reports the number of stored elements.
 func (m *CSR[T]) NNZ() int { return m.Ptr[m.NRows] }
+
+// ApproxBytes estimates the heap footprint of the matrix storage — the
+// backing of Ptr, ColIdx, and Val — for the observability layer's
+// bytes-touched accounting.
+func (m *CSR[T]) ApproxBytes() int64 {
+	var elem T
+	return int64(len(m.Ptr)+len(m.ColIdx))*int64(unsafe.Sizeof(int(0))) +
+		int64(len(m.Val))*int64(unsafe.Sizeof(elem))
+}
 
 // Row returns the column indices and values of row i as sub-slices of the
 // matrix storage. Callers must not modify the returned slices' structure.

@@ -1,6 +1,10 @@
 package sparse
 
-import "graphblas/internal/parallel"
+import (
+	"graphblas/internal/faults"
+	"graphblas/internal/obs"
+	"graphblas/internal/parallel"
+)
 
 // MatMask is a pre-resolved two-dimensional mask in CSR-pattern form (no
 // values; masks have structure only once truthiness is resolved). The Eff
@@ -138,6 +142,8 @@ func SelectCSR[D any](a *CSR[D], pred func(D, int, int) bool) *CSR[D] {
 // sparse vector with entries only for nonempty rows (Table II "reduce").
 // A non-nil term predicate stops each row's fold at the annihilator.
 func ReduceRowsCSR[D any](a *CSR[D], add func(D, D) D, term func(D) bool) *Vec[D] {
+	faults.Step("sparse.kernel.reduce.rows")
+	done := obs.KernelStart("reduce.rows")
 	out := &Vec[D]{N: a.NRows}
 	for i := 0; i < a.NRows; i++ {
 		lo, hi := a.Ptr[i], a.Ptr[i+1]
@@ -154,6 +160,7 @@ func ReduceRowsCSR[D any](a *CSR[D], add func(D, D) D, term func(D) bool) *Vec[D
 		out.Idx = append(out.Idx, i)
 		out.Val = append(out.Val, acc)
 	}
+	done(out.NVals())
 	return out
 }
 
@@ -161,6 +168,8 @@ func ReduceRowsCSR[D any](a *CSR[D], add func(D, D) D, term func(D) bool) *Vec[D
 // starting from identity; stored reports whether a had any entries. A
 // non-nil term predicate stops the fold at the annihilator.
 func ReduceAllCSR[D any](a *CSR[D], add func(D, D) D, identity D, term func(D) bool) (D, bool) {
+	faults.Step("sparse.kernel.reduce.all")
+	done := obs.KernelStart("reduce.all")
 	acc := identity
 	for _, v := range a.Val[:a.NNZ()] {
 		acc = add(acc, v)
@@ -168,6 +177,7 @@ func ReduceAllCSR[D any](a *CSR[D], add func(D, D) D, identity D, term func(D) b
 			break
 		}
 	}
+	done(a.NNZ())
 	return acc, a.NNZ() > 0
 }
 

@@ -1,5 +1,10 @@
 package sparse
 
+import (
+	"graphblas/internal/faults"
+	"graphblas/internal/obs"
+)
+
 // VecMask is a pre-resolved one-dimensional mask: Idx lists, in increasing
 // order, the positions whose stored mask value is true (the paper's "exist
 // and are true" rule). Comp selects the structural complement (GrB_SCMP):
@@ -136,6 +141,8 @@ func VecSelect[D any](a *Vec[D], pred func(D, int) bool) *Vec[D] {
 // stored == false so callers can distinguish "no entries". A non-nil term
 // predicate recognizes the monoid's annihilator and stops the fold early.
 func VecReduce[D any](a *Vec[D], add func(D, D) D, identity D, term func(D) bool) (D, bool) {
+	faults.Step("sparse.kernel.reduce.vec")
+	done := obs.KernelStart("reduce.vec")
 	acc := identity
 	for _, v := range a.Val {
 		acc = add(acc, v)
@@ -143,6 +150,7 @@ func VecReduce[D any](a *Vec[D], add func(D, D) D, identity D, term func(D) bool
 			break
 		}
 	}
+	done(len(a.Val))
 	return acc, len(a.Val) > 0
 }
 

@@ -1,6 +1,9 @@
 package sparse
 
-import "graphblas/internal/parallel"
+import (
+	"graphblas/internal/obs"
+	"graphblas/internal/parallel"
+)
 
 // SpGEMM computes the semiring matrix product C = A ⊕.⊗ B using Gustavson's
 // row-by-row algorithm with a sparse accumulator, parallel over nnz-balanced
@@ -12,6 +15,7 @@ import "graphblas/internal/parallel"
 // complement of numsp prunes already-discovered vertices during frontier
 // expansion).
 func SpGEMM[DA, DB, DC any](a *CSR[DA], b *CSR[DB], mul func(DA, DB) DC, add func(DC, DC) DC, mask *MatMask) *CSR[DC] {
+	done := obs.KernelStart("spgemm")
 	ri := make([][]int, a.NRows)
 	rv := make([][]DC, a.NRows)
 	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
@@ -61,7 +65,9 @@ func SpGEMM[DA, DB, DC any](a *CSR[DA], b *CSR[DB], mul func(DA, DB) DC, add fun
 			rv[i] = valArena[offs[k]:offs[k+1]]
 		}
 	})
-	return assemble(a.NRows, b.NCols, ri, rv)
+	c := assemble(a.NRows, b.NCols, ri, rv)
+	done(c.NNZ())
+	return c
 }
 
 // SpGEMMHeap is the heap-merge SpGEMM variant used for the DESIGN.md

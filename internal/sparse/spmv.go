@@ -1,6 +1,9 @@
 package sparse
 
-import "graphblas/internal/parallel"
+import (
+	"graphblas/internal/obs"
+	"graphblas/internal/parallel"
+)
 
 // DotMxV computes w(i) = ⊕_k mul(a(i,k), u(k)) — the pull-style (dot
 // product) matrix-vector multiply w = A ⊕.⊗ u. The input vector is
@@ -12,6 +15,7 @@ import "graphblas/internal/parallel"
 // benefit of the API carrying the mask into the operation rather than
 // filtering afterwards.
 func DotMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
+	done := obs.KernelStart("mxv.dot")
 	dense, present := u.Dense()
 	rowOut := make([]DC, a.NRows)
 	rowHas := make([]bool, a.NRows)
@@ -42,7 +46,9 @@ func DotMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add fun
 			}
 		}
 	})
-	return FromDense(rowOut, rowHas)
+	w := FromDense(rowOut, rowHas)
+	done(w.NVals())
+	return w
 }
 
 // PushMxV computes w(i) = ⊕_k mul(a(k,i), u(k)) — i.e. w = Aᵀ ⊕.⊗ u — by
@@ -53,6 +59,7 @@ func DotMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add fun
 //
 // A non-nil mask filters target positions before accumulation.
 func PushMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
+	done := obs.KernelStart("mxv.push")
 	spa := NewSPA[DC](a.NCols)
 	spa.Reset()
 	var allowed *BitSPA
@@ -78,5 +85,6 @@ func PushMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add fu
 		}
 	}
 	idx, val := spa.Gather(nil, nil)
+	done(len(idx))
 	return &Vec[DC]{N: a.NCols, Idx: idx, Val: val}
 }

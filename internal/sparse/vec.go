@@ -10,7 +10,10 @@
 // collection and the algebra applied to it.
 package sparse
 
-import "sort"
+import (
+	"sort"
+	"unsafe"
+)
 
 // Vec is a sparse vector of logical size N holding len(Idx) stored elements.
 // Invariants: Idx is strictly increasing, len(Idx) == len(Val), and every
@@ -27,6 +30,14 @@ func NewVec[T any](n int) *Vec[T] { return &Vec[T]{N: n} }
 
 // NVals reports the number of stored elements.
 func (v *Vec[T]) NVals() int { return len(v.Idx) }
+
+// ApproxBytes estimates the heap footprint of the vector storage for the
+// observability layer's bytes-touched accounting.
+func (v *Vec[T]) ApproxBytes() int64 {
+	var elem T
+	return int64(len(v.Idx))*int64(unsafe.Sizeof(int(0))) +
+		int64(len(v.Val))*int64(unsafe.Sizeof(elem))
+}
 
 // Clone returns a deep copy of v.
 func (v *Vec[T]) Clone() *Vec[T] {

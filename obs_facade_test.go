@@ -1,0 +1,108 @@
+package graphblas_test
+
+// Facade coverage for the observability extension: the tracer hook, the
+// built-in metrics tracer, and the exporters, all through the public API.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"graphblas"
+)
+
+type recordingTracer struct {
+	mu    sync.Mutex
+	spans []*graphblas.Span
+}
+
+func (r *recordingTracer) OnSpan(s *graphblas.Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+func TestObservabilityFacade(t *testing.T) {
+	rec := &recordingTracer{}
+	prev := graphblas.SetTracer(rec)
+	defer graphblas.SetTracer(prev)
+
+	pt := graphblas.PlusTimes[float64]()
+	a := mat(t, 3, 3, []int{0, 1, 2}, []int{1, 2, 0}, []float64{1, 2, 3})
+	c, _ := graphblas.NewMatrix[float64](3, 3)
+	if err := graphblas.MxM(c, graphblas.NoMask, graphblas.NoAccum[float64](), pt, a, a, nil); err != nil {
+		t.Fatalf("MxM: %v", err)
+	}
+	if err := graphblas.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	rec.mu.Lock()
+	var mxm *graphblas.Span
+	for _, s := range rec.spans {
+		if s.Op == "MxM" {
+			mxm = s
+		}
+	}
+	rec.mu.Unlock()
+	if mxm == nil {
+		t.Fatalf("no MxM span delivered to the registered tracer")
+	}
+	if mxm.Outcome != graphblas.SpanOK {
+		t.Errorf("MxM span outcome: got %v want %v", mxm.Outcome, graphblas.SpanOK)
+	}
+	if mxm.Duration() <= 0 {
+		t.Errorf("MxM span has no duration")
+	}
+
+	// Swapping in the metrics tracer feeds the registry, which both
+	// exporters expose.
+	graphblas.SetTracer(graphblas.NewMetricsTracer())
+	u := vec(t, 3, []int{0, 1, 2}, []float64{1, 1, 1})
+	w, _ := graphblas.NewVector[float64](3)
+	if err := graphblas.MxV(w, graphblas.NoMaskV, graphblas.NoAccum[float64](), pt, a, u, nil); err != nil {
+		t.Fatalf("MxV: %v", err)
+	}
+	if err := graphblas.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := graphblas.WriteMetricsText(&buf); err != nil {
+		t.Fatalf("WriteMetricsText: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE graphblas_ops_executed_total counter",
+		`graphblas_ops_executed_total{op="MxV"}`,
+		"# TYPE graphblas_op_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics text missing %q", want)
+		}
+	}
+
+	snap := graphblas.MetricsSnapshot()
+	if len(snap) == 0 {
+		t.Fatalf("empty metrics snapshot")
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot not JSON-able: %v", err)
+	}
+	if _, ok := snap["graphblas_ops_executed_total"]; !ok {
+		t.Errorf("snapshot missing ops-executed counter")
+	}
+
+	// Idempotent expvar publication must not panic, including when repeated.
+	graphblas.PublishExpvarMetrics()
+	graphblas.PublishExpvarMetrics()
+
+	if on := graphblas.SetProfilingLabels(true); on {
+		t.Errorf("profiling labels were already on")
+	}
+	if on := graphblas.SetProfilingLabels(false); !on {
+		t.Errorf("SetProfilingLabels did not report the previous setting")
+	}
+}
