@@ -23,7 +23,11 @@ func TestBFSLevels_UnderKernelFaults(t *testing.T) {
 			if err := a.SetFormat(format.HyperKind); err != nil {
 				t.Fatalf("SetFormat: %v", err)
 			}
-			faults.Configure(1, faults.Rule{Site: "format.kernel.hyper.mxv", Kind: faults.KernelErr})
+			// The glob covers both hypersparse MxV kernels — the dot kernel at
+			// "format.kernel.hyper.mxv" and the push kernel at
+			// "format.kernel.hyper.mxv.push" — which previously shared one
+			// site literal.
+			faults.Configure(1, faults.Rule{Site: "format.kernel.hyper.mxv*", Kind: faults.KernelErr})
 			base := core.StatsSnapshot().KernelRetries
 			want := refalgo.BFSLevels(adj, 0)
 			levels, err := BFSLevels(a, 0)

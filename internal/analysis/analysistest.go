@@ -1,0 +1,232 @@
+package analysis
+
+// An analysistest-style golden runner. A test package lives under
+// testdata/src/<name>/ and annotates the lines it expects findings on with
+//
+//	// want "regexp" ["regexp" ...]
+//
+// The runner type-checks the package (standard-library imports resolve
+// through export data; single-segment imports like "faults" or "obs"
+// resolve from sibling testdata/src directories, so golden cases can model
+// the engine's package shapes without importing engine internals), runs the
+// analyzers, and fails on any unmatched expectation or unexpected finding.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stdExports caches the export-data map for the whole standard library.
+var stdExports struct {
+	once sync.Once
+	m    map[string]string
+	err  error
+}
+
+func stdExportMap() (map[string]string, error) {
+	stdExports.once.Do(func() {
+		listed, err := goList(".", "std")
+		if err != nil {
+			stdExports.err = err
+			return
+		}
+		stdExports.m = make(map[string]string, len(listed))
+		for _, p := range listed {
+			if p.Export != "" {
+				stdExports.m[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return stdExports.m, stdExports.err
+}
+
+// testdataImporter resolves standard-library imports through export data
+// and anything else from testdata/src/<path> source, recursively.
+type testdataImporter struct {
+	fset    *token.FileSet
+	srcRoot string
+	std     types.Importer
+	loaded  map[string]*types.Package
+}
+
+func (ti *testdataImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := ti.loaded[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ti.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return ti.std.Import(path)
+	}
+	p, err := parseTestdataDir(ti.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: ti}
+	tpkg, err := conf.Check(path, ti.fset, p, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking testdata dep %s: %v", path, err)
+	}
+	ti.loaded[path] = tpkg
+	return tpkg, nil
+}
+
+func parseTestdataDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return files, nil
+}
+
+// loadTestdataPackage loads testdata/src/<name> as a type-checked Package.
+func loadTestdataPackage(fset *token.FileSet, name string) (*Package, error) {
+	std, err := stdExportMap()
+	if err != nil {
+		return nil, err
+	}
+	srcRoot := filepath.Join("testdata", "src")
+	ti := &testdataImporter{
+		fset:    fset,
+		srcRoot: srcRoot,
+		std:     newExportImporter(fset, std),
+		loaded:  map[string]*types.Package{},
+	}
+	dir := filepath.Join(srcRoot, name)
+	files, err := parseTestdataDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: ti}
+	tpkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking testdata package %s: %v", name, err)
+	}
+	return &Package{PkgPath: name, Dir: dir, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants parses // want comments from the package's files.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						return nil, fmt.Errorf("%s:%d: malformed want: %q", pos.Filename, pos.Line, rest)
+					}
+					lit, remainder, err := cutQuoted(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					rest = strings.TrimSpace(remainder)
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// cutQuoted splits one leading Go string literal off s.
+func cutQuoted(s string) (string, string, error) {
+	q := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && q == '"' {
+			i++
+			continue
+		}
+		if s[i] == q {
+			lit, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("unquoting %q: %v", s[:i+1], err)
+			}
+			return lit, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated want literal in %q", s)
+}
+
+// RunGolden runs the analyzers over testdata/src/<name> and verifies the
+// findings against the package's // want annotations.
+func RunGolden(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := loadTestdataPackage(fset, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(fset, pkg.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(fset, []*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fd := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == fd.File && w.line == fd.Line && w.pattern.MatchString(fd.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", fd)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package analysis
+
+// atomicmix flags fields that are accessed both through sync/atomic calls
+// (atomic.AddInt64(&s.f, 1), atomic.LoadUint32(&s.f), ...) and through plain
+// loads or stores elsewhere in the package. Mixing the two is a data race
+// the race detector only catches when both sides happen to execute in one
+// test run; statically the mix is visible in every run. The engine's own
+// counters migrated to typed atomics (atomic.Int64 and friends, immune by
+// construction because plain access does not compile), so any function-style
+// atomic on a struct field that also sees bare access is drift back into the
+// pre-obs ad-hoc pattern.
+//
+// Detection is per package: pass 1 records every field (types.Var) whose
+// address is taken as the first argument of a sync/atomic function; pass 2
+// reports every access to those fields outside sync/atomic argument
+// position.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewAtomicMix returns a fresh atomicmix analyzer.
+func NewAtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "flags fields accessed both via sync/atomic calls and plain loads/stores",
+	}
+	a.Run = func(pass *Pass) error {
+		atomicFields := map[*types.Var][]ast.Node{} // field -> atomic call sites
+		atomicArgs := map[ast.Node]bool{}           // &x.f nodes inside atomic calls
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, name, ok := calleePkgFunc(pass.TypesInfo, call)
+				if !ok || pkg != "atomic" || !isAtomicOp(name) || len(call.Args) == 0 {
+					return true
+				}
+				un, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if v := fieldOf(pass.TypesInfo, sel); v != nil {
+					atomicFields[v] = append(atomicFields[v], call)
+					atomicArgs[sel] = true
+				}
+				return true
+			})
+		}
+		if len(atomicFields) == 0 {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicArgs[sel] {
+					return true
+				}
+				v := fieldOf(pass.TypesInfo, sel)
+				if v == nil {
+					return true
+				}
+				if _, mixed := atomicFields[v]; !mixed {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "field %s is updated with sync/atomic elsewhere but accessed plainly here; every access must go through sync/atomic (or migrate the field to a typed atomic)", sel.Sel.Name)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isAtomicOp matches the function-style sync/atomic API.
+func isAtomicOp(name string) bool {
+	for _, p := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it names, nil otherwise.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return originVar(v)
+}

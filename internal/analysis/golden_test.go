@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+// The golden suites: each analyzer runs over its testdata/src package and
+// must produce exactly the findings annotated with // want — including the
+// testdata reproductions of the PR 4 bugs (the swallowed reduce flag, the
+// Diag ok-flag discard, the unlocked Resize metadata write).
+
+func TestSwallowedErrGolden(t *testing.T) {
+	RunGolden(t, "swallowederr", NewSwallowedErr())
+}
+
+func TestLockedMetaGolden(t *testing.T) {
+	RunGolden(t, "lockedmeta", NewLockedMeta())
+}
+
+func TestFaultSiteGolden(t *testing.T) {
+	RunGolden(t, "faultsite", NewFaultSite())
+}
+
+func TestSpanLifeGolden(t *testing.T) {
+	RunGolden(t, "spanlife", NewSpanLife())
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	RunGolden(t, "atomicmix", NewAtomicMix())
+}

@@ -1,0 +1,69 @@
+package analysis
+
+// Suppression comments. A finding is silenced with
+//
+//	//grblint:ignore <analyzer> <justification>
+//
+// placed either on the flagged line or alone on the line directly above it.
+// The justification is mandatory: a suppression is a reviewed claim that the
+// invariant holds for reasons the analyzer cannot see, and the claim must be
+// stated. A malformed directive (unknown shape, missing justification) is
+// itself a finding, so suppressions cannot rot silently.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//grblint:ignore"
+
+// ignoreKey identifies one suppressed (file, line, analyzer) cell.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreIndex struct {
+	keys      map[ignoreKey]bool
+	malformed []Diagnostic
+}
+
+func newIgnoreIndex() *ignoreIndex {
+	return &ignoreIndex{keys: map[ignoreKey]bool{}}
+}
+
+// collect indexes every //grblint:ignore directive in the files.
+func (ig *ignoreIndex) collect(fset *token.FileSet, files []*ast.File) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					ig.malformed = append(ig.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "grblint",
+						Message:  "malformed suppression: want //grblint:ignore <analyzer> <justification>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// The directive covers its own line; when the comment stands
+				// alone it covers the next line instead.
+				ig.keys[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				ig.keys[ignoreKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+			}
+		}
+	}
+}
+
+// suppressed reports whether a finding by the named analyzer at pos is
+// covered by a directive.
+func (ig *ignoreIndex) suppressed(pos token.Position, analyzer string) bool {
+	return ig.keys[ignoreKey{pos.Filename, pos.Line, analyzer}]
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/token"
+	"testing"
+)
+
+// TestLoadPackages_EnginePackages proves the x/tools-free loading pipeline:
+// go list -export supplies build-cache export data, the stdlib gc importer
+// reads it back, and engine packages type-check from source against it —
+// including generic code (core's Matrix[D]) and intra-module imports.
+func TestLoadPackages_EnginePackages(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := LoadPackages(fset, "../..", "./internal/obs", "./internal/core")
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+		if len(p.Files) == 0 {
+			t.Errorf("%s: no files", p.PkgPath)
+		}
+		if p.Types == nil || p.TypesInfo == nil {
+			t.Fatalf("%s: missing type information", p.PkgPath)
+		}
+	}
+	core, ok := byPath["graphblas/internal/core"]
+	if !ok {
+		t.Fatalf("core not loaded; got %v", byPath)
+	}
+	if core.Types.Scope().Lookup("Matrix") == nil {
+		t.Errorf("core scope is missing Matrix")
+	}
+	// Test files must be excluded: the suite lints engine code only.
+	for _, f := range core.Files {
+		name := fset.Position(f.Pos()).Filename
+		if len(name) > 8 && name[len(name)-8:] == "_test.go" {
+			t.Errorf("test file loaded: %s", name)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package analysis
+
+// lockedmeta codifies the Resize-race invariant PR 4 fixed by hand: an
+// object's dimension metadata is updated eagerly by user-side Resize while
+// previously enqueued operations may still be executing on flush workers, so
+// the fields are meaningful only under the object lock. The fields carry a
+// `grblint:guarded` marker on their declaration; the analyzer then enforces:
+//
+//   - every write to a guarded field happens with the declaring object's
+//     lock lexically held (a `<recv>.mu.Lock()` precedes it in the same
+//     function with no intervening Unlock, or a deferred Unlock pins it),
+//     or inside a method whose name ends in "Locked" — the engine's
+//     caller-holds-the-lock convention;
+//   - every read of a guarded field from inside a function literal — the
+//     shape of deferred closures, which execute on flush workers
+//     concurrently with user-side Resize — meets the same bar. Reads in
+//     plain method bodies are user-goroutine validation, ordered before the
+//     operation enters the queue, and stay unflagged.
+//
+// The lock-held judgment is the deliberate lexical approximation of
+// lockHeldAt; see its comment.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const guardMarker = "grblint:guarded"
+
+// NewLockedMeta returns a fresh lockedmeta analyzer.
+func NewLockedMeta() *Analyzer {
+	a := &Analyzer{
+		Name: "lockedmeta",
+		Doc:  "flags guarded metadata fields written without the object lock or read bare from closures",
+	}
+	a.Run = func(pass *Pass) error {
+		guarded := collectGuardedFields(pass)
+		if len(guarded) == 0 {
+			return nil
+		}
+		for _, f := range pass.Files {
+			checkGuardedAccesses(pass, f, guarded)
+		}
+		return nil
+	}
+	return a
+}
+
+// collectGuardedFields finds struct fields whose declaration carries the
+// grblint:guarded marker in a doc or line comment, keyed by their
+// types.Var object.
+func collectGuardedFields(pass *Pass) map[*types.Var]bool {
+	guarded := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !fieldMarked(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func fieldMarked(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, guardMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkGuardedAccesses walks one file and reports guarded-field accesses
+// that violate the locking contract.
+func checkGuardedAccesses(pass *Pass, f *ast.File, guarded map[*types.Var]bool) {
+	// writes maps the Sel idents appearing on the left of assignments.
+	writes := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok {
+					writes[sel] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := unparen(st.X).(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		fieldVar, ok := selection.Obj().(*types.Var)
+		if !ok || !guarded[originVar(fieldVar)] {
+			return true
+		}
+		base := baseIdent(sel.X)
+		if base == nil {
+			return true
+		}
+		funcs := enclosingFuncs(f, sel.Pos())
+		if len(funcs) == 0 {
+			return true // package-level declaration
+		}
+		// The engine convention: a *Locked-suffixed method runs with the
+		// caller holding the object lock.
+		for _, fn := range funcs {
+			if strings.HasSuffix(funcName(fn), "Locked") {
+				return true
+			}
+		}
+		innermost := funcs[len(funcs)-1]
+		held := lockHeldAt(innermost, base.Name, sel.Pos())
+		if writes[sel] {
+			if !held {
+				pass.Reportf(sel.Pos(), "write to guarded field %s.%s without holding %s's lock; Resize-class metadata must be written under the object lock", base.Name, sel.Sel.Name, base.Name)
+			}
+			return true
+		}
+		if _, isLit := innermost.(*ast.FuncLit); isLit && !held {
+			pass.Reportf(sel.Pos(), "guarded field %s.%s read bare inside a closure; deferred closures run on flush workers concurrently with Resize — use the lock-held accessor (dims/size) instead", base.Name, sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// originVar maps a field var of an instantiated generic type back to the
+// origin struct's field var, so guarded markers collected on the generic
+// declaration match accesses through instantiations.
+func originVar(v *types.Var) *types.Var {
+	if o := v.Origin(); o != nil {
+		return o
+	}
+	return v
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

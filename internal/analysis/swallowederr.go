@@ -1,0 +1,145 @@
+package analysis
+
+// swallowederr codifies the paper's Section V contract — every method
+// reports a defined GrB_Info outcome — at the call-site level: engine code
+// must not discard an error result or a trailing failure-flag result. This
+// is the exact bug class PR 4 dug out by hand twice over: the scalar
+// reductions ran their kernel bare so an injected fault was swallowed into a
+// silently wrong scalar, and Diag dropped BuildCSR's ok flag, committing an
+// empty matrix on a failed build. Both shapes are mechanically detectable:
+//
+//   - a call used as a bare statement (or deferred) whose signature returns
+//     an error anywhere in its results;
+//   - an assignment that blanks (`_`) a result position holding an error, or
+//     the final bool of a multi-result call — Go's failure-flag convention.
+//
+// Scope: the engine's internal packages only (engineScope). Test files are
+// never loaded. The fmt print family is exempt — its error returns are
+// conventionally ignored and carry no engine state.
+
+import (
+	"go/ast"
+)
+
+// NewSwallowedErr returns a fresh swallowederr analyzer.
+func NewSwallowedErr() *Analyzer {
+	a := &Analyzer{
+		Name: "swallowederr",
+		Doc:  "flags engine calls whose error or trailing failure-flag result is discarded",
+	}
+	a.Run = func(pass *Pass) error {
+		if !engineScope(pass.Pkg) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := st.X.(*ast.CallExpr); ok {
+						checkDiscardedCall(pass, call)
+					}
+				case *ast.DeferStmt:
+					checkDiscardedCall(pass, st.Call)
+				case *ast.GoStmt:
+					checkDiscardedCall(pass, st.Call)
+				case *ast.AssignStmt:
+					checkBlankedResults(pass, st)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// exemptCallee lists callees whose discarded returns are conventional, not
+// swallowed engine outcomes.
+func exemptCallee(pkg, name string) bool {
+	if pkg == "fmt" {
+		return true // Print family: error returns are ignored by convention
+	}
+	return false
+}
+
+// checkDiscardedCall flags a statement-position call that returns an error
+// (any position) or ends in a failure flag.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr) {
+	results := callResults(pass.TypesInfo, call)
+	if results == nil || results.Len() == 0 {
+		return
+	}
+	if pkg, name, ok := calleePkgFunc(pass.TypesInfo, call); ok && exemptCallee(pkg, name) {
+		return
+	}
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			pass.Reportf(call.Pos(), "error result of %s is discarded; the engine must surface every failure as a GrB_Info outcome", calleeLabel(call))
+			return
+		}
+	}
+	if results.Len() >= 2 && isBoolType(results.At(results.Len()-1).Type()) {
+		pass.Reportf(call.Pos(), "failure flag of %s is discarded; check the trailing bool or suppress with a justification", calleeLabel(call))
+	}
+}
+
+// checkBlankedResults flags `_`-discarded error results and `_`-discarded
+// trailing failure flags in assignments.
+func checkBlankedResults(pass *Pass, st *ast.AssignStmt) {
+	// Only the multi-value form `a, _ := f()` maps lhs positions to one
+	// call's results.
+	if len(st.Rhs) != 1 || len(st.Lhs) < 2 {
+		// `_ = f()` single form:
+		if len(st.Rhs) == 1 && len(st.Lhs) == 1 && isBlank(st.Lhs[0]) {
+			if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+				checkDiscardedCall(pass, call)
+			}
+		}
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	results := callResults(pass.TypesInfo, call)
+	if results == nil || results.Len() != len(st.Lhs) {
+		return
+	}
+	if pkg, name, okc := calleePkgFunc(pass.TypesInfo, call); okc && exemptCallee(pkg, name) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		rt := results.At(i).Type()
+		switch {
+		case isErrorType(rt):
+			pass.Reportf(lhs.Pos(), "error result of %s is blanked; the engine must surface every failure as a GrB_Info outcome", calleeLabel(call))
+		case i == len(st.Lhs)-1 && isBoolType(rt):
+			pass.Reportf(lhs.Pos(), "failure flag of %s is blanked; check the trailing bool or suppress with a justification", calleeLabel(call))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// calleeLabel renders a short human label for a call's function expression.
+func calleeLabel(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if base := baseIdent(fn.X); base != nil {
+			return base.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	case *ast.IndexExpr:
+		inner := &ast.CallExpr{Fun: fn.X}
+		return calleeLabel(inner)
+	}
+	return "call"
+}

@@ -1,0 +1,53 @@
+// Package atomicmix holds the golden cases for the atomicmix analyzer: a
+// field accessed through sync/atomic anywhere must be accessed through
+// sync/atomic everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+// counters mirrors the engine's metrics shape: ops is updated with atomic
+// adds from flush workers, pending only ever under the queue lock.
+type counters struct {
+	ops     int64
+	pending int64
+	hits    atomic.Int64 // typed atomics make mixing impossible — always clean
+}
+
+// record is the hot path: atomic increment from concurrent workers.
+func (c *counters) record() {
+	atomic.AddInt64(&c.ops, 1)
+}
+
+// snapshot reads the same field with a plain load — a torn read on 32-bit
+// targets and a data race everywhere.
+func (c *counters) snapshot() int64 {
+	return c.ops // want `field ops is updated with sync/atomic elsewhere but accessed plainly here`
+}
+
+// reset writes the field plainly, losing increments racing with record.
+func (c *counters) reset() {
+	c.ops = 0 // want `field ops is updated with sync/atomic elsewhere but accessed plainly here`
+}
+
+// loadGood keeps every access to ops atomic.
+func (c *counters) loadGood() int64 {
+	return atomic.LoadInt64(&c.ops)
+}
+
+// plainOnly never touches pending atomically, so plain access is fine.
+func (c *counters) plainOnly() int64 {
+	c.pending++
+	return c.pending
+}
+
+// typedGood uses the typed atomic wrapper.
+func (c *counters) typedGood() int64 {
+	c.hits.Add(1)
+	return c.hits.Load()
+}
+
+// suppressedRead shows the reviewed escape hatch.
+func (c *counters) suppressedRead() int64 {
+	//grblint:ignore atomicmix read happens after the worker pool is joined
+	return c.ops
+}

@@ -1,0 +1,13 @@
+// Package faults is a shape-stub of graphblas/internal/faults for the
+// analyzer golden tests: the analyzers match call sites by package name and
+// function name, so golden packages import this instead of engine internals.
+package faults
+
+// Step consults the plan at a kernel-internal site.
+func Step(site string) { _ = site }
+
+// GovernAlloc is the allocation-budget governor gate.
+func GovernAlloc(site string, bytes int64) { _, _ = site, bytes }
+
+// Check consults the plan at an executor-level site.
+func Check(site string) error { _ = site; return nil }

@@ -1,0 +1,91 @@
+// Package lockedmeta holds the golden cases for the lockedmeta analyzer:
+// fields marked grblint:guarded are written only under the object lock and
+// never read bare from closures (which model deferred flush-worker code).
+package lockedmeta
+
+import "sync"
+
+// matrix mirrors the engine's Matrix metadata shape.
+type matrix struct {
+	mu sync.Mutex
+	// nr, nc are the logical dimensions; Resize updates them eagerly while
+	// flush workers may still be reading. grblint:guarded
+	nr, nc int
+	data   []int
+}
+
+// dims is the lock-held accessor.
+func (m *matrix) dims() (int, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nr, m.nc
+}
+
+// resizeGood writes the metadata under the lock — the PR 4 fix.
+func (m *matrix) resizeGood(nr, nc int) {
+	m.mu.Lock()
+	m.nr, m.nc = nr, nc
+	m.mu.Unlock()
+}
+
+// resizeBad is the pre-PR 4 Resize race: the eager metadata write happens
+// with no lock while previously enqueued closures read the fields on flush
+// workers.
+func (m *matrix) resizeBad(nr, nc int) {
+	m.nr = nr // want `write to guarded field m.nr without holding m's lock`
+	m.nc = nc // want `write to guarded field m.nc without holding m's lock`
+}
+
+// nnzLocked follows the caller-holds-the-lock suffix convention.
+func (m *matrix) nnzLocked() int {
+	return m.nr * m.nc
+}
+
+// setDimsLocked writes under the caller-holds-the-lock convention.
+func (m *matrix) setDimsLocked(nr, nc int) {
+	m.nr, m.nc = nr, nc
+}
+
+// enqueue stands in for the engine's deferred-closure queue.
+func enqueue(run func() error) error { return run() }
+
+// clearBad reads the dimensions bare inside a deferred closure — the read
+// half of the Resize race.
+func (m *matrix) clearBad() error {
+	return enqueue(func() error {
+		n := m.nr // want `guarded field m.nr read bare inside a closure`
+		m.data = make([]int, n)
+		return nil
+	})
+}
+
+// clearGood reads through the accessor inside the closure.
+func (m *matrix) clearGood() error {
+	return enqueue(func() error {
+		nr, nc := m.dims()
+		m.data = make([]int, nr*nc)
+		return nil
+	})
+}
+
+// clearLockedInline takes the lock inside the closure itself.
+func (m *matrix) clearLockedInline() error {
+	return enqueue(func() error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.data = make([]int, m.nr)
+		return nil
+	})
+}
+
+// validate reads the fields bare in a plain method body: user-goroutine
+// validation ordered before the operation enters the queue — unflagged.
+func (m *matrix) validate(nr int) bool {
+	return m.nr == nr
+}
+
+// suppressedWrite shows the reviewed escape hatch.
+func (m *matrix) suppressedWrite(nr int) {
+	//grblint:ignore lockedmeta constructor-time write before the object is shared
+	m.nr = nr
+}

@@ -1,0 +1,25 @@
+// Package obs is a shape-stub of graphblas/internal/obs for the analyzer
+// golden tests: spanlife matches obs.Begin / obs.Emit by package and
+// function name.
+package obs
+
+// Span mirrors the engine span's lifecycle surface.
+type Span struct {
+	Op string
+}
+
+// MarkScheduled is a staging setter: using the span as a method receiver
+// does not retire it.
+func (s *Span) MarkScheduled() {}
+
+// MarkKernel is a staging setter.
+func (s *Span) MarkKernel() {}
+
+// Finish records the outcome; Emit must still be called.
+func (s *Span) Finish(outcome int, err error) { _, _ = outcome, err }
+
+// Begin opens a span.
+func Begin(op string) *Span { return &Span{Op: op} }
+
+// Emit delivers the span.
+func Emit(s *Span) { _ = s }

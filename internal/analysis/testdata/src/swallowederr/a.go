@@ -1,0 +1,73 @@
+// Package swallowederr holds the golden cases for the swallowederr
+// analyzer: engine code must not discard error results or trailing
+// failure-flag results.
+package swallowederr
+
+import (
+	"errors"
+	"fmt"
+)
+
+func doWork() error { return errors.New("boom") }
+
+func parse() (int, error) { return 0, nil }
+
+// reduceAllCSR mirrors sparse.ReduceAllCSR's (value, flag) signature.
+func reduceAllCSR() (int, bool) { return 0, false }
+
+// buildCSR mirrors sparse.BuildCSR's (result, ok) signature — the PR 4 Diag
+// bug discarded exactly this ok flag and committed an empty matrix on a
+// failed build.
+func buildCSR() (*int, bool) { return nil, true }
+
+func flagged() {
+	doWork()        // want `error result of doWork is discarded`
+	_ = doWork()    // want `error result of doWork is discarded`
+	defer doWork()  // want `error result of doWork is discarded`
+	go doWork()     // want `error result of doWork is discarded`
+	v, _ := parse() // want `error result of parse is blanked`
+	_ = v
+}
+
+// historicReduceSwallow is the PR 4 swallowed-reduce pattern: the scalar
+// reduction called its kernel bare and blanked the failure flag, so a fault
+// raised inside it handed the caller a silently wrong scalar.
+func historicReduceSwallow() int {
+	acc, _ := reduceAllCSR() // want `failure flag of reduceAllCSR is blanked`
+	return acc
+}
+
+// historicDiagSwallow is the PR 4 Diag pattern: an enqueued closure
+// discarding the kernel's ok flag, committing a wrong result instead of
+// surfacing the failure through the executor.
+func historicDiagSwallow(enqueue func(run func() error) error) error {
+	return enqueue(func() error {
+		built, _ := buildCSR() // want `failure flag of buildCSR is blanked`
+		_ = built
+		return nil
+	})
+}
+
+func clean() error {
+	if err := doWork(); err != nil {
+		return err
+	}
+	v, err := parse()
+	if err != nil {
+		return err
+	}
+	acc, stored := reduceAllCSR()
+	if !stored {
+		return errors.New("empty")
+	}
+	fmt.Println(v, acc) // fmt print family is exempt by convention
+	return nil
+}
+
+// suppressed shows the reviewed escape hatch: the justification is
+// mandatory and the directive covers only this analyzer on this line.
+func suppressed() int {
+	//grblint:ignore swallowederr the stored flag is intentionally unused: identity seeds empty folds
+	acc, _ := reduceAllCSR()
+	return acc
+}

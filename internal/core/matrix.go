@@ -13,6 +13,9 @@ import (
 // transposed reads common, and invalidated on any mutation.
 type Matrix[D any] struct {
 	obj
+	// nr, nc are the logical dimensions. Resize rewrites them while enqueued
+	// closures may still be running on flush workers, so deferred code must
+	// read them through dims() and writes must hold mu. grblint:guarded
 	nr, nc int
 	data   *sparse.CSR[D]
 

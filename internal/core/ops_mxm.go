@@ -101,8 +101,12 @@ func MxM[DC, DA, DB, DM any](c *Matrix[DC], mask *Matrix[DM], accum BinaryOp[DC,
 						// overwrites C, so it can be adopted in whichever
 						// layout C's recorded consumer hint favors — the
 						// "materialize directly in the cheapest format"
-						// payoff of the deferred queue.
-						if format.Choose(c.nr, c.nc, out.NNZ(), c.lastHint()) == format.BitmapKind {
+						// payoff of the deferred queue. This closure runs on
+						// a flush worker, so C's dimensions must come from
+						// the lock-held accessor: a concurrent Resize
+						// rewrites nr/nc eagerly.
+						cnr, cnc := c.dims()
+						if format.Choose(cnr, cnc, out.NNZ(), c.lastHint()) == format.BitmapKind {
 							c.setDataBitmap(out)
 						} else {
 							c.setData(out.ToCSR())

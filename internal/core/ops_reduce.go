@@ -138,6 +138,7 @@ func ReduceMatrixToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], a 
 		return zero, errf(InvalidObject, name, "%v", a.err)
 	}
 	acc, err := runScalarReduce(name, func() D {
+		//grblint:ignore swallowederr stored=false means no entries were folded; the identity the kernel returns is exactly the GraphBLAS empty-reduction value
 		r, _ := sparse.ReduceAllCSR(a.mdat(), m.Op.F, m.Identity, m.Terminal)
 		return r
 	})
@@ -174,6 +175,7 @@ func ReduceVectorToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], u 
 		return zero, errf(InvalidObject, name, "%v", u.err)
 	}
 	acc, err := runScalarReduce(name, func() D {
+		//grblint:ignore swallowederr stored=false means no entries were folded; the identity the kernel returns is exactly the GraphBLAS empty-reduction value
 		r, _ := sparse.VecReduce(u.vdat(), m.Op.F, m.Identity, m.Terminal)
 		return r
 	})

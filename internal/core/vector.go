@@ -16,6 +16,9 @@ import (
 // permits sharing between threads only for read-only objects.
 type Vector[D any] struct {
 	obj
+	// n is the logical size. Resize rewrites it while enqueued closures may
+	// still be running on flush workers, so deferred code must read it
+	// through size() and writes must hold mu. grblint:guarded
 	n    int
 	data *sparse.Vec[D]
 

@@ -1,0 +1,32 @@
+package faults
+
+// KernelSites is the canonical registry of every kernel-internal injection
+// site in the tree: the dotted literals drawn by faults.Step and
+// faults.GovernAlloc inside internal/sparse and internal/format. Executor
+// level faults.Check sites are operation names, dynamic by design, and are
+// not listed.
+//
+// The grblint faultsite analyzer cross-checks this list against the code in
+// both directions — a drawn-but-unlisted site (typo or unregistered kernel)
+// and a listed-but-undrawn one (dead registry entry) are both findings — so
+// a fault plan or a differential sweep can be written against this list with
+// the guarantee that every name on it is reachable.
+var KernelSites = []string{
+	// internal/sparse CSR/vector kernels.
+	"sparse.kernel.reduce.rows",
+	"sparse.kernel.reduce.all",
+	"sparse.kernel.reduce.vec",
+
+	// internal/format layout kernels.
+	"format.kernel.bitmap.mxv",
+	"format.kernel.bitmap.mxv.fast",
+	"format.kernel.bitmap.mxm",
+	"format.kernel.bitmap.mxm.fast",
+	"format.kernel.hyper.mxv",
+	"format.kernel.hyper.mxv.push",
+
+	// internal/format allocation-governor gates.
+	"format.alloc.hyper",
+	"format.alloc.bitmap",
+	"format.alloc.csr",
+}

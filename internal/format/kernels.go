@@ -233,7 +233,7 @@ func DotMxVHyper[DA, DU, DC any](a *Hyper[DA], u *sparse.Vec[DU], mul func(DA, D
 // increasing, so one merge walk finds the rows to expand in O(e + nnz(u))
 // instead of per-entry lookups.
 func PushMxVHyper[DA, DU, DC any](a *Hyper[DA], u *sparse.Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *sparse.VecMask) *sparse.Vec[DC] {
-	faults.Step("format.kernel.hyper.mxv")
+	faults.Step("format.kernel.hyper.mxv.push")
 	spa := sparse.NewSPA[DC](a.NCols)
 	spa.Reset()
 	var allowed *sparse.BitSPA

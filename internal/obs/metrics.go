@@ -371,7 +371,10 @@ func (v *CounterVec) sortedKeys() []string {
 func (v *CounterVec) promText(w io.Writer) {
 	promHeader(w, v.nm, v.hp, "counter")
 	for _, k := range v.sortedKeys() {
-		c, _ := v.children.Load(k)
+		c, ok := v.children.Load(k)
+		if !ok {
+			continue
+		}
 		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.nm, v.label, k, c.(*Counter).Value())
 	}
 }
@@ -433,7 +436,10 @@ func (v *HistogramVec) sortedKeys() []string {
 func (v *HistogramVec) promText(w io.Writer) {
 	promHeader(w, v.nm, v.hp, "histogram")
 	for _, k := range v.sortedKeys() {
-		h, _ := v.children.Load(k)
+		h, ok := v.children.Load(k)
+		if !ok {
+			continue
+		}
 		h.(*Histogram).promLines(w, fmt.Sprintf("%s=%q,", v.label, k))
 	}
 }

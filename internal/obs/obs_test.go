@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -369,4 +370,40 @@ func TestConcurrentMetricUpdates(t *testing.T) {
 	if cv.Total() != workers*perWorker {
 		t.Errorf("vec total = %d, want %d", cv.Total(), workers*perWorker)
 	}
+}
+
+// TestVecExposeDuringConcurrentWith: the vec families' exposition walks
+// sortedKeys then re-Loads each child; children are created concurrently by
+// With. The Load result is rechecked (not blank-asserted), so exposition
+// running against a family mid-growth never panics.
+func TestVecExposeDuringConcurrentWith(t *testing.T) {
+	r := &Registry{}
+	cv := &CounterVec{nm: "grow_total", hp: "h", label: "op"}
+	hv := &HistogramVec{nm: "grow_seconds", hp: "h", label: "op", bounds: []float64{1}}
+	r.register(cv)
+	r.register(hv)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			k := fmt.Sprintf("op%d", i%64)
+			cv.With(k).Inc()
+			hv.With(k).Observe(float64(i % 3))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+	}
+	close(done)
+	wg.Wait()
 }
