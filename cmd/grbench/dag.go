@@ -44,9 +44,9 @@ type dagRow struct {
 }
 
 type dagReport struct {
-	Generated string   `json:"generated"`
-	Command   string   `json:"command"`
-	Cores     int      `json:"cores"`
+	Generated string `json:"generated"`
+	Command   string `json:"command"`
+	benchEnv
 	Scale     int      `json:"scale"`
 	EdgeFac   int      `json:"edge_factor"`
 	Chains    int      `json:"chains"`
@@ -161,6 +161,7 @@ func runDag(scale, ef int, seed uint64) {
 	prevWorkers := graphblas.SetMaxWorkers(workers)
 	defer graphblas.SetMaxWorkers(prevWorkers)
 	header("DAG", "E6b: flush parallelism — sequential vs DAG scheduler")
+	warnIfSerial("DAG")
 
 	w := buildDagWorkload(scale, ef, seed)
 	s := graphblas.PlusTimes[float64]()
@@ -182,7 +183,7 @@ func runDag(scale, ef int, seed uint64) {
 	report := dagReport{
 		Generated: time.Now().Format("2006-01-02"),
 		Command:   fmt.Sprintf("go run ./cmd/grbench -exp DAG -scale %d -ef %d -seed %d", scale, ef, seed),
-		Cores:     runtime.NumCPU(),
+		benchEnv:  currentEnv(),
 		Scale:     scale,
 		EdgeFac:   ef,
 		Chains:    dagChains,

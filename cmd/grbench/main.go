@@ -12,6 +12,9 @@
 // transactional rollbacks, and result integrity under each plan.
 // DAG sweeps the flush-parallelism experiment (sequential vs DAG scheduler
 // on chained vs independent workloads) and writes BENCH_dataflow.json.
+// STREAM sweeps the streaming graph engine (batched edge updates across
+// merge policies, plus incremental vs from-scratch PageRank) and writes
+// BENCH_streaming.json.
 package main
 
 import (
@@ -19,13 +22,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"graphblas"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E7B E8 DAG or all")
+	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E7B E8 DAG STREAM or all")
 	scale := flag.Int("scale", 11, "RMAT scale for the workload experiments")
 	ef := flag.Int("ef", 8, "RMAT edge factor")
 	seed := flag.Uint64("seed", 42, "generator seed")
@@ -60,9 +64,9 @@ func main() {
 
 	run := map[string]func(scale, ef int, seed uint64){
 		"E1": runE1, "E2": runE2, "E3": runE3, "E5": runE5, "E6": runE6, "E7B": runE7b, "E8": runE8,
-		"DAG": runDag,
+		"DAG": runDag, "STREAM": runStream,
 	}
-	ids := []string{"E1", "E2", "E3", "E5", "E6", "E7B", "E8", "DAG"}
+	ids := []string{"E1", "E2", "E3", "E5", "E6", "E7B", "E8", "DAG", "STREAM"}
 	want := strings.ToUpper(*exp)
 	matched := false
 	for _, id := range ids {
@@ -83,4 +87,26 @@ func main() {
 func header(id, title string) {
 	fmt.Printf("=== %s — %s [sched=%v workers=%d] ===\n",
 		id, title, graphblas.CurrentScheduler(), graphblas.MaxWorkers())
+}
+
+// benchEnv is embedded in every BENCH_*.json report so a reader can judge
+// parallel numbers against the hardware that produced them — an earlier
+// BENCH_dataflow.json was generated on one core and its speedup rows were
+// silently meaningless without this context.
+type benchEnv struct {
+	Cores      int `json:"cores"`
+	GoMaxProcs int `json:"gomaxprocs"`
+}
+
+func currentEnv() benchEnv {
+	return benchEnv{Cores: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+}
+
+// warnIfSerial flags a parallelism-sensitive experiment running without any:
+// the numbers are still valid measurements, but speedup conclusions are not.
+func warnIfSerial(id string) {
+	if env := currentEnv(); env.Cores == 1 || env.GoMaxProcs == 1 {
+		fmt.Printf("WARNING: %s is a parallel experiment but this run has cores=%d GOMAXPROCS=%d; "+
+			"speedup rows will collapse to ~1x by physics\n", id, env.Cores, env.GoMaxProcs)
+	}
 }

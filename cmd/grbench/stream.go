@@ -1,0 +1,336 @@
+package main
+
+// The streaming-engine sweep (EXPERIMENTS.md E10, BENCH_streaming.json):
+// one fixed schedule of edge updates is ingested through ApplyUpdateBatch
+// under every batch-size × merge-policy combination, then incremental
+// PageRank (warm restart from the pre-update rank vector) races a
+// from-scratch recomputation after small-batch perturbations.
+//
+// Ingest rows are single-shot timings — ingestion mutates the matrix, so
+// best-of-3 would bill a different (already-merged) store on reruns.
+// "first_read_ns" is the staleness price of the chosen policy: what the
+// first merged-view read pays after ingest (manual defers everything to
+// that read; eager pays it during ingest instead).
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"graphblas"
+	"graphblas/internal/algorithms"
+	"graphblas/internal/generate"
+	"graphblas/internal/obs"
+	"graphblas/internal/refalgo"
+)
+
+const streamTotalUpdates = 1 << 14 // edge updates ingested per configuration
+
+type streamIngestRow struct {
+	BatchEdges    int     `json:"batch_edges"`
+	Policy        string  `json:"policy"`
+	Batches       int     `json:"batches"`
+	NsPerEdge     float64 `json:"ingest_ns_per_edge"`
+	FirstReadNs   float64 `json:"first_read_ns"`
+	Merges        int64   `json:"merges"`
+	MergeBytes    int64   `json:"merge_bytes"`
+	ResidualDelta int     `json:"residual_delta_nnz"`
+	FinalNVals    int     `json:"final_nvals"`
+}
+
+type streamPRRow struct {
+	BatchEdges int     `json:"batch_edges"`
+	ColdNs     float64 `json:"cold_ns"`
+	WarmNs     float64 `json:"warm_ns"`
+	ColdSweeps int     `json:"cold_sweeps"`
+	WarmSweeps int     `json:"warm_sweeps"`
+	Speedup    float64 `json:"warm_speedup_x"`
+	OracleOK   bool    `json:"oracle_ok"`
+}
+
+type streamReport struct {
+	Generated string `json:"generated"`
+	Command   string `json:"command"`
+	benchEnv
+	Scale     int               `json:"scale"`
+	EdgeFac   int               `json:"edge_factor"`
+	BaseEdges int               `json:"base_edges"`
+	Note      string            `json:"note"`
+	Ingest    []streamIngestRow `json:"ingest"`
+	PageRank  []streamPRRow     `json:"incremental_pagerank"`
+}
+
+type edgeUpdate struct {
+	i, j int
+	del  bool
+}
+
+// streamFloat builds just the float64 adjacency (the sweep never needs the
+// bool/int32 domains buildAdjacencies would also pay for).
+func streamFloat(g *generate.Graph) *graphblas.Matrix[float64] {
+	rows, cols, w := g.Tuples()
+	a, err := graphblas.NewMatrix[float64](g.N, g.N)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Build(rows, cols, w, graphblas.First[float64]()); err != nil {
+		log.Fatal(err)
+	}
+	return a
+}
+
+// streamSchedule fixes one update stream (≈25% deletes of base edges, the
+// rest random non-loop inserts) so every policy/batch-size configuration
+// ingests identical work.
+func streamSchedule(g *generate.Graph, n int, seed uint64) []edgeUpdate {
+	rng := generate.NewRNG(seed)
+	out := make([]edgeUpdate, 0, n)
+	for k := 0; k < n; k++ {
+		if rng.Intn(4) == 0 && len(g.Edges) > 0 {
+			e := g.Edges[rng.Intn(len(g.Edges))]
+			out = append(out, edgeUpdate{e.Src, e.Dst, true})
+		} else {
+			i, j := rng.Intn(g.N), rng.Intn(g.N)
+			if i == j {
+				j = (j + 1) % g.N
+			}
+			out = append(out, edgeUpdate{i, j, false})
+		}
+	}
+	return out
+}
+
+// applySchedule replays updates[lo:hi] into the batch builder.
+func applySchedule(b *graphblas.UpdateBatch[float64], updates []edgeUpdate) {
+	for _, u := range updates {
+		if u.del {
+			b.Delete(u.i, u.j)
+		} else {
+			b.Insert(u.i, u.j, 1)
+		}
+	}
+}
+
+func streamIngestRun(base *generate.Graph, updates []edgeUpdate, batchEdges int, polName string, pol graphblas.MergePolicy) streamIngestRow {
+	a := streamFloat(base)
+	if _, err := a.SetMergePolicy(pol); err != nil {
+		log.Fatal(err)
+	}
+	// Settle the build (and its format conversions) before the clock starts.
+	if _, err := a.NVals(); err != nil {
+		log.Fatal(err)
+	}
+	mergesBefore := obs.StreamMerges.Value()
+	bytesBefore := obs.StreamMergeBytes.Value()
+
+	b := graphblas.NewUpdateBatch[float64]()
+	batches := 0
+	start := time.Now()
+	for lo := 0; lo < len(updates); lo += batchEdges {
+		hi := lo + batchEdges
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		b.Reset()
+		applySchedule(b, updates[lo:hi])
+		if err := a.ApplyUpdateBatch(b); err != nil {
+			log.Fatal(err)
+		}
+		batches++
+	}
+	if err := graphblas.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	ingest := time.Since(start)
+
+	start = time.Now()
+	nv, err := a.NVals()
+	if err != nil {
+		log.Fatal(err)
+	}
+	firstRead := time.Since(start)
+
+	resid, err := a.DeltaNVals()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return streamIngestRow{
+		BatchEdges:    batchEdges,
+		Policy:        polName,
+		Batches:       batches,
+		NsPerEdge:     float64(ingest.Nanoseconds()) / float64(len(updates)),
+		FirstReadNs:   float64(firstRead.Nanoseconds()),
+		Merges:        obs.StreamMerges.Value() - mergesBefore,
+		MergeBytes:    obs.StreamMergeBytes.Value() - bytesBefore,
+		ResidualDelta: resid,
+		FinalNVals:    nv,
+	}
+}
+
+// streamMutate builds one batch of nUpdates against g and the updated graph
+// (deterministic edge order) for the refalgo oracle.
+func streamMutate(g *generate.Graph, nUpdates int, seed uint64) (*graphblas.UpdateBatch[float64], *generate.Graph) {
+	edges := map[[2]int]float64{}
+	for _, e := range g.Edges {
+		edges[[2]int{e.Src, e.Dst}] = e.Weight
+	}
+	b := graphblas.NewUpdateBatch[float64]()
+	for _, u := range streamSchedule(g, nUpdates, seed) {
+		if u.del {
+			b.Delete(u.i, u.j)
+			delete(edges, [2]int{u.i, u.j})
+		} else {
+			b.Insert(u.i, u.j, 1)
+			edges[[2]int{u.i, u.j}] = 1
+		}
+	}
+	keys := make([][2]int, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		if keys[x][0] != keys[y][0] {
+			return keys[x][0] < keys[y][0]
+		}
+		return keys[x][1] < keys[y][1]
+	})
+	upd := &generate.Graph{N: g.N}
+	for _, k := range keys {
+		upd.Edges = append(upd.Edges, generate.Edge{Src: k[0], Dst: k[1], Weight: edges[k]})
+	}
+	return b, upd
+}
+
+func streamPRRun(base *generate.Graph, batchEdges int, seed uint64) streamPRRow {
+	const damping, tol, maxIter = 0.85, 1e-8, 200
+	a := streamFloat(base)
+	r0, _, err := algorithms.PageRank(a, damping, tol, maxIter)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	batch, updated := streamMutate(base, batchEdges, seed)
+	if err := a.ApplyUpdateBatch(batch); err != nil {
+		log.Fatal(err)
+	}
+	// Force ingestion and the merged-view materialization now, so neither
+	// contender's timing pays them.
+	if _, err := a.NVals(); err != nil {
+		log.Fatal(err)
+	}
+
+	var warm *graphblas.Vector[float64]
+	var warmIters int
+	warmD := timeIt(func() error {
+		var err error
+		warm, warmIters, err = algorithms.PageRankFrom(a, r0, damping, tol, maxIter)
+		return err
+	})
+	var coldIters int
+	coldD := timeIt(func() error {
+		var err error
+		_, coldIters, err = algorithms.PageRank(a, damping, tol, maxIter)
+		return err
+	})
+
+	want, _ := refalgo.PageRank(refalgo.NewAdjacency(updated), damping, tol, maxIter)
+	idx, val, err := warm.ExtractTuples()
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := make([]float64, base.N)
+	for k := range idx {
+		got[idx[k]] = val[k]
+	}
+	ok := true
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-5 {
+			ok = false
+			break
+		}
+	}
+	return streamPRRow{
+		BatchEdges: batchEdges,
+		ColdNs:     float64(coldD.Nanoseconds()),
+		WarmNs:     float64(warmD.Nanoseconds()),
+		ColdSweeps: coldIters,
+		WarmSweeps: warmIters,
+		Speedup:    float64(coldD) / float64(warmD),
+		OracleOK:   ok,
+	}
+}
+
+// runStream is the streaming-engine sweep: EXPERIMENTS.md E10.
+func runStream(scale, ef int, seed uint64) {
+	if scale < 12 {
+		// The experiment's acceptance bar is a scale-12+ graph; smaller
+		// workloads make the warm-start margin noise-dominated.
+		scale = 12
+	}
+	header("STREAM", fmt.Sprintf("E10: streaming ingest and incremental recomputation, RMAT scale %d", scale))
+	base := generate.RMAT(scale, ef, seed).Dedup(true)
+	fmt.Printf("  workload: %d vertices, %d edges, %d updates per ingest run\n",
+		base.N, len(base.Edges), streamTotalUpdates)
+
+	report := streamReport{
+		Generated: time.Now().Format("2006-01-02"),
+		Command:   fmt.Sprintf("go run ./cmd/grbench -exp STREAM -scale %d -ef %d -seed %d", scale, ef, seed),
+		benchEnv:  currentEnv(),
+		Scale:     scale,
+		EdgeFac:   ef,
+		BaseEdges: len(base.Edges),
+		Note: "ingest rows are single-shot (ingestion is stateful); first_read_ns is " +
+			"the post-ingest staleness price of the policy (manual defers merge-view " +
+			"work to the first read, eager pays it during ingest); pagerank rows are " +
+			"best-of-3 and warm restarts from the pre-update rank vector, validated " +
+			"against the refalgo power-iteration oracle on the updated graph",
+	}
+
+	updates := streamSchedule(base, streamTotalUpdates, seed+1)
+	policies := []struct {
+		name string
+		p    graphblas.MergePolicy
+	}{
+		{"eager", graphblas.EagerMerge()},
+		{"size+age", graphblas.DefaultMergePolicy()},
+		{"manual", graphblas.ManualMerge()},
+	}
+	fmt.Printf("  %-8s %-10s %8s %12s %14s %7s %12s %8s\n",
+		"batch", "policy", "batches", "ns/edge", "first read", "merges", "merge bytes", "delta")
+	for _, batchEdges := range []int{128, 1024, 8192} {
+		for _, pol := range policies {
+			row := streamIngestRun(base, updates, batchEdges, pol.name, pol.p)
+			report.Ingest = append(report.Ingest, row)
+			fmt.Printf("  %-8d %-10s %8d %12.1f %14v %7d %12d %8d\n",
+				row.BatchEdges, row.Policy, row.Batches, row.NsPerEdge,
+				time.Duration(row.FirstReadNs).Round(time.Microsecond),
+				row.Merges, row.MergeBytes, row.ResidualDelta)
+		}
+	}
+
+	fmt.Printf("  %-8s %14s %14s %8s %12s %12s %8s\n",
+		"batch", "cold", "warm", "speedup", "cold sweeps", "warm sweeps", "oracle")
+	for _, batchEdges := range []int{64, 512, 4096} {
+		row := streamPRRun(base, batchEdges, seed+2)
+		report.PageRank = append(report.PageRank, row)
+		fmt.Printf("  %-8d %14v %14v %7.2fx %12d %12d %8s\n",
+			row.BatchEdges,
+			time.Duration(row.ColdNs).Round(time.Microsecond),
+			time.Duration(row.WarmNs).Round(time.Microsecond),
+			row.Speedup, row.ColdSweeps, row.WarmSweeps,
+			map[bool]string{true: "✓", false: "✗"}[row.OracleOK])
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_streaming.json", append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_streaming.json")
+}

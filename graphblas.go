@@ -43,6 +43,7 @@ import (
 	"graphblas/internal/obs"
 	"graphblas/internal/parallel"
 	"graphblas/internal/setalg"
+	"graphblas/internal/stream"
 )
 
 // --- collections (Section III-A) ---
@@ -82,6 +83,34 @@ func NewMatrix[D any](nrows, ncols int) (*Matrix[D], error) {
 
 // NewVector creates a vector of size n (GrB_Vector_new).
 func NewVector[D any](n int) (*Vector[D], error) { return core.NewVector[D](n) }
+
+// --- streaming graph engine (extension) ---
+
+// UpdateBatch collects edge inserts and deletes for one atomic application
+// via Matrix.ApplyUpdateBatch. Updates dedup last-wins when the batch is
+// sealed; the builder may be reused (Reset) after applying.
+type UpdateBatch[D any] = stream.Batch[D]
+
+// NewUpdateBatch creates an empty update batch.
+func NewUpdateBatch[D any]() *UpdateBatch[D] { return stream.NewBatch[D]() }
+
+// MergePolicy is the size/age policy deciding when a matrix's streamed
+// delta overlay compacts into its main store (Matrix.SetMergePolicy).
+type MergePolicy = stream.Policy
+
+// DefaultMergePolicy bounds the overlay at 32Ki updates or 64 batches.
+func DefaultMergePolicy() MergePolicy { return stream.DefaultPolicy() }
+
+// ManualMerge never compacts automatically; only Matrix.Compact merges.
+func ManualMerge() MergePolicy { return stream.Manual() }
+
+// EagerMerge compacts after every absorbed batch.
+func EagerMerge() MergePolicy { return stream.Eager() }
+
+// Epoch is a snapshot-isolated read view pinned by Matrix.PinEpoch: it keeps
+// serving the matrix content as of the pin while later batches and merges
+// publish new state.
+type Epoch[D any] = stream.Epoch[D]
 
 // --- algebraic objects (Section III-B, Figure 1) ---
 

@@ -1,0 +1,172 @@
+package algorithms
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphblas/internal/core"
+	"graphblas/internal/generate"
+	"graphblas/internal/refalgo"
+	"graphblas/internal/stream"
+)
+
+// mutateGraph applies nUpdates random edge inserts and deletes to an RMAT
+// graph, recording them in a batch and in an edge-map model; it returns the
+// batch and the updated graph rebuilt from the model (deterministic edge
+// order) for the refalgo oracle.
+func mutateGraph(g *generate.Graph, nUpdates int, seed int64) (*stream.Batch[float64], *generate.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	edges := map[[2]int]float64{}
+	for _, e := range g.Edges {
+		edges[[2]int{e.Src, e.Dst}] = e.Weight
+	}
+	b := stream.NewBatch[float64]()
+	for k := 0; k < nUpdates; k++ {
+		if rng.Float64() < 0.25 && len(g.Edges) > 0 {
+			e := g.Edges[rng.Intn(len(g.Edges))]
+			b.Delete(e.Src, e.Dst)
+			delete(edges, [2]int{e.Src, e.Dst})
+		} else {
+			i, j := rng.Intn(g.N), rng.Intn(g.N)
+			if i == j {
+				j = (j + 1) % g.N
+			}
+			b.Insert(i, j, 1)
+			edges[[2]int{i, j}] = 1
+		}
+	}
+	upd := &generate.Graph{N: g.N}
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			if w, ok := edges[[2]int{i, j}]; ok {
+				upd.Edges = append(upd.Edges, generate.Edge{Src: i, Dst: j, Weight: w})
+			}
+		}
+	}
+	return b, upd
+}
+
+// TestPageRankIncremental_AgainstOracle: stream a small batch of updates
+// into a converged graph's adjacency, then warm-start PageRank from the
+// previous rank vector. The result must match a from-scratch refalgo power
+// iteration on the updated graph, in (far) fewer sweeps than a cold start.
+func TestPageRankIncremental_AgainstOracle(t *testing.T) {
+	g := generate.RMAT(8, 8, 4242).Dedup(true)
+	a := floatMatrix(t, g)
+	r0, _, err := PageRank(a, 0.85, 1e-10, 200)
+	if err != nil {
+		t.Fatalf("base PageRank: %v", err)
+	}
+
+	batch, updated := mutateGraph(g, 12, 7)
+	if err := a.ApplyUpdateBatch(batch); err != nil {
+		t.Fatalf("ApplyUpdateBatch: %v", err)
+	}
+
+	want, _ := refalgo.PageRank(refalgo.NewAdjacency(updated), 0.85, 1e-10, 200)
+	rank, warmIters, err := PageRankFrom(a, r0, 0.85, 1e-10, 200)
+	if err != nil {
+		t.Fatalf("PageRankFrom: %v", err)
+	}
+	_, coldIters, err := PageRank(a, 0.85, 1e-10, 200)
+	if err != nil {
+		t.Fatalf("cold PageRank: %v", err)
+	}
+
+	idx, val, _ := rank.ExtractTuples()
+	got := make([]float64, g.N)
+	for k := range idx {
+		got[idx[k]] = val[k]
+	}
+	for v := 0; v < g.N; v++ {
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Errorf("rank[%d]: got %v want %v", v, got[v], want[v])
+		}
+	}
+	if warmIters >= coldIters {
+		t.Errorf("warm start took %d sweeps, cold %d — incremental restart must converge faster", warmIters, coldIters)
+	}
+	t.Logf("sweeps: warm %d vs cold %d", warmIters, coldIters)
+}
+
+// TestStreamedEqualsRebuild_Algorithms: the acceptance-level differential —
+// a graph ingested as streamed batches (absorbed, merged on policy) must be
+// byte-identical to a from-scratch rebuild: same tuples, bit-equal PageRank,
+// identical connected-components labelling.
+func TestStreamedEqualsRebuild_Algorithms(t *testing.T) {
+	base := generate.RMAT(8, 8, 99).Dedup(true)
+	streamed := floatMatrix(t, base)
+	if _, err := streamed.SetMergePolicy(stream.Policy{MaxDeltaNNZ: 40, MaxBatches: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream 16 batches of updates; keep the edge model current.
+	cur := base
+	rng := rand.New(rand.NewSource(555))
+	for round := 0; round < 16; round++ {
+		batch, next := mutateGraph(cur, 20, rng.Int63())
+		if err := streamed.ApplyUpdateBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	if err := core.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt := floatMatrix(t, cur)
+
+	si, sj, sv, err := streamed.ExtractTuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, rj, rv, err := rebuilt.ExtractTuples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(si) != len(ri) {
+		t.Fatalf("nnz: streamed %d, rebuilt %d", len(si), len(ri))
+	}
+	for k := range si {
+		if si[k] != ri[k] || sj[k] != rj[k] || sv[k] != rv[k] {
+			t.Fatalf("tuple %d differs: (%d,%d,%v) vs (%d,%d,%v)", k, si[k], sj[k], sv[k], ri[k], rj[k], rv[k])
+		}
+	}
+
+	// Bit-equal PageRank: same algorithm over byte-identical inputs.
+	pr1, it1, err := PageRank(streamed, 0.85, 1e-9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2, it2, err := PageRank(rebuilt, 0.85, 1e-9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it1 != it2 {
+		t.Fatalf("PageRank sweeps differ: %d vs %d", it1, it2)
+	}
+	i1, v1, _ := pr1.ExtractTuples()
+	i2, v2, _ := pr2.ExtractTuples()
+	if len(i1) != len(i2) {
+		t.Fatalf("PageRank nvals differ: %d vs %d", len(i1), len(i2))
+	}
+	for k := range i1 {
+		if i1[k] != i2[k] || v1[k] != v2[k] {
+			t.Fatalf("PageRank[%d]: (%d,%v) vs (%d,%v) — must be bit-equal", k, i1[k], v1[k], i2[k], v2[k])
+		}
+	}
+
+	// Identical connected components on the merged edge set.
+	want := refalgo.ConnectedComponents(cur)
+	gGot := &generate.Graph{N: cur.N}
+	for k := range si {
+		gGot.Edges = append(gGot.Edges, generate.Edge{Src: si[k], Dst: sj[k], Weight: sv[k]})
+	}
+	got := refalgo.ConnectedComponents(gGot)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("CC label[%d]: %d vs %d", v, got[v], want[v])
+		}
+	}
+}

@@ -20,6 +20,18 @@ import (
 // drops below tol or after maxIter sweeps; the achieved sweep count is
 // returned.
 func PageRank(a *core.Matrix[float64], damping, tol float64, maxIter int) (*core.Vector[float64], int, error) {
+	return PageRankFrom(a, nil, damping, tol, maxIter)
+}
+
+// PageRankFrom is PageRank with a warm start: iteration resumes from the
+// given rank vector instead of the uniform distribution. This is the
+// incremental recomputation path of the streaming engine — after a batch of
+// edge updates lands, restarting power iteration from the previous graph's
+// converged ranks reaches the updated fixed point in a handful of sweeps,
+// because a small perturbation of the graph moves the fixed point only
+// slightly. start must be a dense vector of length NRows(a) (typically a
+// previous PageRank result); nil start means the cold uniform start.
+func PageRankFrom(a *core.Matrix[float64], start *core.Vector[float64], damping, tol float64, maxIter int) (*core.Vector[float64], int, error) {
 	n, err := a.NRows()
 	if err != nil {
 		return nil, 0, err
@@ -45,7 +57,11 @@ func PageRank(a *core.Matrix[float64], damping, tol float64, maxIter int) (*core
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := core.AssignVectorScalar(rank, core.NoMaskV, core.NoAccum[float64](), 1/float64(n), core.All, nil); err != nil {
+	if start != nil {
+		if err := core.AssignVector(rank, core.NoMaskV, core.NoAccum[float64](), start, core.All, nil); err != nil {
+			return nil, 0, err
+		}
+	} else if err := core.AssignVectorScalar(rank, core.NoMaskV, core.NoAccum[float64](), 1/float64(n), core.All, nil); err != nil {
 		return nil, 0, err
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"graphblas/internal/format"
 	"graphblas/internal/sparse"
+	"graphblas/internal/stream"
 )
 
 // Matrix is the opaque GraphBLAS matrix A = ⟨D, M, N, {(i, j, A_ij)}⟩ of
@@ -37,6 +38,20 @@ type Matrix[D any] struct {
 	forced format.Kind
 	bcache *format.Bitmap[D]
 	hcache *format.Hyper[D]
+
+	// Streaming engine state. delta is the hypersparse overlay of absorbed
+	// update batches layered over data; mcache is the lazily built merged
+	// (data ⊕ delta) view readers consume while the overlay is live; deltaAge
+	// counts batches absorbed since the last compaction and spolicy decides
+	// when delta folds into data; epochID advances with every published
+	// compaction, giving pinned epochs their identity. All guarded by mu,
+	// and — like data — immutable once installed, so snapshots and pinned
+	// epochs stay valid across later publications.
+	delta    *format.HyperDelta[D]
+	mcache   *sparse.CSR[D]
+	deltaAge int
+	epochID  uint64
+	spolicy  stream.Policy
 }
 
 // NewMatrix creates an nrows-by-ncols matrix (GrB_Matrix_new). Both
@@ -59,6 +74,7 @@ func NewMatrix[D any](nrows, ncols int) (*Matrix[D], error) {
 func (m *Matrix[D]) initMatrix() {
 	m.initObj()
 	m.snapshot = m.snapshotState
+	m.spolicy = stream.DefaultPolicy()
 }
 
 // snapshotState captures the committed store — the pointers to the CSR,
@@ -68,11 +84,13 @@ func (m *Matrix[D]) initMatrix() {
 func (m *Matrix[D]) snapshotState() func() {
 	m.mu.Lock()
 	data, tcache, bcache, hcache := m.data, m.tcache, m.bcache, m.hcache
+	delta, mcache, deltaAge, epochID := m.delta, m.mcache, m.deltaAge, m.epochID
 	pending := append([]sparse.Tuple[D](nil), m.pending...)
 	m.mu.Unlock()
 	return func() {
 		m.mu.Lock()
 		m.data, m.tcache, m.bcache, m.hcache = data, tcache, bcache, hcache
+		m.delta, m.mcache, m.deltaAge, m.epochID = delta, mcache, deltaAge, epochID
 		m.pending = pending
 		m.mu.Unlock()
 	}
@@ -88,6 +106,11 @@ func (m *Matrix[D]) setData(d *sparse.CSR[D]) {
 	m.tcache = nil
 	m.bcache = nil
 	m.hcache = nil
+	// A whole-object overwrite supersedes any streamed-but-uncompacted
+	// updates; keeping the overlay would double-apply them to the new store.
+	m.delta = nil
+	m.mcache = nil
+	m.deltaAge = 0
 	m.mu.Unlock()
 }
 
@@ -102,6 +125,9 @@ func (m *Matrix[D]) setDataBitmap(b *format.Bitmap[D]) {
 	m.pending = nil
 	m.tcache = nil
 	m.hcache = nil
+	m.delta = nil
+	m.mcache = nil
+	m.deltaAge = 0
 	m.mu.Unlock()
 }
 
@@ -115,9 +141,21 @@ func (m *Matrix[D]) materializeLocked() {
 }
 
 // flushPendingLocked merges buffered point updates into the storage; the
-// caller holds m.mu.
+// caller holds m.mu. While a streaming overlay is live the updates fold into
+// it instead of the main store — they were enqueued after the batches that
+// built it, so layering them on top preserves program order, and the main
+// store stays untouched for pinned epochs and the merge policy.
 func (m *Matrix[D]) flushPendingLocked() {
 	if len(m.pending) == 0 {
+		return
+	}
+	if m.delta != nil {
+		m.delta = format.MergeDeltas(m.delta, format.DeltaFromTuples(m.nr, m.nc, m.pending))
+		m.pending = nil
+		m.mcache = nil
+		m.tcache = nil
+		m.bcache = nil
+		m.hcache = nil
 		return
 	}
 	m.materializeLocked()
@@ -128,9 +166,30 @@ func (m *Matrix[D]) flushPendingLocked() {
 	m.hcache = nil
 }
 
+// viewLocked returns the CSR content readers must see: the main store
+// overlaid with the streaming delta. The merged form is cached in mcache
+// until the next mutation; the main store itself is NOT compacted here —
+// reads must not perturb the merge policy's accounting or the epoch
+// protocol. The caller holds m.mu.
+func (m *Matrix[D]) viewLocked() *sparse.CSR[D] {
+	m.flushPendingLocked()
+	m.materializeLocked()
+	if m.delta == nil {
+		return m.data
+	}
+	if m.mcache == nil {
+		m.mcache = format.MergeDeltaCSR(m.data, m.delta)
+		fmtConversions.Add(1)
+	}
+	return m.mcache
+}
+
 // nnzLocked reports the stored-element count from whichever form is
 // resident; the caller holds m.mu with pending already flushed.
 func (m *Matrix[D]) nnzLocked() int {
+	if m.delta != nil {
+		return m.viewLocked().NNZ()
+	}
 	if m.data != nil {
 		return m.data.NNZ()
 	}
@@ -140,15 +199,13 @@ func (m *Matrix[D]) nnzLocked() int {
 	return 0
 }
 
-// mdat returns the up-to-date CSR storage, merging any buffered point
-// updates and converting out of a bitmap-primary state first. Safe for
-// concurrent readers.
+// mdat returns the up-to-date CSR view, merging any buffered point updates,
+// converting out of a bitmap-primary state, and overlaying the streaming
+// delta. Safe for concurrent readers.
 func (m *Matrix[D]) mdat() *sparse.CSR[D] {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.flushPendingLocked()
-	m.materializeLocked()
-	return m.data
+	return m.viewLocked()
 }
 
 // transposed returns (computing and caching on first use) the CSR form of
@@ -156,10 +213,9 @@ func (m *Matrix[D]) mdat() *sparse.CSR[D] {
 func (m *Matrix[D]) transposed() *sparse.CSR[D] {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.flushPendingLocked()
-	m.materializeLocked()
+	d := m.viewLocked()
 	if m.tcache == nil {
-		m.tcache = m.data.Transpose()
+		m.tcache = d.Transpose()
 	}
 	return m.tcache
 }
@@ -184,8 +240,7 @@ func (m *Matrix[D]) bitmapForRead(hint format.OpHint) *format.Bitmap[D] {
 		return nil
 	}
 	if m.bcache == nil {
-		m.materializeLocked()
-		m.bcache = format.BitmapFromCSR(m.data)
+		m.bcache = format.BitmapFromCSR(m.viewLocked())
 		fmtConversions.Add(1)
 	}
 	return m.bcache
@@ -204,8 +259,7 @@ func (m *Matrix[D]) hyperForRead(hint format.OpHint) *format.Hyper[D] {
 		return nil
 	}
 	if m.hcache == nil {
-		m.materializeLocked()
-		m.hcache = format.HyperFromCSR(m.data)
+		m.hcache = format.HyperFromCSR(m.viewLocked())
 		fmtConversions.Add(1)
 	}
 	return m.hcache
@@ -327,6 +381,9 @@ func (m *Matrix[D]) Dup() (*Matrix[D], error) {
 	}
 	w := &Matrix[D]{nr: m.nr, nc: m.nc, data: sparse.NewCSR[D](m.nr, m.nc), forced: m.forced}
 	w.initMatrix()
+	m.mu.Lock()
+	w.spolicy = m.spolicy
+	m.mu.Unlock()
 	err := enqueue("Matrix.Dup", &w.obj, []*obj{&m.obj}, true, func() error {
 		w.setData(m.mdat().Clone())
 		return nil
@@ -495,5 +552,7 @@ func (m *Matrix[D]) Free() error {
 	m.tcache = nil
 	m.bcache = nil
 	m.hcache = nil
+	m.delta = nil
+	m.mcache = nil
 	return nil
 }

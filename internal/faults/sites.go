@@ -29,4 +29,9 @@ var KernelSites = []string{
 	"format.alloc.hyper",
 	"format.alloc.bitmap",
 	"format.alloc.csr",
+
+	// internal/stream ingestion kernels and governor gate.
+	"stream.kernel.absorb",
+	"stream.kernel.merge",
+	"stream.alloc.delta",
 }

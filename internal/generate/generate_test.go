@@ -222,3 +222,26 @@ func TestMatrixMarketErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestMatrixMarketTrailingEntries(t *testing.T) {
+	// Entries beyond the declared nnz were silently dropped (the read loop
+	// stopped consuming at the count); they must be an error.
+	for i, in := range []string{
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n2 2 2.5\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n\n% note\n2 2 2.5\n",
+	} {
+		if _, _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil ||
+			!strings.Contains(err.Error(), "trailing entry") {
+			t.Fatalf("case %d: trailing-entry error expected, got %v", i, err)
+		}
+	}
+	// Trailing blanks and comments alone stay legal.
+	in := "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n\n% trailing comment\n"
+	g, h, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("trailing comment rejected: %v", err)
+	}
+	if h.NNZ != 1 || len(g.Edges) != 1 {
+		t.Fatalf("got nnz %d edges %d", h.NNZ, len(g.Edges))
+	}
+}

@@ -84,7 +84,10 @@ func ReadMatrixMarket(r io.Reader) (*Graph, *MMHeader, error) {
 	}
 	g := &Graph{N: n, Edges: make([]Edge, 0, prealloc)}
 	read := 0
-	for sc.Scan() && read < h.NNZ {
+	// Condition order matters: testing read first means the scanner stops
+	// exactly at the declared count instead of consuming (and discarding)
+	// the line after it.
+	for read < h.NNZ && sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
@@ -124,6 +127,18 @@ func ReadMatrixMarket(r io.Reader) (*Graph, *MMHeader, error) {
 	}
 	if read != h.NNZ {
 		return nil, nil, fmt.Errorf("mmio: expected %d entries, found %d", h.NNZ, read)
+	}
+	// Data lines beyond the declared count mean the header undercounts;
+	// silently dropping them would truncate the graph.
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return nil, nil, fmt.Errorf("mmio: trailing entry %q after the declared %d", line, h.NNZ)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("mmio: %w", err)
 	}
 	return g, h, nil
 }

@@ -55,6 +55,20 @@ var (
 	FormatConversions = NewCounter("graphblas_format_conversions_total",
 		"Materializations of an alternate layout from the committed CSR store.")
 
+	// Streaming engine (internal/stream ingestion through core's queue).
+	StreamBatches = NewCounter("graphblas_stream_batches_total",
+		"Sealed update batches absorbed into a matrix's hypersparse delta overlay.")
+	StreamEdges = NewCounter("graphblas_stream_edge_updates_total",
+		"Edge inserts and deletes absorbed, counted after last-wins batch dedup.")
+	StreamDeltaNNZ = NewGauge("graphblas_stream_delta_entries",
+		"Updates resident in the most recently mutated matrix's delta overlay.")
+	StreamMerges = NewCounter("graphblas_stream_merges_total",
+		"Delta-to-main compactions published, policy-triggered or explicit.")
+	StreamMergeBytes = NewCounter("graphblas_stream_merge_bytes_total",
+		"Bytes of fresh main-store CSR written by delta-to-main compactions.")
+	StreamEpochs = NewCounter("graphblas_stream_epochs_total",
+		"Epoch publications across all matrices, one per compaction.")
+
 	// Fault recovery.
 	KernelRetries = NewCounter("graphblas_kernel_retries_total",
 		"Fast-path kernel failures recovered by re-running on the generic CSR path.")

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"graphblas/internal/format"
+	"graphblas/internal/sparse"
+)
+
+// Epoch is a snapshot-isolated read view: an immutable (main, delta) pair
+// pinned at a point in the matrix's update sequence. The engine's stores are
+// immutable once installed — absorption and compaction always publish fresh
+// structures — so a pinned epoch keeps reading the exact content it was
+// taken against, unaffected by later batches or merges, without copying
+// anything. This is the read-side primitive a serving layer needs: queries
+// run against a pinned epoch while ingestion publishes new ones.
+type Epoch[D any] struct {
+	id    uint64
+	main  *sparse.CSR[D]
+	delta *format.HyperDelta[D]
+	nvals int
+}
+
+// NewEpoch pins an epoch over the given stores. Both pointers must be
+// treated as immutable by the caller (the engine guarantees this for its
+// committed stores).
+func NewEpoch[D any](id uint64, main *sparse.CSR[D], delta *format.HyperDelta[D]) *Epoch[D] {
+	e := &Epoch[D]{id: id, main: main, delta: delta, nvals: main.NNZ()}
+	// Count the overlay's net effect once, up front, so the Epoch itself is
+	// immutable and safe for concurrent readers.
+	for k := range e.deltaRows() {
+		idx, _, del := delta.RowAt(k)
+		for p, j := range idx {
+			_, inMain := main.Get(delta.Rows[k], j)
+			switch {
+			case del[p] && inMain:
+				e.nvals--
+			case !del[p] && !inMain && delta.Rows[k] < main.NRows && j < main.NCols:
+				e.nvals++
+			}
+		}
+	}
+	return e
+}
+
+// deltaRows returns a range-able slice of overlay row ordinals.
+func (e *Epoch[D]) deltaRows() []int {
+	if e.delta == nil {
+		return nil
+	}
+	return e.delta.Rows
+}
+
+// ID is the compaction epoch the snapshot was pinned in: it advances each
+// time a merge publishes a new main store.
+func (e *Epoch[D]) ID() uint64 { return e.id }
+
+// Dims reports the snapshot's logical dimensions.
+func (e *Epoch[D]) Dims() (int, int) { return e.main.NRows, e.main.NCols }
+
+// NVals reports the stored-element count of the snapshot view.
+func (e *Epoch[D]) NVals() int { return e.nvals }
+
+// DeltaNVals reports how many updates the pinned overlay holds — zero means
+// the snapshot is fully compacted.
+func (e *Epoch[D]) DeltaNVals() int { return e.delta.NNZ() }
+
+// Get reads (i, j) through the overlay: a delta insert shadows the main
+// store, a tombstone hides it.
+func (e *Epoch[D]) Get(i, j int) (D, bool) {
+	var zero D
+	if i < 0 || i >= e.main.NRows || j < 0 || j >= e.main.NCols {
+		return zero, false
+	}
+	if v, del, ok := e.delta.Lookup(i, j); ok {
+		if del {
+			return zero, false
+		}
+		return v, true
+	}
+	return e.main.Get(i, j)
+}
+
+// Tuples returns the merged (row, col, value) triples of the snapshot in
+// row-major order.
+func (e *Epoch[D]) Tuples() ([]int, []int, []D) {
+	return format.MergeDeltaCSR(e.main, e.delta).Tuples()
+}

@@ -1,0 +1,118 @@
+// Package stream is the streaming-graph ingestion layer: continuous edge
+// insert/delete batches absorbed as hypersparse delta matrices layered over
+// a matrix's main store, compacted on a size/age policy — the design of the
+// "Parallel Hypersparse, Matrix Based Graph Streaming" line of work, carried
+// out inside this engine's nonblocking machinery rather than beside it. The
+// package owns the passive pieces (batch builder, DCSR absorb and merge
+// kernels, policy, pinned epochs); internal/core enqueues them as hazard-
+// ordered writer nodes and snapshots around them, so a batch is atomic and
+// ordered exactly like any other GraphBLAS operation.
+package stream
+
+import (
+	"fmt"
+
+	"graphblas/internal/faults"
+	"graphblas/internal/format"
+	"graphblas/internal/obs"
+	"graphblas/internal/sparse"
+)
+
+// Batch is an UpdateBatch builder: a program-ordered log of edge inserts and
+// deletes destined for one atomic application. The builder is plain mutable
+// state for a single producer goroutine; Seal copies it into an immutable
+// overlay, so the producer may keep appending (or Reset and reuse the
+// backing array) after handing a sealed batch to the engine.
+type Batch[D any] struct {
+	ops []sparse.Tuple[D]
+}
+
+// NewBatch creates an empty update batch.
+func NewBatch[D any]() *Batch[D] { return &Batch[D]{} }
+
+// Insert records an edge insert (or overwrite) at (i, j).
+func (b *Batch[D]) Insert(i, j int, v D) {
+	b.ops = append(b.ops, sparse.Tuple[D]{I: i, J: j, V: v})
+}
+
+// Delete records an edge deletion at (i, j). Deleting an absent edge is a
+// no-op when the batch is applied.
+func (b *Batch[D]) Delete(i, j int) {
+	b.ops = append(b.ops, sparse.Tuple[D]{I: i, J: j, Del: true})
+}
+
+// Len reports the number of recorded updates (before dedup).
+func (b *Batch[D]) Len() int { return len(b.ops) }
+
+// Reset empties the builder, keeping the backing array for reuse.
+func (b *Batch[D]) Reset() { b.ops = b.ops[:0] }
+
+// Seal validates the batch against the target dimensions and freezes it into
+// a hypersparse overlay with last-wins dedup (the final update to each
+// position survives, exactly like a pending-tuple flush). The builder is
+// left untouched.
+func (b *Batch[D]) Seal(nrows, ncols int) (*format.HyperDelta[D], error) {
+	for _, t := range b.ops {
+		if t.I < 0 || t.I >= nrows || t.J < 0 || t.J >= ncols {
+			return nil, fmt.Errorf("stream: update (%d,%d) out of range %dx%d", t.I, t.J, nrows, ncols)
+		}
+	}
+	return format.DeltaFromTuples(nrows, ncols, b.ops), nil
+}
+
+// Absorb layers a sealed batch over the current overlay (add wins where both
+// touch a position) and returns the combined overlay. This is the streaming
+// engine's ingestion kernel: it draws a fault site and charges the governor
+// for the retained overlay, so the executor's snapshot/rollback machinery
+// covers a mid-absorption failure like any other kernel fault.
+func Absorb[D any](old, add *format.HyperDelta[D]) *format.HyperDelta[D] {
+	faults.Step("stream.kernel.absorb")
+	faults.GovernAlloc("stream.alloc.delta", old.ApproxBytes()+add.ApproxBytes())
+	done := obs.KernelStart("stream.absorb")
+	merged := format.MergeDeltas(old, add)
+	done(merged.NNZ())
+	return merged
+}
+
+// Compact merges the overlay into the main store (inserts land, tombstones
+// drop their targets) and returns the fresh CSR. Like Absorb it is a fault-
+// site-drawing kernel, run under the executor's transactional snapshot.
+func Compact[D any](main *sparse.CSR[D], delta *format.HyperDelta[D]) *sparse.CSR[D] {
+	faults.Step("stream.kernel.merge")
+	done := obs.KernelStart("stream.merge")
+	out := format.MergeDeltaCSR(main, delta)
+	done(out.NNZ())
+	return out
+}
+
+// Policy is the size/age merge policy deciding when an absorbed overlay is
+// compacted into the main store. Zero values disable the corresponding
+// trigger; the zero Policy never compacts automatically (manual mode).
+type Policy struct {
+	// MaxDeltaNNZ compacts once the overlay holds this many updates —
+	// bounding the per-read merge cost that every consumer of the matrix's
+	// view pays while the overlay is live.
+	MaxDeltaNNZ int
+	// MaxBatches compacts after this many absorbed batches — bounding
+	// staleness of the compacted store independently of update volume.
+	MaxBatches int
+}
+
+// DefaultPolicy bounds the overlay at 32Ki updates or 64 batches, whichever
+// comes first.
+func DefaultPolicy() Policy { return Policy{MaxDeltaNNZ: 1 << 15, MaxBatches: 64} }
+
+// Manual never compacts automatically; only an explicit Compact merges.
+func Manual() Policy { return Policy{} }
+
+// Eager compacts after every absorbed batch — the delta store degenerates to
+// a staging buffer, trading ingest throughput for zero read-side merge cost.
+func Eager() Policy { return Policy{MaxBatches: 1} }
+
+// Due reports whether the policy calls for compaction given the overlay's
+// current update count and the number of batches absorbed since the last
+// compaction.
+func (p Policy) Due(deltaNNZ, batches int) bool {
+	return (p.MaxDeltaNNZ > 0 && deltaNNZ >= p.MaxDeltaNNZ) ||
+		(p.MaxBatches > 0 && batches >= p.MaxBatches)
+}
