@@ -15,6 +15,9 @@
 // STREAM sweeps the streaming graph engine (batched edge updates across
 // merge policies, plus incremental vs from-scratch PageRank) and writes
 // BENCH_streaming.json.
+// SERVE drives the grbserve stack with the seeded load generator under four
+// regimes (nominal, overload, tight deadlines, injected faults) and writes
+// BENCH_serving.json.
 package main
 
 import (
@@ -28,13 +31,17 @@ import (
 	"graphblas"
 )
 
+// serveRequests is the -requests flag: per-row query count of the SERVE sweep.
+var serveRequests int
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E7B E8 DAG STREAM or all")
+	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E7B E8 DAG STREAM SERVE or all")
 	scale := flag.Int("scale", 11, "RMAT scale for the workload experiments")
 	ef := flag.Int("ef", 8, "RMAT edge factor")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	sched := flag.String("sched", "dag", "nonblocking flush scheduler: dag or sequential")
 	metrics := flag.Bool("metrics", false, "trace the run and dump the engine metrics registry (Prometheus text) after the experiments")
+	flag.IntVar(&serveRequests, "requests", 400, "SERVE: query requests per load-regime row")
 	flag.Parse()
 
 	if err := graphblas.Init(graphblas.NonBlocking); err != nil {
@@ -64,9 +71,9 @@ func main() {
 
 	run := map[string]func(scale, ef int, seed uint64){
 		"E1": runE1, "E2": runE2, "E3": runE3, "E5": runE5, "E6": runE6, "E7B": runE7b, "E8": runE8,
-		"DAG": runDag, "STREAM": runStream,
+		"DAG": runDag, "STREAM": runStream, "SERVE": runServe,
 	}
-	ids := []string{"E1", "E2", "E3", "E5", "E6", "E7B", "E8", "DAG", "STREAM"}
+	ids := []string{"E1", "E2", "E3", "E5", "E6", "E7B", "E8", "DAG", "STREAM", "SERVE"}
 	want := strings.ToUpper(*exp)
 	matched := false
 	for _, id := range ids {

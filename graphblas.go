@@ -35,6 +35,7 @@
 package graphblas
 
 import (
+	"context"
 	"io"
 
 	"graphblas/internal/core"
@@ -229,6 +230,15 @@ func Finalize() error { return core.Finalize() }
 // (GrB_wait).
 func Wait() error { return core.Wait() }
 
+// WaitContext is Wait bounded by a context (extension). When ctx is canceled
+// or its deadline expires mid-flush, operations not yet dispatched are
+// abandoned with a Canceled error — their outputs become invalid but
+// restorable, like after any execution error — while kernels already running
+// finish. Cancellation is flush-scoped: the engine has one shared queue, so a
+// deadline expiring in one goroutine's WaitContext abandons whatever deferred
+// work is in the flush, not only the caller's. A nil ctx is identical to Wait.
+func WaitContext(ctx context.Context) error { return core.WaitContext(ctx) }
+
 // ResetForTesting restores a pristine context; not part of the paper's API.
 func ResetForTesting() { core.ResetForTesting() }
 
@@ -279,6 +289,7 @@ const (
 	IndexOutOfBounds     = core.IndexOutOfBounds
 	InvalidObject        = core.InvalidObject
 	PanicInfo            = core.PanicInfo
+	Canceled             = core.Canceled
 )
 
 // InfoOf extracts the status code from an error (Success for nil).

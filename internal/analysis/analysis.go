@@ -96,6 +96,7 @@ func NewSuite() []*Analyzer {
 		NewFaultSite(),
 		NewSpanLife(),
 		NewAtomicMix(),
+		NewCtxFlow(),
 	}
 }
 

@@ -1,0 +1,158 @@
+package analysis
+
+// ctxflow enforces the serving layer's deadline-plumbing contract: a function
+// that accepts a context.Context has promised its caller cancellability, so
+// the blocking engine entry points it calls must thread that context.
+//
+// Three shapes are flagged inside context-bearing functions:
+//
+//   - a package-level Wait() call — the context-blind flush; WaitContext(ctx)
+//     is the drop-in replacement;
+//   - WaitContext(context.Background()) or WaitContext(context.TODO()) — the
+//     plumbing exists but a fresh context severs it from the caller's
+//     deadline;
+//   - a blocking method call (Wait, Compact, PinEpoch — each forces a flush
+//     with no context of its own) in a function whose ctx parameter is never
+//     otherwise consulted: the signature promises cancellability the body
+//     ignores entirely. When ctx is consulted somewhere (a WaitContext(ctx)
+//     checkpoint, a ctx.Err() poll, passing it onward), the method calls are
+//     accepted — Compact and PinEpoch have no context-taking variants, and
+//     checkpointing around them is exactly the pattern the serve layer uses.
+//
+// A function whose context parameter is the blank identifier is skipped: the
+// signature documents that cancellation is deliberately not honored there.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxflowBlockingMethods are methods that force a context-blind flush.
+var ctxflowBlockingMethods = map[string]bool{"Wait": true, "Compact": true, "PinEpoch": true}
+
+// ctxflowEnginePkgs are the packages whose entry points block on the global
+// flush. "graphblas" is the facade re-export of core's Wait/WaitContext.
+var ctxflowEnginePkgs = map[string]bool{"core": true, "graphblas": true}
+
+// NewCtxFlow returns a fresh ctxflow analyzer.
+func NewCtxFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "flags context-bearing functions that call blocking engine entry points without threading the context",
+	}
+	a.Run = func(pass *Pass) error {
+		if !engineScope(pass.Pkg) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						checkCtxFlow(pass, fn.Type, fn.Body)
+					}
+				case *ast.FuncLit:
+					checkCtxFlow(pass, fn.Type, fn.Body)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// ctxParam returns the declared context.Context parameter object, reporting
+// blank=true when the parameter exists but is the blank identifier.
+func ctxParam(info *types.Info, ft *ast.FuncType) (obj types.Object, blank bool) {
+	if ft.Params == nil {
+		return nil, false
+	}
+	for _, field := range ft.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil || t.String() != "context.Context" {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return nil, true // unnamed: unusable, same intent as blank
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				blank = true
+				continue
+			}
+			if def := info.Defs[name]; def != nil {
+				return def, false
+			}
+		}
+		return nil, blank
+	}
+	return nil, false
+}
+
+// isFreshContext reports whether e is context.Background() or context.TODO().
+func isFreshContext(info *types.Info, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	pkg, name, ok := calleePkgFunc(info, call)
+	return ok && pkg == "context" && (name == "Background" || name == "TODO")
+}
+
+// checkCtxFlow analyzes one context-bearing function body. Nested function
+// literals are skipped — they are visited as their own functions with their
+// own (possibly absent) context parameters.
+func checkCtxFlow(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	ctx, blank := ctxParam(pass.TypesInfo, ft)
+	if ctx == nil || blank {
+		return
+	}
+
+	// First pass: is ctx consulted anywhere in this body?
+	ctxUsed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctx {
+			ctxUsed = true
+		}
+		return !ctxUsed
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := calleePkgFunc(pass.TypesInfo, call); ok && ctxflowEnginePkgs[pkg] {
+			switch name {
+			case "Wait":
+				pass.Reportf(call.Pos(), "blocking %s.Wait inside a context-bearing function; thread the deadline with %s.WaitContext(%s)", pkg, pkg, ctx.Name())
+			case "WaitContext":
+				if len(call.Args) == 1 && isFreshContext(pass.TypesInfo, call.Args[0]) {
+					pass.Reportf(call.Pos(), "%s.WaitContext called with a fresh context; pass the caller's %s so its deadline reaches the flush", pkg, ctx.Name())
+				}
+			}
+			return true
+		}
+		// Method form: m.Wait() / m.Compact() / m.PinEpoch() force a flush
+		// with no context of their own.
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !ctxflowBlockingMethods[sel.Sel.Name] {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !ctxflowEnginePkgs[fn.Pkg().Name()] {
+			return true
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv == nil {
+			return true
+		}
+		if !ctxUsed {
+			pass.Reportf(call.Pos(), "blocking %s forces a context-blind flush and %s is never consulted in this function; checkpoint with WaitContext(%s) or poll %s.Err()", sel.Sel.Name, ctx.Name(), ctx.Name(), ctx.Name())
+		}
+		return true
+	})
+}

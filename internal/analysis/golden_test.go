@@ -26,3 +26,7 @@ func TestSpanLifeGolden(t *testing.T) {
 func TestAtomicMixGolden(t *testing.T) {
 	RunGolden(t, "atomicmix", NewAtomicMix())
 }
+
+func TestCtxFlowGolden(t *testing.T) {
+	RunGolden(t, "ctxflow", NewCtxFlow())
+}

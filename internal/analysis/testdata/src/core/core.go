@@ -1,0 +1,27 @@
+// Package core is a shape-stub of graphblas/internal/core for the ctxflow
+// golden tests: the analyzer matches the blocking entry points by package and
+// function/method name.
+package core
+
+import "context"
+
+// Matrix mirrors the engine matrix's blocking surface.
+type Matrix struct{}
+
+// Wait forces a context-blind flush.
+func (m *Matrix) Wait() error { return nil }
+
+// Compact forces a context-blind flush.
+func (m *Matrix) Compact() error { return nil }
+
+// PinEpoch forces a context-blind flush.
+func (m *Matrix) PinEpoch() (int, error) { return 0, nil }
+
+// NVals is a non-blocking read (not in the analyzer's method set).
+func (m *Matrix) NVals() (int, error) { return 0, nil }
+
+// Wait is the global context-blind flush.
+func Wait() error { return nil }
+
+// WaitContext is the context-threading flush.
+func WaitContext(ctx context.Context) error { _ = ctx; return nil }

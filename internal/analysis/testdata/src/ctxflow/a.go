@@ -1,0 +1,101 @@
+// Package ctxflow holds the golden cases for the ctxflow analyzer: a
+// function that accepts a context.Context must thread it into the blocking
+// engine entry points it calls.
+package ctxflow
+
+import (
+	"context"
+	"core"
+)
+
+// pkgWaitBad promises cancellability and then flushes context-blind: the
+// caller's deadline can never reach the scheduler.
+func pkgWaitBad(ctx context.Context, m *core.Matrix) error {
+	_ = ctx
+	return core.Wait() // want `blocking core\.Wait inside a context-bearing function`
+}
+
+// freshCtxBad has the plumbing but severs it with a fresh context.
+func freshCtxBad(ctx context.Context) error {
+	return core.WaitContext(context.Background()) // want `WaitContext called with a fresh context`
+}
+
+// todoCtxBad is the same severing via TODO.
+func todoCtxBad(ctx context.Context) error {
+	if err := core.WaitContext(context.TODO()); err != nil { // want `WaitContext called with a fresh context`
+		return err
+	}
+	return core.WaitContext(ctx)
+}
+
+// methodBad accepts a context it never consults while calling blocking
+// methods — the signature's promise is ignored wholesale.
+func methodBad(ctx context.Context, m *core.Matrix) error {
+	if err := m.Compact(); err != nil { // want `blocking Compact forces a context-blind flush`
+		return err
+	}
+	return m.Wait() // want `blocking Wait forces a context-blind flush`
+}
+
+// checkpointGood brackets the blocking method with a context-aware flush:
+// Compact has no context-taking variant, so this is the accepted pattern.
+func checkpointGood(ctx context.Context, m *core.Matrix) error {
+	if err := m.Compact(); err != nil {
+		return err
+	}
+	return core.WaitContext(ctx)
+}
+
+// pollGood consults the deadline explicitly before pinning.
+func pollGood(ctx context.Context, m *core.Matrix) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	_, err := m.PinEpoch()
+	return err
+}
+
+// passOnGood hands the context to a helper; the promise is delegated.
+func passOnGood(ctx context.Context, m *core.Matrix) error {
+	if err := checkpointGood(ctx, m); err != nil {
+		return err
+	}
+	return m.Wait()
+}
+
+// noCtx made no promise: context-blind blocking is its contract.
+func noCtx(m *core.Matrix) error {
+	if err := m.Compact(); err != nil {
+		return err
+	}
+	return core.Wait()
+}
+
+// blankCtx documents that cancellation is deliberately not honored.
+func blankCtx(_ context.Context, m *core.Matrix) error {
+	return m.Wait()
+}
+
+// nonBlockingGood reads without flushing; nothing to thread.
+func nonBlockingGood(ctx context.Context, m *core.Matrix) (int, error) {
+	_ = ctx
+	return m.NVals()
+}
+
+// litScoped: the literal has no context parameter of its own, so it is
+// judged separately from the enclosing context-bearing function.
+func litScoped(ctx context.Context, m *core.Matrix) error {
+	run := func() error { return core.Wait() }
+	if err := run(); err != nil {
+		return err
+	}
+	return core.WaitContext(ctx)
+}
+
+// litBad: a context-bearing literal is held to the same contract.
+func litBad(m *core.Matrix) func(context.Context) error {
+	return func(ctx context.Context) error {
+		_ = ctx
+		return core.Wait() // want `blocking core\.Wait inside a context-bearing function`
+	}
+}

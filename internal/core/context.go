@@ -1,6 +1,7 @@
 package core
 
 import (
+	stdctx "context"
 	"sync"
 	"sync/atomic"
 
@@ -213,7 +214,7 @@ func Finalize() error {
 		return errf(UninitializedContext, "Finalize", "context not initialized")
 	}
 	obs.Flushes.Inc()
-	err := flushLocked()
+	err := flushLocked(nil)
 	global.state = stateFinalized
 	return err
 }
@@ -335,14 +336,34 @@ func checkActive(op string) error {
 // Wait terminates the current sequence (GrB_wait): all pending operations
 // complete, and the first execution error encountered in the sequence, if
 // any, is returned.
-func Wait() error {
+func Wait() error { return WaitContext(nil) }
+
+// WaitContext is Wait bounded by a caller context (extension): the flush
+// honors ctx's deadline and cancellation. Operations already executing when
+// ctx fires run to completion — a kernel is never interrupted mid-write — but
+// operations not yet dispatched are abandoned with a Canceled execution
+// error: they land in the sequence error log in program order, their output
+// objects become invalid-but-restorable (a later full overwrite
+// rehabilitates them, exactly as after a kernel failure), and the
+// program-order-first error of the sequence is returned.
+//
+// The queue is shared by every goroutine enqueueing against this context
+// (the paper has one context per program), so cancellation is flush-scoped,
+// not caller-scoped: a deadline expiring here may abandon operations another
+// goroutine enqueued. Callers interleaving sequences under deadlines should
+// treat a Canceled/InvalidObject result as transient and rebuild their
+// outputs — the serving layer's retry machinery does exactly that.
+//
+// A nil ctx (or one that can never be canceled) makes this identical to
+// Wait.
+func WaitContext(ctx stdctx.Context) error {
 	global.mu.Lock()
 	if global.state != stateActive {
 		global.mu.Unlock()
 		return errf(UninitializedContext, "Wait", "call Init before any GraphBLAS method")
 	}
 	obs.Flushes.Inc()
-	err := flushLocked()
+	err := flushLocked(ctx)
 	global.mu.Unlock()
 	return err
 }
@@ -353,9 +374,11 @@ func Wait() error {
 // strictly sequentially in program order. Either way the observable outcome
 // is identical: every failure is appended to the sequence error log in
 // program order, and only the program-order-first error becomes the flush's
-// return value and the GrB_error string, per Section V. Caller holds
+// return value and the GrB_error string, per Section V. A non-nil ctx bounds
+// the flush (WaitContext): once it is canceled, undispatched operations are
+// abandoned with a Canceled error instead of executing. Caller holds
 // global.mu.
-func flushLocked() error {
+func flushLocked(ctx stdctx.Context) error {
 	queue := global.queue
 	global.queue = nil
 	obs.QueueDepth.Set(0)
@@ -378,10 +401,14 @@ func flushLocked() error {
 	}
 	var results []error
 	if global.sched == SchedDag && len(nodes) > 1 && parallel.MaxWorkers() > 1 {
-		results = runQueueDag(nodes)
+		results = runQueueDag(ctx, nodes)
 	} else {
 		results = make([]error, len(nodes))
 		for i, op := range nodes {
+			if ctx != nil && ctx.Err() != nil {
+				results[i] = cancelOp(op, nil, 0, ctx.Err())
+				continue
+			}
 			results[i] = runOp(op)
 		}
 	}
@@ -705,5 +732,5 @@ func force(name string) error {
 		return global.takeExecErrLocked()
 	}
 	obs.Flushes.Inc()
-	return flushLocked()
+	return flushLocked(nil)
 }

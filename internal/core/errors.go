@@ -70,6 +70,13 @@ const (
 	InvalidObject
 	// PanicInfo: unknown internal error (GrB_PANIC).
 	PanicInfo
+	// Canceled: a deferred operation was abandoned unexecuted because the
+	// caller's context was canceled or its deadline expired before the flush
+	// reached it (extension; see WaitContext). Execution-error class: the
+	// output object is left invalid but restorable — it holds its prior
+	// committed content and a later full overwrite rehabilitates it, exactly
+	// as after a kernel failure.
+	Canceled
 )
 
 var infoNames = map[Info]string{
@@ -87,6 +94,7 @@ var infoNames = map[Info]string{
 	IndexOutOfBounds:     "IndexOutOfBounds",
 	InvalidObject:        "InvalidObject",
 	PanicInfo:            "Panic",
+	Canceled:             "Canceled",
 }
 
 // String returns the symbolic name of the status code.

@@ -19,8 +19,8 @@ func MatrixExportCSR[D any](m *Matrix[D]) (rowPtr, colIdx []int, values []D, err
 	if err := force(op); err != nil {
 		return nil, nil, nil, err
 	}
-	if m.err != nil {
-		return nil, nil, nil, errf(InvalidObject, op, "%v", m.err)
+	if err := invalidMark(&m.obj, op); err != nil {
+		return nil, nil, nil, err
 	}
 	d := m.mdat()
 	rowPtr = append([]int(nil), d.Ptr...)
@@ -82,8 +82,8 @@ func VectorExport[D any](v *Vector[D]) (indices []int, values []D, err error) {
 	if err := force(op); err != nil {
 		return nil, nil, err
 	}
-	if v.err != nil {
-		return nil, nil, errf(InvalidObject, op, "%v", v.err)
+	if err := invalidMark(&v.obj, op); err != nil {
+		return nil, nil, err
 	}
 	indices, values = v.vdat().Tuples()
 	return indices, values, nil

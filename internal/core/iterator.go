@@ -25,8 +25,8 @@ func MatrixIterate[D any](m *Matrix[D]) (*MatrixIterator[D], error) {
 	if err := force(op); err != nil {
 		return nil, err
 	}
-	if m.err != nil {
-		return nil, errf(InvalidObject, op, "%v", m.err)
+	if err := invalidMark(&m.obj, op); err != nil {
+		return nil, err
 	}
 	return &MatrixIterator[D]{data: m.mdat()}, nil
 }
@@ -72,8 +72,8 @@ func VectorIterate[D any](v *Vector[D]) (*VectorIterator[D], error) {
 	if err := force(op); err != nil {
 		return nil, err
 	}
-	if v.err != nil {
-		return nil, errf(InvalidObject, op, "%v", v.err)
+	if err := invalidMark(&v.obj, op); err != nil {
+		return nil, err
 	}
 	return &VectorIterator[D]{data: v.vdat()}, nil
 }

@@ -347,8 +347,8 @@ func (m *Matrix[D]) NVals() (int, error) {
 	if err := force("Matrix.NVals"); err != nil {
 		return 0, err
 	}
-	if m.err != nil {
-		return 0, errf(InvalidObject, "Matrix.NVals", "%v", m.err)
+	if err := invalidMark(&m.obj, "Matrix.NVals"); err != nil {
+		return 0, err
 	}
 	// Count from whichever form is resident rather than via mdat, so a
 	// bitmap-primary matrix is not converted just to be counted.
@@ -444,8 +444,8 @@ func (m *Matrix[D]) Build(rows, cols []int, values []D, dup BinaryOp[D, D, D]) e
 	if err := force(op); err != nil {
 		return err
 	}
-	if m.err != nil {
-		return errf(InvalidObject, op, "%v", m.err)
+	if err := invalidMark(&m.obj, op); err != nil {
+		return err
 	}
 	if nnz := m.mdat().NNZ(); nnz != 0 {
 		return errf(OutputNotEmpty, op, "matrix already has %d stored elements", nnz)
@@ -510,8 +510,8 @@ func (m *Matrix[D]) ExtractElement(i, j int) (D, error) {
 	if err := force("Matrix.ExtractElement"); err != nil {
 		return zero, err
 	}
-	if m.err != nil {
-		return zero, errf(InvalidObject, "Matrix.ExtractElement", "%v", m.err)
+	if err := invalidMark(&m.obj, "Matrix.ExtractElement"); err != nil {
+		return zero, err
 	}
 	if x, ok := m.mdat().Get(i, j); ok {
 		return x, nil
@@ -529,8 +529,8 @@ func (m *Matrix[D]) ExtractTuples() ([]int, []int, []D, error) {
 	if err := force("Matrix.ExtractTuples"); err != nil {
 		return nil, nil, nil, err
 	}
-	if m.err != nil {
-		return nil, nil, nil, errf(InvalidObject, "Matrix.ExtractTuples", "%v", m.err)
+	if err := invalidMark(&m.obj, "Matrix.ExtractTuples"); err != nil {
+		return nil, nil, nil, err
 	}
 	// Record that this matrix feeds row-major iteration, biasing the
 	// adaptive policy toward CSR on subsequent reads.

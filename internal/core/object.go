@@ -52,6 +52,21 @@ func objOK(o *obj, op, arg string) error {
 	return nil
 }
 
+// invalidMark snapshots the object's invalid-state error under the engine
+// lock and converts it to the standard API error. API methods consult the
+// mark after force has returned — and released the lock — so a flush started
+// by another goroutine may be rewriting o.err concurrently; the lock
+// round-trip orders this read against that write.
+func invalidMark(o *obj, op string) error {
+	global.mu.Lock()
+	err := o.err
+	global.mu.Unlock()
+	if err != nil {
+		return errf(InvalidObject, op, "%v", err)
+	}
+	return nil
+}
+
 // Wait completes all pending computations involving the object (the
 // object-scoped GrB_wait of spec 1.3+). This engine tracks dependencies at
 // sequence granularity, so it conservatively completes the whole pending
@@ -63,10 +78,7 @@ func (m *Matrix[D]) Wait() error {
 	if err := force("Matrix.Wait"); err != nil {
 		return err
 	}
-	if m.err != nil {
-		return errf(InvalidObject, "Matrix.Wait", "%v", m.err)
-	}
-	return nil
+	return invalidMark(&m.obj, "Matrix.Wait")
 }
 
 // Wait completes all pending computations involving the vector; see
@@ -78,8 +90,47 @@ func (v *Vector[D]) Wait() error {
 	if err := force("Vector.Wait"); err != nil {
 		return err
 	}
-	if v.err != nil {
-		return errf(InvalidObject, "Vector.Wait", "%v", v.err)
+	return invalidMark(&v.obj, "Vector.Wait")
+}
+
+// revalidate is the shared body of Matrix.Revalidate / Vector.Revalidate: it
+// quiesces the pending sequence, then clears the object's invalid mark.
+func revalidate(o *obj, op, arg string) error {
+	if err := objOK(o, op, arg); err != nil {
+		return err
 	}
+	// Complete the pending sequence first so no queued operation re-marks the
+	// object after the clear. The flush's own error, if any, is exactly the
+	// failure being acknowledged, so it is not propagated — unless the
+	// context itself is unusable.
+	if err := force(op); InfoOf(err) == UninitializedContext {
+		return err
+	}
+	global.mu.Lock()
+	o.err = nil
+	global.mu.Unlock()
 	return nil
+}
+
+// Revalidate accepts an invalid-but-restorable object's rolled-back committed
+// content as current, clearing the invalid mark without the full overwrite
+// the error model otherwise demands. The transactional executor guarantees
+// that a failed operation rolls its output back to the prior committed store
+// and that an abandoned (Canceled) operation never ran at all — either way
+// the content is a consistent committed state; what the invalid mark records
+// is that a *requested* mutation did not happen. A caller that can
+// re-establish its own invariants — e.g. a streaming writer whose update
+// batches are last-wins idempotent and can simply be re-applied — may accept
+// the rolled-back state and continue. This is the recovery path a concurrent
+// serving layer needs when some other request's deadline abandons a shared
+// flush: without it, one expired deadline would poison the writer's matrix
+// permanently, since merge-mode absorbs never full-overwrite.
+func (m *Matrix[D]) Revalidate() error {
+	return revalidate(&m.obj, "Matrix.Revalidate", "m")
+}
+
+// Revalidate clears the vector's invalid mark after the caller has
+// re-established its invariants; see Matrix.Revalidate.
+func (v *Vector[D]) Revalidate() error {
+	return revalidate(&v.obj, "Vector.Revalidate", "v")
 }

@@ -134,8 +134,8 @@ func ReduceMatrixToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], a 
 	if err := force(name); err != nil {
 		return zero, err
 	}
-	if a.err != nil {
-		return zero, errf(InvalidObject, name, "%v", a.err)
+	if err := invalidMark(&a.obj, name); err != nil {
+		return zero, err
 	}
 	acc, err := runScalarReduce(name, func() D {
 		//grblint:ignore swallowederr stored=false means no entries were folded; the identity the kernel returns is exactly the GraphBLAS empty-reduction value
@@ -171,8 +171,8 @@ func ReduceVectorToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], u 
 	if err := force(name); err != nil {
 		return zero, err
 	}
-	if u.err != nil {
-		return zero, errf(InvalidObject, name, "%v", u.err)
+	if err := invalidMark(&u.obj, name); err != nil {
+		return zero, err
 	}
 	acc, err := runScalarReduce(name, func() D {
 		//grblint:ignore swallowederr stored=false means no entries were folded; the identity the kernel returns is exactly the GraphBLAS empty-reduction value

@@ -20,6 +20,8 @@ package core
 //     schedule stays identical to a sequential drain (see runOpAt).
 
 import (
+	stdctx "context"
+
 	"graphblas/internal/dataflow"
 	"graphblas/internal/faults"
 	"graphblas/internal/obs"
@@ -44,9 +46,11 @@ func opMetas(nodes []*pendingOp) []dataflow.OpMeta {
 // scheduler and returns their outcomes indexed like nodes (program order).
 // Caller holds global.mu and folds the results into the error log itself, so
 // the observable state — SequenceErrors order, first-error selection, the
-// GrB_error string — is byte-identical to a sequential drain. Caller
-// guarantees len(nodes) > 1.
-func runQueueDag(nodes []*pendingOp) []error {
+// GrB_error string — is byte-identical to a sequential drain. A non-nil ctx
+// stops DAG dispatch once it is canceled: undispatched nodes are abandoned
+// via cancelOp while running kernels complete. Caller guarantees
+// len(nodes) > 1.
+func runQueueDag(ctx stdctx.Context, nodes []*pendingOp) []error {
 	g := dataflow.Build(opMetas(nodes))
 	var gate *faults.Sequencer
 	serialBody := false
@@ -59,8 +63,12 @@ func runQueueDag(nodes []*pendingOp) []error {
 		gate = faults.NewSequencer(len(nodes))
 		serialBody = faults.PlanCoversKernelSites()
 	}
+	var stop func() bool
+	if ctx != nil && ctx.Done() != nil {
+		stop = func() bool { return ctx.Err() != nil }
+	}
 	results := make([]error, len(nodes))
-	rs := g.Run(parallel.MaxWorkers(), func(i int) {
+	rs := g.RunCancelable(parallel.MaxWorkers(), func(i int) {
 		if obs.ProfilingLabels() {
 			// The pprof label names the op kind while the worker executes it,
 			// so CPU profiles attribute samples to MxM vs Reduce rather than
@@ -71,10 +79,29 @@ func runQueueDag(nodes []*pendingOp) []error {
 			return
 		}
 		results[i] = runOpAt(nodes[i], gate, i, serialBody)
+	}, stop, func(i int) {
+		results[i] = cancelOp(nodes[i], gate, i, ctx.Err())
 	})
 	obs.ParallelFlushes.Inc()
 	obs.DagNodes.Add(int64(g.Nodes()))
 	obs.DagEdges.Add(int64(g.Edges()))
 	obs.DagWidth.SetMax(int64(rs.MaxWidth))
 	return results
+}
+
+// cancelOp abandons an operation whose flush context was canceled before the
+// scheduler dispatched it. The output object is marked invalid carrying the
+// Canceled error — restorable, like any failed op, by a later full overwrite
+// — the span closes with OutcomeCanceled, and the op's fault-draw gate
+// position is released so gated later positions are never stranded behind an
+// abandoned one. The returned error takes the op's slot in the program-order
+// error fold.
+func cancelOp(op *pendingOp, gate *faults.Sequencer, idx int, cause error) error {
+	gate.Release(idx)
+	err := errf(Canceled, op.name, "abandoned before execution: %v", cause)
+	op.out.err = err
+	obs.OpsCanceled.Inc()
+	op.span.Finish(obs.OutcomeCanceled, err)
+	obs.Emit(op.span)
+	return err
 }

@@ -192,8 +192,8 @@ func MatrixSerialize[D any](m *Matrix[D], w io.Writer) error {
 	if err := force(op); err != nil {
 		return err
 	}
-	if m.err != nil {
-		return errf(InvalidObject, op, "%v", m.err)
+	if err := invalidMark(&m.obj, op); err != nil {
+		return err
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(serializeMagic[:]); err != nil {
@@ -298,8 +298,8 @@ func VectorSerialize[D any](v *Vector[D], w io.Writer) error {
 	if err := force(op); err != nil {
 		return err
 	}
-	if v.err != nil {
-		return errf(InvalidObject, op, "%v", v.err)
+	if err := invalidMark(&v.obj, op); err != nil {
+		return err
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(serializeMagic[:]); err != nil {

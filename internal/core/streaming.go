@@ -141,8 +141,8 @@ func (m *Matrix[D]) PinEpoch() (*stream.Epoch[D], error) {
 	if err := force(op); err != nil {
 		return nil, err
 	}
-	if m.err != nil {
-		return nil, errf(InvalidObject, op, "%v", m.err)
+	if err := invalidMark(&m.obj, op); err != nil {
+		return nil, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -161,8 +161,8 @@ func (m *Matrix[D]) DeltaNVals() (int, error) {
 	if err := force(op); err != nil {
 		return 0, err
 	}
-	if m.err != nil {
-		return 0, errf(InvalidObject, op, "%v", m.err)
+	if err := invalidMark(&m.obj, op); err != nil {
+		return 0, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	stdctx "context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -448,6 +449,133 @@ func TestIngestDuringFlushRace(t *testing.T) {
 				wg.Wait()
 				if err := Wait(); err != nil {
 					t.Fatalf("final Wait: %v", err)
+				}
+				if _, err := m.NVals(); err != nil {
+					t.Fatalf("NVals after race: %v", err)
+				}
+			})
+		})
+	}
+}
+
+// TestServeDuringIngestRace is the serving-layer interleaving: one goroutine
+// pins epochs and walks their tuples (the snapshot path), another issues
+// queries whose flushes carry short deadlines (so WaitContext cancellation
+// races the absorbs), while the main goroutine churns the matrix with update
+// batches and compactions. The writer re-applies after any abandoned absorb —
+// the at-least-once discipline the serve engine uses — so the store must end
+// the run valid and readable. Runs at GOMAXPROCS 1 and 4 under both flush
+// schedulers; the race detector must find every interleaving clean.
+func TestServeDuringIngestRace(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		procs int
+		sched Scheduler
+	}{
+		{"Sequential1", 1, SchedSequential},
+		{"Sequential4", 4, SchedSequential},
+		{"Dag1", 1, SchedDag},
+		{"Dag4", 4, SchedDag},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(tc.procs))
+			withMode(t, NonBlocking, func() {
+				prevSched := SetScheduler(tc.sched)
+				defer SetScheduler(prevSched)
+				prevElide := SetElision(false)
+				defer SetElision(prevElide)
+				const n = 32
+				m, err := NewMatrix[float64](n, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.SetMergePolicy(stream.Manual()); err != nil {
+					t.Fatal(err)
+				}
+				s := plusTimesF64(t)
+				src, _ := NewVector[float64](n)
+				for i := 0; i < n; i++ {
+					_ = src.SetElement(1, i)
+				}
+				done := make(chan struct{})
+				var wg sync.WaitGroup
+
+				// Snapshot path: pin epochs and walk their tuples.
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						ep, err := m.PinEpoch()
+						if err != nil {
+							continue // poisoned mid-recovery; the writer heals it
+						}
+						ri, _, _ := ep.Tuples()
+						_ = len(ri)
+						_, _ = ep.NVals(), ep.DeltaNVals()
+					}
+				}()
+
+				// Query path: flushes under expiring deadlines, so WaitContext
+				// cancellation races the writer's absorbs.
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					out, _ := NewVector[float64](n)
+					i := 0
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						_ = MxV(out, NoMaskV, NoAccum[float64](), s, m, src, nil)
+						i++
+						if i%3 == 0 {
+							ctx, cancel := stdctx.WithCancel(stdctx.Background())
+							cancel()
+							_ = WaitContext(ctx)
+						} else {
+							_ = WaitContext(stdctx.Background())
+						}
+					}
+				}()
+
+				// Writer: batches plus compactions, re-applying after any
+				// abandoned absorb (batches are last-wins idempotent).
+				rng := rand.New(rand.NewSource(11))
+				for step := 0; step < 300; step++ {
+					b := stream.NewBatch[float64]()
+					for k := 0; k < 8; k++ {
+						if rng.Float64() < 0.25 {
+							b.Delete(rng.Intn(n), rng.Intn(n))
+						} else {
+							b.Insert(rng.Intn(n), rng.Intn(n), 1)
+						}
+					}
+					for attempt := 0; attempt < 8; attempt++ {
+						if err := m.ApplyUpdateBatch(b); err == nil {
+							if m.Wait() == nil {
+								break
+							}
+						}
+						if err := m.Revalidate(); err != nil {
+							t.Errorf("Revalidate: %v", err)
+							break
+						}
+					}
+					if step%60 == 30 {
+						_ = m.Compact() // may fail over a racing cancel; next loop heals
+					}
+				}
+				close(done)
+				wg.Wait()
+				if err := m.Revalidate(); err != nil {
+					t.Fatalf("final Revalidate: %v", err)
 				}
 				if _, err := m.NVals(); err != nil {
 					t.Fatalf("NVals after race: %v", err)

@@ -109,8 +109,8 @@ func (v *Vector[D]) NVals() (int, error) {
 	if err := force("Vector.NVals"); err != nil {
 		return 0, err
 	}
-	if v.err != nil {
-		return 0, errf(InvalidObject, "Vector.NVals", "%v", v.err)
+	if err := invalidMark(&v.obj, "Vector.NVals"); err != nil {
+		return 0, err
 	}
 	return v.vdat().NVals(), nil
 }
@@ -193,8 +193,8 @@ func (v *Vector[D]) Build(indices []int, values []D, dup BinaryOp[D, D, D]) erro
 	if err := force(op); err != nil {
 		return err
 	}
-	if v.err != nil {
-		return errf(InvalidObject, op, "%v", v.err)
+	if err := invalidMark(&v.obj, op); err != nil {
+		return err
 	}
 	if nnz := v.vdat().NVals(); nnz != 0 {
 		return errf(OutputNotEmpty, op, "vector already has %d stored elements", nnz)
@@ -258,8 +258,8 @@ func (v *Vector[D]) ExtractElement(i int) (D, error) {
 	if err := force("Vector.ExtractElement"); err != nil {
 		return zero, err
 	}
-	if v.err != nil {
-		return zero, errf(InvalidObject, "Vector.ExtractElement", "%v", v.err)
+	if err := invalidMark(&v.obj, "Vector.ExtractElement"); err != nil {
+		return zero, err
 	}
 	if x, ok := v.vdat().Get(i); ok {
 		return x, nil
@@ -276,8 +276,8 @@ func (v *Vector[D]) ExtractTuples() ([]int, []D, error) {
 	if err := force("Vector.ExtractTuples"); err != nil {
 		return nil, nil, err
 	}
-	if v.err != nil {
-		return nil, nil, errf(InvalidObject, "Vector.ExtractTuples", "%v", v.err)
+	if err := invalidMark(&v.obj, "Vector.ExtractTuples"); err != nil {
+		return nil, nil, err
 	}
 	idx, val := v.vdat().Tuples()
 	return idx, val, nil

@@ -165,6 +165,19 @@ func (h *minHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; 
 // completed. Callers that want per-node error semantics (internal/core does)
 // should convert panics to errors inside exec instead.
 func (g *Graph) Run(workers int, exec func(node int)) RunStats {
+	return g.RunCancelable(workers, exec, nil, nil)
+}
+
+// RunCancelable is Run with cooperative cancellation. When stop is non-nil
+// and returns true at dispatch time, the popped node is not executed:
+// skip(node) is called in its place (outside the scheduler lock, exactly once
+// per skipped node) and the node's dependents are still released, so the pool
+// drains without deadlock and every node is observed exactly once — by exec
+// or by skip. Nodes already executing when stop first reports true run to
+// completion; cancellation stops *dispatch*, it does not interrupt kernels.
+// A nil stop (or one that never fires) makes this identical to Run. skip must
+// not panic; exec panics are captured per node as in Run.
+func (g *Graph) RunCancelable(workers int, exec func(node int), stop func() bool, skip func(node int)) RunStats {
 	n := len(g.succ)
 	if n == 0 {
 		return RunStats{}
@@ -206,19 +219,30 @@ func (g *Graph) Run(workers int, exec func(node int)) RunStats {
 					return
 				}
 				node := int(heap.Pop(&ready).(int32))
-				running++
-				width := running
-				if running > maxWidth {
-					maxWidth = running
+				canceled := stop != nil && stop()
+				if !canceled {
+					running++
+					if running > maxWidth {
+						maxWidth = running
+					}
 				}
+				width := running
 				mu.Unlock()
-				obs.DagDispatches.Inc()
-				obs.DagWidth.SetMax(int64(width))
-
-				p := parallel.Capture(func() { exec(node) })
+				var p *parallel.Panic
+				if canceled {
+					if skip != nil {
+						skip(node)
+					}
+				} else {
+					obs.DagDispatches.Inc()
+					obs.DagWidth.SetMax(int64(width))
+					p = parallel.Capture(func() { exec(node) })
+				}
 
 				mu.Lock()
-				running--
+				if !canceled {
+					running--
+				}
 				if p != nil && pan == nil {
 					pan = p
 				}

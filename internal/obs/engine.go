@@ -28,6 +28,8 @@ var (
 		"Operations that ended in execution error or short-circuit cancellation, by method name.", "op")
 	OpsElided = NewCounter("graphblas_ops_elided_total",
 		"Deferred operations pruned by dead-store elimination before scheduling.")
+	OpsCanceled = NewCounter("graphblas_ops_canceled_total",
+		"Deferred operations abandoned unexecuted because the flush context was canceled.")
 	Flushes = NewCounter("graphblas_flushes_total",
 		"Queue flushes (Wait, blocking-mode barriers, and forced materializations).")
 	ParallelFlushes = NewCounter("graphblas_parallel_flushes_total",

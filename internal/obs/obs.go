@@ -54,6 +54,10 @@ const (
 	// OutcomeElided: dead-store elimination pruned the operation before it
 	// reached the scheduler.
 	OutcomeElided
+	// OutcomeCanceled: the flush's context was canceled before the operation
+	// was dispatched; it was abandoned unexecuted and its output marked
+	// invalid (restorable by a full overwrite).
+	OutcomeCanceled
 )
 
 // String returns the outcome label used in metrics.
@@ -67,6 +71,8 @@ func (o Outcome) String() string {
 		return "short_circuit"
 	case OutcomeElided:
 		return "elided"
+	case OutcomeCanceled:
+		return "canceled"
 	}
 	return "unknown"
 }

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"graphblas/internal/core"
+)
+
+// IsTransient classifies an engine error as worth retrying. The taxonomy
+// follows the engine's own recovery model: execution-class failures leave the
+// output invalid but the system healthy — a fresh attempt against fresh
+// output objects can succeed — while API-class errors (dimension mismatch,
+// bad index, …) are deterministic and retrying them only burns the deadline.
+//
+//   - Canceled: a shared-queue flush was abandoned by some request's
+//     deadline; the abandoned work may belong to a different request than
+//     the one that timed out, so retrying is the designed recovery.
+//   - InvalidObject: an input was poisoned by a concurrent failure; rebuilt
+//     inputs on the next attempt are clean.
+//   - OutOfMemory / Panic: the engine rolled the output back to its prior
+//     committed state (PR 2's fault model); transient by construction.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch core.InfoOf(err) {
+	case core.Canceled, core.InvalidObject, core.OutOfMemory, core.PanicInfo:
+		return true
+	}
+	return false
+}
+
+// Retrier re-runs transient-failing work with jittered exponential backoff.
+// The jitter source is seeded, so a load test replays the same backoff
+// schedule run to run.
+type Retrier struct {
+	Attempts int           // total tries, including the first
+	Base     time.Duration // first backoff; doubles per retry
+	Max      time.Duration // backoff ceiling
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetrier builds a Retrier drawing jitter from the given seed.
+func NewRetrier(seed uint64, attempts int, base, max time.Duration) *Retrier {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &Retrier{
+		Attempts: attempts,
+		Base:     base,
+		Max:      max,
+		rng:      rand.New(rand.NewSource(int64(seed))),
+	}
+}
+
+// backoff draws the sleep before retry number n (1-based): the exponential
+// step, halved plus a uniform random half ("equal jitter"), so synchronized
+// retriers decorrelate without ever sleeping less than half the step.
+func (r *Retrier) backoff(n int) time.Duration {
+	d := r.Base << uint(n-1)
+	if d > r.Max || d <= 0 {
+		d = r.Max
+	}
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.mu.Unlock()
+	return d/2 + j
+}
+
+// Do runs f until it succeeds, fails permanently, or the attempt budget or
+// ctx is exhausted. It returns the number of attempts made and the last
+// error. Work canceled because the caller's own deadline expired is not
+// retried — there is no budget left to retry into.
+func (r *Retrier) Do(ctx context.Context, f func(context.Context) error) (int, error) {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = f(ctx)
+		if err == nil || !IsTransient(err) || attempt >= r.Attempts {
+			return attempt, err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return attempt, err
+		}
+		Retried.Inc()
+		select {
+		case <-time.After(r.backoff(attempt)):
+		case <-ctxDone(ctx):
+			return attempt, err
+		}
+	}
+}
+
+// ctxDone tolerates a nil context (background work with no deadline).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}

@@ -1,0 +1,422 @@
+// Package serve is the fault-tolerant graph query server built over the
+// GraphBLAS engine: HTTP endpoints for k-hop neighborhoods, personalized-
+// PageRank rankings, and triangle/clustering statistics against a live
+// streaming graph, with the resilience machinery production serving needs —
+// per-request deadlines threaded into the engine's flush scheduler
+// (WaitContext), admission control with load shedding, seeded-jitter retries
+// of transient engine failures, a circuit breaker around compaction, and a
+// graceful-degradation ladder (full answer → capped iterations → last pinned
+// epoch with a staleness header → 503) that keeps responses correct-or-
+// refused, never wrong.
+//
+// The degradation ladder, top to bottom:
+//
+//  1. admission — over the queue watermark or draining: 503 + Retry-After.
+//  2. deadline  — the request deadline rides core.WaitContext into the DAG
+//     scheduler; an expired deadline stops kernel dispatch, and undispatched
+//     work is abandoned as Canceled.
+//  3. retry     — Canceled/InvalidObject/OOM/Panic results are transient
+//     (the engine rolls outputs back); jittered exponential backoff.
+//  4. degrade   — under queue pressure PPR runs with a capped iteration
+//     budget (X-Graphblas-Degraded); when a fresh epoch cannot be pinned the
+//     last good snapshot is served (X-Graphblas-Stale).
+//
+// Every successful response names the epoch it was computed from, so a
+// client — and the chaos harness — can hold the server to snapshot
+// consistency: each answer reflects one atomic prefix of the update stream.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"graphblas/internal/core"
+	"graphblas/internal/obs"
+	"graphblas/internal/stream"
+)
+
+// Options configures a Server. Zero values get serving-sensible defaults.
+type Options struct {
+	Engine *Engine
+
+	// MaxConcurrent bounds simultaneously executing requests (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting behind them before shedding
+	// (default 2×MaxConcurrent).
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline when the client sends none
+	// (default 2s). Clients may lower it with ?timeout=150ms.
+	DefaultTimeout time.Duration
+
+	// RetrySeed seeds backoff jitter; RetryAttempts (default 3) bounds tries.
+	RetrySeed     uint64
+	RetryAttempts int
+	RetryBase     time.Duration // default 2ms
+	RetryMax      time.Duration // default 50ms
+
+	// PPRMaxIter is the full-quality power-iteration budget (default 50);
+	// PPRDegradedIter the capped budget under load (default 8).
+	PPRMaxIter      int
+	PPRDegradedIter int
+	// DegradePressure is the admission-queue fraction above which quality is
+	// reduced (default 0.5).
+	DegradePressure float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 4
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 2 * o.MaxConcurrent
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 2 * time.Second
+	}
+	if o.RetryAttempts <= 0 {
+		o.RetryAttempts = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 2 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 50 * time.Millisecond
+	}
+	if o.PPRMaxIter <= 0 {
+		o.PPRMaxIter = 50
+	}
+	if o.PPRDegradedIter <= 0 {
+		o.PPRDegradedIter = 8
+	}
+	if o.DegradePressure <= 0 {
+		o.DegradePressure = 0.5
+	}
+	return o
+}
+
+// Server is the HTTP query server. Create with NewServer; it implements
+// http.Handler.
+type Server struct {
+	opt     Options
+	eng     *Engine
+	adm     *Admission
+	retrier *Retrier
+	mux     *http.ServeMux
+	ready   atomic.Bool
+}
+
+// NewServer assembles the server around an existing Engine.
+func NewServer(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:     opt,
+		eng:     opt.Engine,
+		adm:     NewAdmission(opt.MaxConcurrent, opt.MaxQueue),
+		retrier: NewRetrier(opt.RetrySeed, opt.RetryAttempts, opt.RetryBase, opt.RetryMax),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/query/khop", s.handleKHop)
+	s.mux.HandleFunc("/query/ppr", s.handlePPR)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.ready.Store(true)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the server: readiness flips false (load balancers stop
+// routing), no new requests are admitted, and the call blocks until in-
+// flight requests finish or ctx expires. The engine's pending work is then
+// flushed so nothing accepted is lost.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	s.adm.Close()
+	if err := s.adm.Drain(ctx); err != nil {
+		return err
+	}
+	return core.WaitContext(ctx)
+}
+
+// writeJSON emits one JSON response and feeds the status metrics.
+func writeJSON(w http.ResponseWriter, route string, code int, v any) {
+	Requests.With(route).Inc()
+	Statuses.With(fmt.Sprintf("%dxx", code/100)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	//grblint:ignore swallowederr the status line is already sent; a failed body write has no channel left to report on
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// unavailable emits 503 with a Retry-After hint — the shed/drain/throttle
+// answer that tells a well-behaved client to back off briefly.
+func unavailable(w http.ResponseWriter, route string, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, route, http.StatusServiceUnavailable, errorBody{Error: msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	//grblint:ignore swallowederr liveness must answer even over a poisoned store; zero values are the honest degraded report
+	epoch, _ := s.eng.Matrix().EpochID()
+	//grblint:ignore swallowederr liveness must answer even over a poisoned store; zero values are the honest degraded report
+	delta, _ := s.eng.Matrix().DeltaNVals()
+	writeJSON(w, "healthz", http.StatusOK, map[string]any{
+		"status":   "ok",
+		"breaker":  s.eng.Breaker().State(),
+		"epoch":    epoch,
+		"delta":    delta,
+		"inflight": s.adm.InflightCount(),
+		"queued":   s.adm.QueueDepth(),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		unavailable(w, "readyz", "draining")
+		return
+	}
+	writeJSON(w, "readyz", http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	Requests.With("metrics").Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	//grblint:ignore swallowederr scrape responses are best-effort; a broken client connection is not a server fault
+	_ = obs.WriteText(w)
+}
+
+// requestContext derives the per-request deadline: the client's ?timeout=
+// override if present (capped at the server default), else the default.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.opt.DefaultTimeout
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		if td, err := time.ParseDuration(t); err == nil && td > 0 && td < d {
+			d = td
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// intParam parses one required non-negative integer query parameter.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		if def >= 0 {
+			return def, nil
+		}
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("parameter %q must be a non-negative integer", name)
+	}
+	return v, nil
+}
+
+// runQuery is the shared admission → deadline → retry → respond spine of the
+// query endpoints. fn runs under the request context against a pinned
+// snapshot and returns the response payload; degraded reports whether the
+// ladder reduced quality before fn ran.
+func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, route string,
+	fn func(ctx context.Context, snap *Snapshot, degraded bool) (any, error)) {
+
+	start := time.Now()
+	defer func() { Latency.With(route).Observe(time.Since(start).Seconds()) }()
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrShed), errors.Is(err, ErrDraining):
+			unavailable(w, route, err.Error())
+		default: // deadline expired while queued: the server was too busy
+			unavailable(w, route, "deadline expired in admission queue")
+		}
+		return
+	}
+	defer release()
+
+	degraded := s.adm.Pressure() >= s.opt.DegradePressure
+	if degraded {
+		DegradedServed.Inc()
+	}
+
+	var payload any
+	var stale bool
+	var epoch uint64
+	attempts, err := s.retrier.Do(ctx, func(ctx context.Context) error {
+		snap, st, serr := s.eng.Snapshot(ctx)
+		if serr != nil {
+			return serr
+		}
+		out, qerr := fn(ctx, snap, degraded)
+		if qerr != nil {
+			return qerr
+		}
+		payload, stale, epoch = out, st, snap.EpochID
+		return nil
+	})
+	if attempts > 1 {
+		w.Header().Set("X-Graphblas-Attempts", strconv.Itoa(attempts))
+	}
+	if err != nil {
+		if core.InfoOf(err) == core.Canceled || errors.Is(err, context.DeadlineExceeded) {
+			writeJSON(w, route, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, route, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("X-Graphblas-Epoch", strconv.FormatUint(epoch, 10))
+	if stale {
+		w.Header().Set("X-Graphblas-Stale", "true")
+	}
+	if degraded {
+		w.Header().Set("X-Graphblas-Degraded", "true")
+	}
+	writeJSON(w, route, http.StatusOK, payload)
+}
+
+func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
+	src, err := intParam(r, "src", -1)
+	if err != nil {
+		writeJSON(w, "khop", http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	k, err := intParam(r, "k", 2)
+	if err != nil {
+		writeJSON(w, "khop", http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if src >= s.eng.cfg.N {
+		writeJSON(w, "khop", http.StatusBadRequest, errorBody{Error: "src out of range"})
+		return
+	}
+	s.runQuery(w, r, "khop", func(ctx context.Context, snap *Snapshot, _ bool) (any, error) {
+		verts, err := KHop(ctx, snap, src, k)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"source": src, "k": k, "epoch": snap.EpochID,
+			"count": len(verts), "vertices": verts,
+		}, nil
+	})
+}
+
+func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
+	src, err := intParam(r, "src", -1)
+	if err != nil {
+		writeJSON(w, "ppr", http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil {
+		writeJSON(w, "ppr", http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if src >= s.eng.cfg.N {
+		writeJSON(w, "ppr", http.StatusBadRequest, errorBody{Error: "src out of range"})
+		return
+	}
+	s.runQuery(w, r, "ppr", func(ctx context.Context, snap *Snapshot, degraded bool) (any, error) {
+		maxIter := s.opt.PPRMaxIter
+		if degraded {
+			maxIter = s.opt.PPRDegradedIter
+		}
+		ranks, iters, err := PPRTopK(ctx, snap, src, k, 0.85, 1e-6, maxIter)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"source": src, "k": k, "epoch": snap.EpochID,
+			"iterations": iters, "degraded": degraded, "ranks": ranks,
+		}, nil
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.runQuery(w, r, "stats", func(ctx context.Context, snap *Snapshot, _ bool) (any, error) {
+		st, err := Stats(ctx, snap)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"epoch": snap.EpochID, "stats": st}, nil
+	})
+}
+
+// ingestBody is the wire form of one update batch.
+type ingestBody struct {
+	// Inserts are [i, j, weight] triples (weight defaults to 1 when the
+	// inner array has two elements).
+	Inserts [][]float64 `json:"inserts"`
+	// Deletes are [i, j] pairs.
+	Deletes [][]int `json:"deletes"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, "ingest", http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	if !s.ready.Load() {
+		unavailable(w, "ingest", "draining")
+		return
+	}
+	var body ingestBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeJSON(w, "ingest", http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	n := s.eng.cfg.N
+	b := stream.NewBatch[float64]()
+	for _, ins := range body.Inserts {
+		if len(ins) < 2 {
+			writeJSON(w, "ingest", http.StatusBadRequest, errorBody{Error: "insert needs [i, j] or [i, j, w]"})
+			return
+		}
+		i, j := int(ins[0]), int(ins[1])
+		if i < 0 || j < 0 || i >= n || j >= n {
+			writeJSON(w, "ingest", http.StatusBadRequest, errorBody{Error: "insert index out of range"})
+			return
+		}
+		wgt := 1.0
+		if len(ins) > 2 {
+			wgt = ins[2]
+		}
+		b.Insert(i, j, wgt)
+	}
+	for _, del := range body.Deletes {
+		if len(del) != 2 || del[0] < 0 || del[1] < 0 || del[0] >= n || del[1] >= n {
+			writeJSON(w, "ingest", http.StatusBadRequest, errorBody{Error: "delete needs in-range [i, j]"})
+			return
+		}
+		b.Delete(del[0], del[1])
+	}
+	if err := s.eng.Ingest(b); err != nil {
+		if errors.Is(err, ErrBackpressure) {
+			unavailable(w, "ingest", err.Error())
+			return
+		}
+		writeJSON(w, "ingest", http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, "ingest", http.StatusOK, map[string]int{"applied": b.Len()})
+}

@@ -1,0 +1,530 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphblas/internal/core"
+	"graphblas/internal/faults"
+	"graphblas/internal/generate"
+	"graphblas/internal/refalgo"
+	"graphblas/internal/stream"
+)
+
+func TestMain(m *testing.M) {
+	core.ResetForTesting()
+	if err := core.Init(core.NonBlocking); err != nil {
+		panic(err)
+	}
+	os.Exit(m.Run())
+}
+
+// resetCore gives the test a pristine nonblocking engine context and
+// restores one when it finishes.
+func resetCore(t *testing.T) {
+	t.Helper()
+	core.ResetForTesting()
+	if err := core.Init(core.NonBlocking); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	t.Cleanup(func() {
+		faults.Disable()
+		core.ResetForTesting()
+		if err := core.Init(core.NonBlocking); err != nil {
+			t.Fatalf("re-Init: %v", err)
+		}
+	})
+}
+
+// newTestServer builds an engine over the RMAT graph and ingests every edge
+// through the streaming path, compacted at the end so queries start from a
+// clean epoch.
+func newTestServer(t *testing.T, g *generate.Graph, opt Options) (*Server, *Engine) {
+	t.Helper()
+	eng, err := NewEngine(Config{N: g.N})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	b := stream.NewBatch[float64]()
+	for _, e := range g.Edges {
+		b.Insert(e.Src, e.Dst, 1)
+	}
+	if err := eng.Ingest(b); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := eng.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	opt.Engine = eng
+	return NewServer(opt), eng
+}
+
+// get performs one in-process request and decodes the JSON body.
+func get(t *testing.T, s *Server, url string) (int, http.Header, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil && rec.Code == http.StatusOK {
+			t.Fatalf("bad JSON from %s: %v", url, err)
+		}
+	}
+	return rec.Code, rec.Header(), body
+}
+
+func post(t *testing.T, s *Server, url, body string) (int, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Header()
+}
+
+// --- resilience primitives (no engine) ---
+
+func TestAdmissionShedAndDrain(t *testing.T) {
+	a := NewAdmission(1, 1)
+	rel1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Second request queues; third is shed immediately.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	started := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(started)
+		rel2, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Errorf("queued acquire: %v", err)
+			return
+		}
+		rel2()
+	}()
+	<-started
+	for a.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("over-watermark acquire: got %v want ErrShed", err)
+	}
+	rel1()
+	wg.Wait()
+
+	// A queued waiter whose deadline passes gets its context error back.
+	relA, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("re-acquire: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired waiter: got %v want DeadlineExceeded", err)
+	}
+	relA()
+
+	a.Close()
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire while draining: got %v want ErrDraining", err)
+	}
+	if err := a.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestBreakerAutomaton(t *testing.T) {
+	b := NewBreaker(2, time.Minute)
+	clock := time.Unix(0, 0)
+	b.now = func() time.Time { return clock }
+
+	if !b.Allow() || b.State() != "closed" {
+		t.Fatal("new breaker must be closed")
+	}
+	boom := errors.New("boom")
+	b.Record(boom)
+	if !b.Allow() {
+		t.Fatal("one failure under threshold must not trip")
+	}
+	b.Record(boom)
+	if b.Allow() || b.State() != "open" {
+		t.Fatal("threshold failures must open the breaker")
+	}
+	// Cooldown elapses: one probe allowed (half-open); failure re-opens.
+	clock = clock.Add(2 * time.Minute)
+	if !b.Allow() || b.State() != "half-open" {
+		t.Fatal("cooldown must allow a probe")
+	}
+	b.Record(boom)
+	if b.Allow() {
+		t.Fatal("failed probe must re-open immediately")
+	}
+	clock = clock.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("second cooldown must allow another probe")
+	}
+	b.Record(nil)
+	if !b.Allow() || b.State() != "closed" {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+func TestRetrierTransientClassification(t *testing.T) {
+	transient := []core.Info{core.Canceled, core.InvalidObject, core.OutOfMemory, core.PanicInfo}
+	for _, info := range transient {
+		if !IsTransient(&core.Error{Info: info, Op: "x"}) {
+			t.Errorf("%v must be transient", info)
+		}
+	}
+	permanent := []core.Info{core.DimensionMismatch, core.InvalidIndex, core.DomainMismatch, core.InvalidValue}
+	for _, info := range permanent {
+		if IsTransient(&core.Error{Info: info, Op: "x"}) {
+			t.Errorf("%v must not be transient", info)
+		}
+	}
+	if IsTransient(nil) {
+		t.Error("nil error must not be transient")
+	}
+}
+
+func TestRetrierDo(t *testing.T) {
+	r := NewRetrier(1, 3, time.Microsecond, 10*time.Microsecond)
+	calls := 0
+	n, err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return &core.Error{Info: core.Canceled, Op: "q"}
+		}
+		return nil
+	})
+	if err != nil || n != 3 || calls != 3 {
+		t.Fatalf("transient retry: n=%d calls=%d err=%v", n, calls, err)
+	}
+
+	calls = 0
+	n, err = r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return &core.Error{Info: core.DimensionMismatch, Op: "q"}
+	})
+	if calls != 1 || n != 1 || core.InfoOf(err) != core.DimensionMismatch {
+		t.Fatalf("permanent error retried: n=%d calls=%d err=%v", n, calls, err)
+	}
+
+	// Identical seeds draw identical backoff schedules.
+	r1 := NewRetrier(42, 5, time.Millisecond, 8*time.Millisecond)
+	r2 := NewRetrier(42, 5, time.Millisecond, 8*time.Millisecond)
+	for i := 1; i <= 4; i++ {
+		if d1, d2 := r1.backoff(i), r2.backoff(i); d1 != d2 {
+			t.Fatalf("backoff draw %d diverged: %v vs %v", i, d1, d2)
+		}
+	}
+}
+
+// --- query endpoints against oracles ---
+
+func TestServerKHopMatchesOracle(t *testing.T) {
+	resetCore(t)
+	g := generate.RMAT(6, 4, 99).Dedup(true)
+	s, _ := newTestServer(t, g, Options{})
+	adj := refalgo.NewAdjacency(g)
+	for _, src := range []int{0, 3, 17, 40} {
+		for _, k := range []int{0, 1, 2, 3} {
+			code, hdr, body := get(t, s, "/query/khop?src="+itoa(src)+"&k="+itoa(k))
+			if code != http.StatusOK {
+				t.Fatalf("khop(%d,%d): status %d", src, k, code)
+			}
+			if hdr.Get("X-Graphblas-Epoch") == "" {
+				t.Fatalf("khop response missing epoch header")
+			}
+			levels := refalgo.BFSLevels(adj, src)
+			var want []int
+			for v, l := range levels {
+				if l >= 0 && l <= k {
+					want = append(want, v)
+				}
+			}
+			got := intsOf(t, body["vertices"])
+			sort.Ints(want)
+			if !equalInts(got, want) {
+				t.Fatalf("khop(%d,%d): got %v want %v", src, k, got, want)
+			}
+		}
+	}
+}
+
+func TestServerStatsMatchesOracle(t *testing.T) {
+	resetCore(t)
+	g := generate.RMAT(6, 4, 123).Dedup(true)
+	s, _ := newTestServer(t, g, Options{})
+	code, _, body := get(t, s, "/stats?x=1")
+	if code != http.StatusOK {
+		t.Fatalf("stats: status %d body %v", code, body)
+	}
+	stats := body["stats"].(map[string]any)
+	// Oracle triangles on the symmetrized loop-free pattern.
+	sg := &generate.Graph{N: g.N, Edges: append([]generate.Edge(nil), g.Edges...)}
+	sg.Symmetrize()
+	sg = sg.Dedup(true)
+	want := refalgo.TriangleCount(refalgo.NewAdjacency(sg))
+	if got := int64(stats["triangles"].(float64)); got != want {
+		t.Fatalf("triangles: got %d want %d", got, want)
+	}
+	if got := int(stats["edges"].(float64)); got != len(g.Edges) {
+		t.Fatalf("edges: got %d want %d", got, len(g.Edges))
+	}
+}
+
+func TestServerPPRRanksRestartVertexFirst(t *testing.T) {
+	resetCore(t)
+	g := generate.Cycle(8)
+	s, _ := newTestServer(t, g, Options{})
+	code, _, body := get(t, s, "/query/ppr?src=3&k=8")
+	if code != http.StatusOK {
+		t.Fatalf("ppr: status %d body %v", code, body)
+	}
+	ranks := body["ranks"].([]any)
+	if len(ranks) == 0 {
+		t.Fatal("ppr returned no ranks")
+	}
+	top := ranks[0].(map[string]any)
+	if int(top["vertex"].(float64)) != 3 {
+		t.Fatalf("ppr top vertex: got %v want restart vertex 3", top["vertex"])
+	}
+	if body["iterations"].(float64) <= 0 {
+		t.Fatal("ppr reported zero iterations")
+	}
+}
+
+// TestQueryDeadlineCancelsSweeps: a deadline expiring mid-power-iteration
+// surfaces as a Canceled-class engine error — the flush checkpoint inside
+// the sweep loop saw the expired context and stopped dispatch.
+func TestQueryDeadlineCancelsSweeps(t *testing.T) {
+	resetCore(t)
+	g := generate.RMAT(7, 8, 5).Dedup(true)
+	_, eng := newTestServer(t, g, Options{})
+	snap, stale, err := eng.Snapshot(context.Background())
+	if err != nil || stale {
+		t.Fatalf("snapshot: stale=%v err=%v", stale, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	// tol < 0 never converges, so only the deadline can end the loop.
+	_, _, err = PPRTopK(ctx, snap, 0, 10, 0.85, -1, 1<<30)
+	if core.InfoOf(err) != core.Canceled {
+		t.Fatalf("deadline mid-iteration: got %v want Canceled-class error", err)
+	}
+}
+
+// --- degradation ladder ---
+
+func TestIngestBackpressure(t *testing.T) {
+	resetCore(t)
+	eng, err := NewEngine(Config{N: 32, CompactAfter: 4, ShedDelta: 8})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	// Jam the compactor: an open breaker skips every compaction attempt, so
+	// the delta overlay can only grow.
+	for i := 0; i < 3; i++ {
+		eng.breaker.Record(errors.New("jammed"))
+	}
+	if eng.breaker.State() != "open" {
+		t.Fatal("breaker must be open")
+	}
+	s := NewServer(Options{Engine: eng})
+	var saw503 bool
+	for i := 0; i < 8 && !saw503; i++ {
+		b := `{"inserts":[`
+		for e := 0; e < 4; e++ {
+			if e > 0 {
+				b += ","
+			}
+			b += "[" + itoa((i*4+e)%32) + "," + itoa((i*7+e+1)%32) + ",1]"
+		}
+		b += `]}`
+		code, hdr := post(t, s, "/ingest", b)
+		switch code {
+		case http.StatusOK:
+		case http.StatusServiceUnavailable:
+			saw503 = true
+			if hdr.Get("Retry-After") == "" {
+				t.Fatal("backpressure 503 missing Retry-After")
+			}
+		default:
+			t.Fatalf("ingest: unexpected status %d", code)
+		}
+	}
+	if !saw503 {
+		t.Fatal("overlay never hit the shed watermark")
+	}
+}
+
+// TestStaleFallback: when the writer store is poisoned (injected fault on
+// the absorb path), pinning fails — the server degrades to the last good
+// snapshot and stamps the staleness header instead of failing reads.
+func TestStaleFallback(t *testing.T) {
+	resetCore(t)
+	g := generate.RMAT(5, 4, 7).Dedup(true)
+	s, eng := newTestServer(t, g, Options{})
+	// Warm the snapshot cache with a healthy read.
+	if code, _, _ := get(t, s, "/query/khop?src=0&k=1"); code != http.StatusOK {
+		t.Fatalf("warm query failed: %d", code)
+	}
+	faults.Configure(3, faults.Rule{Site: "Matrix.ApplyUpdateBatch", Kind: faults.OOM, Times: 1})
+	defer faults.Disable()
+	b := stream.NewBatch[float64]()
+	b.Insert(1, 2, 1)
+	// The enqueue succeeds; the fault fires when the flush absorbs it.
+	if err := eng.Matrix().ApplyUpdateBatch(b); err != nil {
+		t.Fatalf("enqueue batch: %v", err)
+	}
+	code, hdr, _ := get(t, s, "/query/khop?src=0&k=1")
+	if code != http.StatusOK {
+		t.Fatalf("degraded read: status %d", code)
+	}
+	if hdr.Get("X-Graphblas-Stale") != "true" {
+		t.Fatal("degraded read missing staleness header")
+	}
+	// Reads never clear the invalid mark — only the writer may, because only
+	// it knows which batch the rollback dropped. Its next ingest revalidates
+	// the store, re-applies, and fresh reads resume.
+	recovered := StoreRecovered.Value()
+	b2 := stream.NewBatch[float64]()
+	b2.Insert(1, 2, 1)
+	if err := eng.Ingest(b2); err != nil {
+		t.Fatalf("recovery ingest: %v", err)
+	}
+	if StoreRecovered.Value() <= recovered {
+		t.Fatal("recovery ingest did not revalidate the store")
+	}
+	code, hdr, _ = get(t, s, "/query/khop?src=1&k=1")
+	if code != http.StatusOK || hdr.Get("X-Graphblas-Stale") == "true" {
+		t.Fatalf("post-recovery read: status %d, stale=%q", code, hdr.Get("X-Graphblas-Stale"))
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	resetCore(t)
+	g := generate.Cycle(8)
+	s, _ := newTestServer(t, g, Options{})
+	if code, _, _ := get(t, s, "/readyz"); code != http.StatusOK {
+		t.Fatal("server not ready before drain")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if code, _, _ := get(t, s, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatal("readyz must fail after drain")
+	}
+	if code, hdr, _ := get(t, s, "/query/khop?src=0&k=1"); code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("draining query: got %d, want 503 with Retry-After", code)
+	}
+	if code, _ := post(t, s, "/ingest", `{"inserts":[[0,1,1]]}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining ingest: got %d want 503", code)
+	}
+	// Health stays truthful while draining: the process is alive.
+	if code, _, _ := get(t, s, "/healthz"); code != http.StatusOK {
+		t.Fatal("healthz must stay 200 while draining")
+	}
+}
+
+func TestMetricsEndpointExposesServeCounters(t *testing.T) {
+	resetCore(t)
+	g := generate.Cycle(8)
+	s, _ := newTestServer(t, g, Options{})
+	if code, _, _ := get(t, s, "/query/khop?src=0&k=1"); code != http.StatusOK {
+		t.Fatal("query failed")
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	out := rec.Body.String()
+	for _, want := range []string{"graphblas_serve_requests_total", "graphblas_serve_latency_seconds", "graphblas_flushes_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestLoadGenDeterministicMix(t *testing.T) {
+	resetCore(t)
+	g := generate.RMAT(6, 4, 11).Dedup(true)
+	s, _ := newTestServer(t, g, Options{MaxConcurrent: 4, MaxQueue: 8})
+	spec := LoadSpec{
+		Seed: 1, Requests: 60, Workers: 3, N: g.N,
+		KHopFrac: 0.6, PPRFrac: 0.3, IngestEvery: 10, BatchSize: 4,
+	}
+	res := RunLoad(s, spec)
+	if res.Requests != spec.Requests {
+		t.Fatalf("requests: got %d want %d", res.Requests, spec.Requests)
+	}
+	if res.OK+res.Shed+res.Timeout+res.Errors != res.Requests {
+		t.Fatalf("outcome counts do not partition requests: %+v", res)
+	}
+	if res.OK == 0 {
+		t.Fatalf("no successful responses: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("unexpected hard errors: %+v", res)
+	}
+	if res.P99Ms < res.P50Ms {
+		t.Fatalf("percentiles inverted: %+v", res)
+	}
+}
+
+// --- small helpers ---
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func intsOf(t *testing.T, v any) []int {
+	t.Helper()
+	raw, ok := v.([]any)
+	if !ok {
+		if v == nil {
+			return nil
+		}
+		t.Fatalf("expected array, got %T", v)
+	}
+	out := make([]int, len(raw))
+	for i, x := range raw {
+		out[i] = int(x.(float64))
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
