@@ -18,6 +18,9 @@
 // SERVE drives the grbserve stack with the seeded load generator under four
 // regimes (nominal, overload, tight deadlines, injected faults) and writes
 // BENCH_serving.json.
+// SHARD drives the same load against the row-partitioned multi-engine store
+// at 1/2/4/8 shards (shards=1 is the single-engine baseline) plus a direct
+// sharded-ingest timing, and writes BENCH_sharding.json.
 package main
 
 import (
@@ -35,7 +38,7 @@ import (
 var serveRequests int
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E7B E8 DAG STREAM SERVE or all")
+	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E7B E8 DAG STREAM SERVE SHARD or all")
 	scale := flag.Int("scale", 11, "RMAT scale for the workload experiments")
 	ef := flag.Int("ef", 8, "RMAT edge factor")
 	seed := flag.Uint64("seed", 42, "generator seed")
@@ -71,9 +74,9 @@ func main() {
 
 	run := map[string]func(scale, ef int, seed uint64){
 		"E1": runE1, "E2": runE2, "E3": runE3, "E5": runE5, "E6": runE6, "E7B": runE7b, "E8": runE8,
-		"DAG": runDag, "STREAM": runStream, "SERVE": runServe,
+		"DAG": runDag, "STREAM": runStream, "SERVE": runServe, "SHARD": runShard,
 	}
-	ids := []string{"E1", "E2", "E3", "E5", "E6", "E7B", "E8", "DAG", "STREAM", "SERVE"}
+	ids := []string{"E1", "E2", "E3", "E5", "E6", "E7B", "E8", "DAG", "STREAM", "SERVE", "SHARD"}
 	want := strings.ToUpper(*exp)
 	matched := false
 	for _, id := range ids {

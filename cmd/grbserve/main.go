@@ -5,9 +5,16 @@
 // retry of transient faults, a circuit breaker around compaction, and
 // graceful drain on SIGINT/SIGTERM.
 //
+// With -shards=N the store is row-partitioned across N independent engine
+// instances (one nonblocking queue, scheduler, and flush lock each); queries
+// run scatter-gather across the shards and ingest commits all-shards-or-none,
+// behind the same endpoints and resilience ladder.
+//
 //	grbserve -addr :8080 -scale 11
+//	grbserve -addr :8080 -scale 11 -shards 4
 //	curl 'localhost:8080/query/khop?src=0&k=2&timeout=50ms'
 //	curl 'localhost:8080/query/ppr?src=0&k=10'
+//	curl 'localhost:8080/query/degree?v=0'
 //	curl 'localhost:8080/stats'
 //	curl -XPOST -d '{"inserts":[[1,2,1]],"deletes":[[3,4]]}' localhost:8080/ingest
 //	curl 'localhost:8080/healthz'   # liveness: breaker state, epoch, queue
@@ -29,6 +36,7 @@ import (
 	"graphblas"
 	"graphblas/internal/generate"
 	"graphblas/internal/serve"
+	"graphblas/internal/shard"
 	"graphblas/internal/stream"
 )
 
@@ -38,6 +46,7 @@ func main() {
 	ef := flag.Int("ef", 8, "RMAT edge factor of the preloaded graph")
 	seed := flag.Uint64("seed", 42, "graph generator and retry-jitter seed")
 	empty := flag.Bool("empty", false, "start with an empty graph (vertex space still 2^scale)")
+	shards := flag.Int("shards", 1, "row-partition the store across this many engine instances")
 	maxConc := flag.Int("max-concurrent", 4, "simultaneously executing requests")
 	maxQueue := flag.Int("max-queue", 0, "admission queue watermark (0: 2x max-concurrent)")
 	timeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline")
@@ -51,26 +60,51 @@ func main() {
 	graphblas.SetScheduler(graphblas.SchedDag)
 
 	g := generate.RMAT(*scale, *ef, *seed).Dedup(true)
-	eng, err := serve.NewEngine(serve.Config{N: g.N})
-	if err != nil {
-		log.Fatal(err)
-	}
+	var preload *stream.Batch[float64]
 	if !*empty {
-		b := stream.NewBatch[float64]()
+		preload = stream.NewBatch[float64]()
 		for _, e := range g.Edges {
-			b.Insert(e.Src, e.Dst, 1)
+			preload.Insert(e.Src, e.Dst, 1)
 		}
-		if err := eng.Ingest(b); err != nil {
+	}
+
+	var backend serve.Backend
+	if *shards > 1 {
+		st, err := shard.NewStore(shard.Config{N: g.N, Shards: *shards})
+		if err != nil {
 			log.Fatal(err)
 		}
-		if err := eng.Compact(); err != nil {
+		if preload != nil {
+			if err := st.Ingest(preload); err != nil {
+				log.Fatal(err)
+			}
+			if err := st.Compact(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		backend = serve.NewShardedBackend(st)
+		log.Printf("sharded store: %d shards (%s partition)", st.ShardCount(), st.Plan().Strategy)
+	} else {
+		eng, err := serve.NewEngine(serve.Config{N: g.N})
+		if err != nil {
 			log.Fatal(err)
 		}
+		if preload != nil {
+			if err := eng.Ingest(preload); err != nil {
+				log.Fatal(err)
+			}
+			if err := eng.Compact(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		backend = serve.NewEngineBackend(eng)
+	}
+	if preload != nil {
 		log.Printf("preloaded RMAT scale %d: %d vertices, %d edges", *scale, g.N, len(g.Edges))
 	}
 
 	s := serve.NewServer(serve.Options{
-		Engine:         eng,
+		Backend:        backend,
 		MaxConcurrent:  *maxConc,
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *timeout,
@@ -98,7 +132,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("grbserve listening on %s (max-concurrent=%d, timeout=%v)", *addr, *maxConc, *timeout)
+	log.Printf("grbserve listening on %s (shards=%d, max-concurrent=%d, timeout=%v)", *addr, *shards, *maxConc, *timeout)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

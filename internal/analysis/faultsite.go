@@ -7,7 +7,7 @@ package analysis
 //   - the site must be a constant string literal: a computed name cannot be
 //     targeted by a fault plan and silently weakens the differential sweep;
 //   - it must be dotted and live in a registered namespace
-//     ("sparse.kernel.", "format.kernel.", "format.alloc."):
+//     ("sparse.kernel.", "format.kernel.", "shard.kernel.", …):
 //     PlanCoversKernelSites classifies kernel-internal sites by their dots,
 //     and an undotted Step site would let a DAG-parallel flush run a plan
 //     that reaches inside kernel bodies without serializing them —
@@ -36,7 +36,7 @@ import (
 
 // kernelSiteNamespaces are the registered dotted prefixes for
 // kernel-internal injection sites.
-var kernelSiteNamespaces = []string{"sparse.kernel.", "format.kernel.", "format.alloc.", "stream.kernel.", "stream.alloc."}
+var kernelSiteNamespaces = []string{"sparse.kernel.", "format.kernel.", "format.alloc.", "stream.kernel.", "stream.alloc.", "shard.kernel.", "shard.alloc."}
 
 type siteUse struct {
 	pos  token.Pos

@@ -141,7 +141,11 @@ type pendingOp struct {
 
 // context is the GraphBLAS execution context. The paper defines exactly one
 // per program, created by GrB_init; this binding mirrors that with a
-// package-level context.
+// package-level context — and, as an extension, lets a host embed additional
+// independent contexts (Instance) so horizontally sharded deployments give
+// every shard its own queue, scheduler, and flush lock. Objects bind to the
+// context they were created in; operations route through their output's
+// context, so two instances never serialize against each other.
 type context struct {
 	mu       sync.Mutex
 	state    contextState
@@ -214,7 +218,7 @@ func Finalize() error {
 		return errf(UninitializedContext, "Finalize", "context not initialized")
 	}
 	obs.Flushes.Inc()
-	err := flushLocked(nil)
+	err := global.flushLocked(nil)
 	global.state = stateFinalized
 	return err
 }
@@ -356,15 +360,18 @@ func Wait() error { return WaitContext(nil) }
 //
 // A nil ctx (or one that can never be canceled) makes this identical to
 // Wait.
-func WaitContext(ctx stdctx.Context) error {
-	global.mu.Lock()
-	if global.state != stateActive {
-		global.mu.Unlock()
+func WaitContext(ctx stdctx.Context) error { return global.waitContext(ctx) }
+
+// waitContext is the context-scoped body of Wait/WaitContext.
+func (c *context) waitContext(ctx stdctx.Context) error {
+	c.mu.Lock()
+	if c.state != stateActive {
+		c.mu.Unlock()
 		return errf(UninitializedContext, "Wait", "call Init before any GraphBLAS method")
 	}
 	obs.Flushes.Inc()
-	err := flushLocked(ctx)
-	global.mu.Unlock()
+	err := c.flushLocked(ctx)
+	c.mu.Unlock()
 	return err
 }
 
@@ -377,17 +384,17 @@ func WaitContext(ctx stdctx.Context) error {
 // return value and the GrB_error string, per Section V. A non-nil ctx bounds
 // the flush (WaitContext): once it is canceled, undispatched operations are
 // abandoned with a Canceled error instead of executing. Caller holds
-// global.mu.
-func flushLocked(ctx stdctx.Context) error {
-	queue := global.queue
-	global.queue = nil
+// c.mu.
+func (c *context) flushLocked(ctx stdctx.Context) error {
+	queue := c.queue
+	c.queue = nil
 	obs.QueueDepth.Set(0)
 	if len(queue) == 0 {
-		closeSeqLocked()
-		return global.takeExecErrLocked()
+		c.closeSeqLocked()
+		return c.takeExecErrLocked()
 	}
 	obs.FlushDepth.Observe(float64(len(queue)))
-	elide := markElidable(queue, global.elision)
+	elide := markElidable(queue, c.elision)
 	propagateHints(queue, elide)
 	nodes := queue[:0]
 	for k, op := range queue {
@@ -400,7 +407,7 @@ func flushLocked(ctx stdctx.Context) error {
 		nodes = append(nodes, op)
 	}
 	var results []error
-	if global.sched == SchedDag && len(nodes) > 1 && parallel.MaxWorkers() > 1 {
+	if c.sched == SchedDag && len(nodes) > 1 && parallel.MaxWorkers() > 1 {
 		results = runQueueDag(ctx, nodes)
 	} else {
 		results = make([]error, len(nodes))
@@ -417,46 +424,45 @@ func flushLocked(ctx stdctx.Context) error {
 	// exactly as a sequential drain would produce them.
 	for i, op := range nodes {
 		if err := results[i]; err != nil {
-			global.errLog = append(global.errLog, SequenceError{Pos: op.pos, Op: op.name, Err: err})
-			if global.execErr == nil {
-				global.execErr = err
-				global.lastMsg = err.Error()
+			c.errLog = append(c.errLog, SequenceError{Pos: op.pos, Op: op.name, Err: err})
+			if c.execErr == nil {
+				c.execErr = err
+				c.lastMsg = err.Error()
 			}
 		}
 	}
-	if global.execErr == nil {
+	if c.execErr == nil {
 		// A clean flush supersedes any stale GrB_error string.
-		global.lastMsg = ""
+		c.lastMsg = ""
 	}
-	closeSeqLocked()
-	return global.takeExecErrLocked()
+	c.closeSeqLocked()
+	return c.takeExecErrLocked()
 }
 
 // beginOpLocked assigns the next program-order position in the current
 // sequence, opening a fresh sequence (and clearing the previous log) if the
-// last one has terminated. Caller holds global.mu.
-func beginOpLocked() int {
-	if !global.seqOpen {
-		global.seqOpen = true
-		global.seqPos = 0
-		global.errLog = nil
+// last one has terminated. Caller holds c.mu.
+func (c *context) beginOpLocked() int {
+	if !c.seqOpen {
+		c.seqOpen = true
+		c.seqPos = 0
+		c.errLog = nil
 	}
-	pos := global.seqPos
-	global.seqPos++
+	pos := c.seqPos
+	c.seqPos++
 	return pos
 }
 
 // closeSeqLocked terminates the current sequence, retiring its error log to
-// seqDone so it remains inspectable after Wait returns. Caller holds
-// global.mu.
-func closeSeqLocked() {
-	if !global.seqOpen {
+// seqDone so it remains inspectable after Wait returns. Caller holds c.mu.
+func (c *context) closeSeqLocked() {
+	if !c.seqOpen {
 		return
 	}
-	global.seqOpen = false
-	global.seqPos = 0
-	global.seqDone = global.errLog
-	global.errLog = nil
+	c.seqOpen = false
+	c.seqPos = 0
+	c.seqDone = c.errLog
+	c.errLog = nil
 }
 
 // SequenceErrors returns the execution error log of the current sequence,
@@ -684,53 +690,60 @@ func enqueueHinted(name string, out *obj, reads []*obj, overwrites bool, hint fo
 // themselves with obs.Begin and pass it in; everything else arrives here via
 // enqueueHinted. sp is nil whenever tracing is disabled.
 func enqueueSpanned(name string, out *obj, reads []*obj, overwrites bool, hint format.OpHint, sp *obs.Span, run func() error) error {
-	global.mu.Lock()
-	if global.state != stateActive {
-		global.mu.Unlock()
+	c := out.engine()
+	for _, r := range reads {
+		if r.engine() != c {
+			return errf(InvalidValue, name, "operands are bound to different engine instances")
+		}
+	}
+	c.mu.Lock()
+	if c.state != stateActive {
+		c.mu.Unlock()
 		return errf(UninitializedContext, name, "call Init before any GraphBLAS method")
 	}
-	if global.mode == Blocking {
+	if c.mode == Blocking {
 		// Run outside the context lock: the paper permits concurrent
 		// sequences in distinct threads (sharing only read-only objects),
 		// and blocking-mode execution must not serialize them globally.
-		pos := beginOpLocked()
-		global.mu.Unlock()
+		pos := c.beginOpLocked()
+		c.mu.Unlock()
 		sp.SetPos(pos)
 		op := &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: pos, hint: hint, span: sp}
 		err := runOp(op)
-		global.mu.Lock()
+		c.mu.Lock()
 		if err != nil {
-			global.errLog = append(global.errLog, SequenceError{Pos: pos, Op: name, Err: err})
-			global.lastMsg = err.Error()
+			c.errLog = append(c.errLog, SequenceError{Pos: pos, Op: name, Err: err})
+			c.lastMsg = err.Error()
 		} else {
 			// A successful operation supersedes the previous error: the
 			// GrB_error string describes the *most recent* method outcome.
-			global.lastMsg = ""
+			c.lastMsg = ""
 		}
-		global.mu.Unlock()
+		c.mu.Unlock()
 		return err
 	}
-	pos := beginOpLocked()
+	pos := c.beginOpLocked()
 	sp.SetPos(pos)
-	global.queue = append(global.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: pos, hint: hint, span: sp})
+	c.queue = append(c.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: pos, hint: hint, span: sp})
 	obs.OpsEnqueued.With(name).Inc()
-	obs.QueueDepth.Set(int64(len(global.queue)))
-	global.mu.Unlock()
+	obs.QueueDepth.Set(int64(len(c.queue)))
+	c.mu.Unlock()
 	return nil
 }
 
-// force completes every pending operation because a method is about to read
-// values out of an opaque object (Section IV: such methods may not defer).
-// It returns the first execution error of the flushed sequence.
-func force(name string) error {
-	global.mu.Lock()
-	defer global.mu.Unlock()
-	if global.state != stateActive {
+// force completes every pending operation of this context because a method
+// is about to read values out of an opaque object (Section IV: such methods
+// may not defer). It returns the first execution error of the flushed
+// sequence.
+func (c *context) force(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != stateActive {
 		return errf(UninitializedContext, name, "call Init before any GraphBLAS method")
 	}
-	if len(global.queue) == 0 {
-		return global.takeExecErrLocked()
+	if len(c.queue) == 0 {
+		return c.takeExecErrLocked()
 	}
 	obs.Flushes.Inc()
-	return flushLocked(nil)
+	return c.flushLocked(nil)
 }

@@ -16,7 +16,7 @@ func MatrixExportCSR[D any](m *Matrix[D]) (rowPtr, colIdx []int, values []D, err
 	if err := objOK(&m.obj, op, "m"); err != nil {
 		return nil, nil, nil, err
 	}
-	if err := force(op); err != nil {
+	if err := m.obj.engine().force(op); err != nil {
 		return nil, nil, nil, err
 	}
 	if err := invalidMark(&m.obj, op); err != nil {
@@ -79,7 +79,7 @@ func VectorExport[D any](v *Vector[D]) (indices []int, values []D, err error) {
 	if err := objOK(&v.obj, op, "v"); err != nil {
 		return nil, nil, err
 	}
-	if err := force(op); err != nil {
+	if err := v.obj.engine().force(op); err != nil {
 		return nil, nil, err
 	}
 	if err := invalidMark(&v.obj, op); err != nil {

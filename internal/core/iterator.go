@@ -22,7 +22,7 @@ func MatrixIterate[D any](m *Matrix[D]) (*MatrixIterator[D], error) {
 	if err := objOK(&m.obj, op, "m"); err != nil {
 		return nil, err
 	}
-	if err := force(op); err != nil {
+	if err := m.obj.engine().force(op); err != nil {
 		return nil, err
 	}
 	if err := invalidMark(&m.obj, op); err != nil {
@@ -69,7 +69,7 @@ func VectorIterate[D any](v *Vector[D]) (*VectorIterator[D], error) {
 	if err := objOK(&v.obj, op, "v"); err != nil {
 		return nil, err
 	}
-	if err := force(op); err != nil {
+	if err := v.obj.engine().force(op); err != nil {
 		return nil, err
 	}
 	if err := invalidMark(&v.obj, op); err != nil {

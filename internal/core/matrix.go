@@ -297,7 +297,7 @@ func (m *Matrix[D]) Format() (format.Kind, error) {
 	if err := objOK(&m.obj, "Matrix.Format", "m"); err != nil {
 		return format.Auto, err
 	}
-	if err := force("Matrix.Format"); err != nil {
+	if err := m.obj.engine().force("Matrix.Format"); err != nil {
 		return format.Auto, err
 	}
 	m.mu.Lock()
@@ -344,7 +344,7 @@ func (m *Matrix[D]) NVals() (int, error) {
 	if err := objOK(&m.obj, "Matrix.NVals", "m"); err != nil {
 		return 0, err
 	}
-	if err := force("Matrix.NVals"); err != nil {
+	if err := m.obj.engine().force("Matrix.NVals"); err != nil {
 		return 0, err
 	}
 	if err := invalidMark(&m.obj, "Matrix.NVals"); err != nil {
@@ -381,6 +381,7 @@ func (m *Matrix[D]) Dup() (*Matrix[D], error) {
 	}
 	w := &Matrix[D]{nr: m.nr, nc: m.nc, data: sparse.NewCSR[D](m.nr, m.nc), forced: m.forced}
 	w.initMatrix()
+	w.obj.ctx = m.obj.ctx // the copy lives in the source's execution context
 	m.mu.Lock()
 	w.spolicy = m.spolicy
 	m.mu.Unlock()
@@ -441,7 +442,7 @@ func (m *Matrix[D]) Build(rows, cols []int, values []D, dup BinaryOp[D, D, D]) e
 			return errf(InvalidIndex, op, "column index %d out of range [0,%d)", cols[k], m.nc)
 		}
 	}
-	if err := force(op); err != nil {
+	if err := m.obj.engine().force(op); err != nil {
 		return err
 	}
 	if err := invalidMark(&m.obj, op); err != nil {
@@ -507,7 +508,7 @@ func (m *Matrix[D]) ExtractElement(i, j int) (D, error) {
 	if i < 0 || i >= m.nr || j < 0 || j >= m.nc {
 		return zero, errf(InvalidIndex, "Matrix.ExtractElement", "(%d,%d) out of range %dx%d", i, j, m.nr, m.nc)
 	}
-	if err := force("Matrix.ExtractElement"); err != nil {
+	if err := m.obj.engine().force("Matrix.ExtractElement"); err != nil {
 		return zero, err
 	}
 	if err := invalidMark(&m.obj, "Matrix.ExtractElement"); err != nil {
@@ -526,7 +527,7 @@ func (m *Matrix[D]) ExtractTuples() ([]int, []int, []D, error) {
 	if err := objOK(&m.obj, "Matrix.ExtractTuples", "m"); err != nil {
 		return nil, nil, nil, err
 	}
-	if err := force("Matrix.ExtractTuples"); err != nil {
+	if err := m.obj.engine().force("Matrix.ExtractTuples"); err != nil {
 		return nil, nil, nil, err
 	}
 	if err := invalidMark(&m.obj, "Matrix.ExtractTuples"); err != nil {
@@ -544,7 +545,7 @@ func (m *Matrix[D]) Free() error {
 	if m == nil || !m.initialized {
 		return nil
 	}
-	if err := force("Matrix.Free"); err != nil {
+	if err := m.obj.engine().force("Matrix.Free"); err != nil {
 		return err
 	}
 	m.initialized = false

@@ -13,6 +13,12 @@ type obj struct {
 	id          uint64
 	err         error
 	initialized bool
+	// ctx binds the object to the execution context that owns it: nil means
+	// the package-level global context (the paper's one-per-program rule);
+	// non-nil means an embedded Instance (the sharding extension). Operations
+	// route through their output object's context, so instance-bound work
+	// never serializes against the global queue.
+	ctx *context
 	// snapshot captures the object's committed store (pointers, not
 	// payloads — stores are immutable once committed) and returns a closure
 	// restoring it. The executor takes a snapshot before each kernel and
@@ -26,6 +32,14 @@ type obj struct {
 	// policy reads it when deciding which layout to materialize. Atomic
 	// because the flushing goroutine stamps it while kernels may read it.
 	hint atomic.Uint32
+}
+
+// engine returns the execution context the object is bound to.
+func (o *obj) engine() *context {
+	if o.ctx == nil {
+		return &global
+	}
+	return o.ctx
 }
 
 // noteHint records a consumer hint on the object.
@@ -58,9 +72,10 @@ func objOK(o *obj, op, arg string) error {
 // by another goroutine may be rewriting o.err concurrently; the lock
 // round-trip orders this read against that write.
 func invalidMark(o *obj, op string) error {
-	global.mu.Lock()
+	c := o.engine()
+	c.mu.Lock()
 	err := o.err
-	global.mu.Unlock()
+	c.mu.Unlock()
 	if err != nil {
 		return errf(InvalidObject, op, "%v", err)
 	}
@@ -75,7 +90,7 @@ func (m *Matrix[D]) Wait() error {
 	if err := objOK(&m.obj, "Matrix.Wait", "m"); err != nil {
 		return err
 	}
-	if err := force("Matrix.Wait"); err != nil {
+	if err := m.obj.engine().force("Matrix.Wait"); err != nil {
 		return err
 	}
 	return invalidMark(&m.obj, "Matrix.Wait")
@@ -87,7 +102,7 @@ func (v *Vector[D]) Wait() error {
 	if err := objOK(&v.obj, "Vector.Wait", "v"); err != nil {
 		return err
 	}
-	if err := force("Vector.Wait"); err != nil {
+	if err := v.obj.engine().force("Vector.Wait"); err != nil {
 		return err
 	}
 	return invalidMark(&v.obj, "Vector.Wait")
@@ -103,12 +118,13 @@ func revalidate(o *obj, op, arg string) error {
 	// object after the clear. The flush's own error, if any, is exactly the
 	// failure being acknowledged, so it is not propagated — unless the
 	// context itself is unusable.
-	if err := force(op); InfoOf(err) == UninitializedContext {
+	c := o.engine()
+	if err := c.force(op); InfoOf(err) == UninitializedContext {
 		return err
 	}
-	global.mu.Lock()
+	c.mu.Lock()
 	o.err = nil
-	global.mu.Unlock()
+	c.mu.Unlock()
 	return nil
 }
 

@@ -19,7 +19,7 @@ import (
 // (`acc, _ :=`), so a fault raised inside it crashed the program or — worse —
 // was swallowed, handing the caller a silently wrong scalar; now it surfaces
 // as the method's error and lands in the sequence error log.
-func runScalarReduce[D any](name string, f func() D) (out D, err error) {
+func runScalarReduce[D any](c *context, name string, f func() D) (out D, err error) {
 	sp := obs.Begin(name)
 	sp.MarkScheduled()
 	defer func() {
@@ -29,7 +29,7 @@ func runScalarReduce[D any](name string, f func() D) (out D, err error) {
 		if err != nil {
 			var zero D
 			out = zero
-			recordScalarError(name, err)
+			recordScalarError(c, name, err)
 			sp.Finish(obs.OutcomeError, err)
 		} else {
 			sp.Finish(obs.OutcomeOK, nil)
@@ -48,12 +48,12 @@ func runScalarReduce[D any](name string, f func() D) (out D, err error) {
 // setting the GrB_error string. A sequence is opened only because an error
 // actually occurred — the success path touches neither the log nor the
 // error string, so passing sequences observe no change.
-func recordScalarError(name string, err error) {
-	global.mu.Lock()
-	pos := beginOpLocked()
-	global.errLog = append(global.errLog, SequenceError{Pos: pos, Op: name, Err: err})
-	global.lastMsg = err.Error()
-	global.mu.Unlock()
+func recordScalarError(c *context, name string, err error) {
+	c.mu.Lock()
+	pos := c.beginOpLocked()
+	c.errLog = append(c.errLog, SequenceError{Pos: pos, Op: name, Err: err})
+	c.lastMsg = err.Error()
+	c.mu.Unlock()
 }
 
 // ReduceMatrixToVector computes w ⊙= ⊕_j A(i,j) (GrB_reduce, the Figure 3
@@ -131,13 +131,13 @@ func ReduceMatrixToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], a 
 	if !m.Defined() {
 		return zero, errf(UninitializedObject, name, "monoid not initialized")
 	}
-	if err := force(name); err != nil {
+	if err := a.obj.engine().force(name); err != nil {
 		return zero, err
 	}
 	if err := invalidMark(&a.obj, name); err != nil {
 		return zero, err
 	}
-	acc, err := runScalarReduce(name, func() D {
+	acc, err := runScalarReduce(a.obj.engine(), name, func() D {
 		//grblint:ignore swallowederr stored=false means no entries were folded; the identity the kernel returns is exactly the GraphBLAS empty-reduction value
 		r, _ := sparse.ReduceAllCSR(a.mdat(), m.Op.F, m.Identity, m.Terminal)
 		return r
@@ -168,13 +168,13 @@ func ReduceVectorToScalar[D any](val D, accum BinaryOp[D, D, D], m Monoid[D], u 
 	if !m.Defined() {
 		return zero, errf(UninitializedObject, name, "monoid not initialized")
 	}
-	if err := force(name); err != nil {
+	if err := u.obj.engine().force(name); err != nil {
 		return zero, err
 	}
 	if err := invalidMark(&u.obj, name); err != nil {
 		return zero, err
 	}
-	acc, err := runScalarReduce(name, func() D {
+	acc, err := runScalarReduce(u.obj.engine(), name, func() D {
 		//grblint:ignore swallowederr stored=false means no entries were folded; the identity the kernel returns is exactly the GraphBLAS empty-reduction value
 		r, _ := sparse.VecReduce(u.vdat(), m.Op.F, m.Identity, m.Terminal)
 		return r

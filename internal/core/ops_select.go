@@ -193,6 +193,7 @@ func Diag[D any](v *Vector[D], k int) (*Matrix[D], error) {
 	}
 	m := &Matrix[D]{nr: n, nc: n, data: sparse.NewCSR[D](n, n)}
 	m.initMatrix()
+	m.obj.ctx = v.obj.ctx // the result lives in the source's execution context
 	err := enqueue(name, &m.obj, []*obj{&v.obj}, true, func() error {
 		is := make([]int, len(v.vdat().Idx))
 		js := make([]int, len(v.vdat().Idx))

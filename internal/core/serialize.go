@@ -189,7 +189,7 @@ func MatrixSerialize[D any](m *Matrix[D], w io.Writer) error {
 	if !ok {
 		return errf(DomainMismatch, op, "domain %T is not serializable", *new(D))
 	}
-	if err := force(op); err != nil {
+	if err := m.obj.engine().force(op); err != nil {
 		return err
 	}
 	if err := invalidMark(&m.obj, op); err != nil {
@@ -295,7 +295,7 @@ func VectorSerialize[D any](v *Vector[D], w io.Writer) error {
 	if !ok {
 		return errf(DomainMismatch, op, "domain %T is not serializable", *new(D))
 	}
-	if err := force(op); err != nil {
+	if err := v.obj.engine().force(op); err != nil {
 		return err
 	}
 	if err := invalidMark(&v.obj, op); err != nil {

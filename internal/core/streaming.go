@@ -138,7 +138,7 @@ func (m *Matrix[D]) PinEpoch() (*stream.Epoch[D], error) {
 	if err := objOK(&m.obj, op, "m"); err != nil {
 		return nil, err
 	}
-	if err := force(op); err != nil {
+	if err := m.obj.engine().force(op); err != nil {
 		return nil, err
 	}
 	if err := invalidMark(&m.obj, op); err != nil {
@@ -158,7 +158,7 @@ func (m *Matrix[D]) DeltaNVals() (int, error) {
 	if err := objOK(&m.obj, op, "m"); err != nil {
 		return 0, err
 	}
-	if err := force(op); err != nil {
+	if err := m.obj.engine().force(op); err != nil {
 		return 0, err
 	}
 	if err := invalidMark(&m.obj, op); err != nil {
@@ -176,7 +176,7 @@ func (m *Matrix[D]) EpochID() (uint64, error) {
 	if err := objOK(&m.obj, op, "m"); err != nil {
 		return 0, err
 	}
-	if err := force(op); err != nil {
+	if err := m.obj.engine().force(op); err != nil {
 		return 0, err
 	}
 	m.mu.Lock()

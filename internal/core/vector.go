@@ -106,7 +106,7 @@ func (v *Vector[D]) NVals() (int, error) {
 	if err := objOK(&v.obj, "Vector.NVals", "v"); err != nil {
 		return 0, err
 	}
-	if err := force("Vector.NVals"); err != nil {
+	if err := v.obj.engine().force("Vector.NVals"); err != nil {
 		return 0, err
 	}
 	if err := invalidMark(&v.obj, "Vector.NVals"); err != nil {
@@ -136,6 +136,7 @@ func (v *Vector[D]) Dup() (*Vector[D], error) {
 	}
 	w := &Vector[D]{n: v.n, data: sparse.NewVec[D](v.n)}
 	w.initVector()
+	w.obj.ctx = v.obj.ctx // the copy lives in the source's execution context
 	err := enqueue("Vector.Dup", &w.obj, []*obj{&v.obj}, true, func() error {
 		w.setVData(v.vdat().Clone())
 		return nil
@@ -190,7 +191,7 @@ func (v *Vector[D]) Build(indices []int, values []D, dup BinaryOp[D, D, D]) erro
 			return errf(InvalidIndex, op, "index %d out of range [0,%d)", i, v.n)
 		}
 	}
-	if err := force(op); err != nil {
+	if err := v.obj.engine().force(op); err != nil {
 		return err
 	}
 	if err := invalidMark(&v.obj, op); err != nil {
@@ -255,7 +256,7 @@ func (v *Vector[D]) ExtractElement(i int) (D, error) {
 	if i < 0 || i >= v.n {
 		return zero, errf(InvalidIndex, "Vector.ExtractElement", "index %d out of range [0,%d)", i, v.n)
 	}
-	if err := force("Vector.ExtractElement"); err != nil {
+	if err := v.obj.engine().force("Vector.ExtractElement"); err != nil {
 		return zero, err
 	}
 	if err := invalidMark(&v.obj, "Vector.ExtractElement"); err != nil {
@@ -273,7 +274,7 @@ func (v *Vector[D]) ExtractTuples() ([]int, []D, error) {
 	if err := objOK(&v.obj, "Vector.ExtractTuples", "v"); err != nil {
 		return nil, nil, err
 	}
-	if err := force("Vector.ExtractTuples"); err != nil {
+	if err := v.obj.engine().force("Vector.ExtractTuples"); err != nil {
 		return nil, nil, err
 	}
 	if err := invalidMark(&v.obj, "Vector.ExtractTuples"); err != nil {
@@ -289,7 +290,7 @@ func (v *Vector[D]) Free() error {
 	if v == nil || !v.initialized {
 		return nil // freeing an uninitialized object is a no-op, as in C
 	}
-	if err := force("Vector.Free"); err != nil {
+	if err := v.obj.engine().force("Vector.Free"); err != nil {
 		return err
 	}
 	v.initialized = false

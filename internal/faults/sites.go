@@ -34,4 +34,13 @@ var KernelSites = []string{
 	"stream.kernel.absorb",
 	"stream.kernel.merge",
 	"stream.alloc.delta",
+
+	// internal/shard scatter-gather coordination kernels and governor gate.
+	// These run on the sharding coordinator, outside the per-instance
+	// executors, so the shard layer contains their fault panics itself
+	// (shard.runKernel) with the same rollback-to-error discipline.
+	"shard.kernel.route",
+	"shard.kernel.scatter",
+	"shard.kernel.gather",
+	"shard.alloc.partial",
 }

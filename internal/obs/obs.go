@@ -97,6 +97,9 @@ type Span struct {
 	// Retried reports that a fast-path kernel failed recoverably and the
 	// operation re-ran on the generic CSR path.
 	Retried bool
+	// Fanout is the number of shard sub-engines a serving-layer request span
+	// covered; 0 for engine-operation spans and unsharded request spans.
+	Fanout int
 	// RolledBack reports that the output's committed store was restored
 	// after a kernel failure.
 	RolledBack bool
@@ -148,6 +151,14 @@ func (s *Span) NoteLayout(layout string) {
 func (s *Span) AddBytes(n int64) {
 	if s != nil {
 		s.Bytes += n
+	}
+}
+
+// NoteFanout records how many shard sub-engines a serving-layer request
+// touched (the scatter width of a sharded scatter-gather query).
+func (s *Span) NoteFanout(n int) {
+	if s != nil {
+		s.Fanout = n
 	}
 }
 

@@ -36,6 +36,7 @@ func TestSpanLifecycle(t *testing.T) {
 	s.NoteLayout("bitmap")
 	s.AddBytes(1024)
 	s.NoteRetry()
+	s.NoteFanout(4)
 	s.Finish(OutcomeOK, nil)
 	Emit(s)
 
@@ -43,7 +44,7 @@ func TestSpanLifecycle(t *testing.T) {
 		t.Fatalf("got %d spans, want 1", len(c.spans))
 	}
 	got := c.spans[0]
-	if got.Op != "MxM" || got.Pos != 3 || got.Layout != "bitmap" || got.Bytes != 1024 || !got.Retried {
+	if got.Op != "MxM" || got.Pos != 3 || got.Layout != "bitmap" || got.Bytes != 1024 || !got.Retried || got.Fanout != 4 {
 		t.Errorf("span fields = %+v", got)
 	}
 	if got.Outcome != OutcomeOK {
@@ -73,6 +74,7 @@ func TestDisabledSpanIsNilSafe(t *testing.T) {
 	s.AddBytes(8)
 	s.NoteRetry()
 	s.NoteRollback()
+	s.NoteFanout(8)
 	s.Finish(OutcomeError, nil)
 	if s.Duration() != 0 || s.QueueLatency() != 0 {
 		t.Error("nil span reported nonzero durations")
@@ -95,6 +97,7 @@ func TestDisabledPathAllocFree(t *testing.T) {
 		s.MarkScheduled()
 		s.MarkKernel()
 		s.NoteLayout("csr")
+		s.NoteFanout(4)
 		s.Finish(OutcomeOK, nil)
 		Emit(s)
 		done := KernelStart("spgemm")

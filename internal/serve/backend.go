@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+
+	"graphblas/internal/core"
+	"graphblas/internal/stream"
+)
+
+// Backend is the graph store behind the HTTP layer. Two implementations
+// exist: the single-engine path (NewEngineBackend, wrapping *Engine) and the
+// horizontally sharded path (NewShardedBackend, wrapping a *shard.Store whose
+// every shard owns an independent engine instance). The handler spine —
+// admission, deadlines, retries, degradation — is backend-agnostic: a sharded
+// deployment inherits the whole resilience ladder, with the scatter-gather
+// fan-out hidden behind View.
+type Backend interface {
+	// View pins one consistent read view. The bool reports staleness — the
+	// backend degraded to its last good view instead of failing.
+	View(ctx context.Context) (View, bool, error)
+	// Ingest applies one sealed update batch atomically (all-shards-or-none
+	// on the sharded path).
+	Ingest(b *stream.Batch[float64]) error
+	// N is the vertex-space dimension.
+	N() int
+	// Shards is the partition width (1 for the single-engine path) — the
+	// fan-out stamped on request spans.
+	Shards() int
+	// Health reports backend-specific liveness fields for /healthz.
+	Health() map[string]any
+	// Drain flushes pending engine work at shutdown.
+	Drain(ctx context.Context) error
+}
+
+// View is one pinned, immutable read view: every query a request can ask,
+// answered at a single epoch. The single-engine view is *Snapshot; the
+// sharded view composes per-shard pinned epochs at one acknowledged version.
+type View interface {
+	// Epoch is the consistency token responses carry in X-Graphblas-Epoch.
+	Epoch() uint64
+	KHop(ctx context.Context, src, k int) ([]int, error)
+	PPRTopK(ctx context.Context, src, k int, damping, tol float64, maxIter int) ([]Ranked, int, error)
+	Stats(ctx context.Context) (GraphStats, error)
+	Degree(ctx context.Context, v int) (int, error)
+}
+
+// Epoch implements View: the pinned epoch is the single-engine token.
+func (s *Snapshot) Epoch() uint64 { return s.EpochID }
+
+// KHop implements View.
+func (s *Snapshot) KHop(ctx context.Context, src, k int) ([]int, error) {
+	return KHop(ctx, s, src, k)
+}
+
+// PPRTopK implements View.
+func (s *Snapshot) PPRTopK(ctx context.Context, src, k int, damping, tol float64, maxIter int) ([]Ranked, int, error) {
+	return PPRTopK(ctx, s, src, k, damping, tol, maxIter)
+}
+
+// Stats implements View.
+func (s *Snapshot) Stats(ctx context.Context) (GraphStats, error) {
+	return Stats(ctx, s)
+}
+
+// Degree implements View: vertex v's out-degree at the pinned epoch,
+// gathered once per snapshot from the stored pattern.
+func (s *Snapshot) Degree(ctx context.Context, v int) (int, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return 0, errCanceledBefore(ctx)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deg == nil {
+		rows, _, _, err := s.Mat.ExtractTuples()
+		if err != nil {
+			return 0, err
+		}
+		deg := make([]int, s.N)
+		for _, r := range rows {
+			deg[r]++
+		}
+		s.deg = deg
+	}
+	return s.deg[v], nil
+}
+
+// engineBackend adapts the single-engine store to the Backend interface.
+type engineBackend struct {
+	eng *Engine
+}
+
+// NewEngineBackend wraps an Engine as a serving backend.
+func NewEngineBackend(eng *Engine) Backend { return engineBackend{eng: eng} }
+
+func (b engineBackend) View(ctx context.Context) (View, bool, error) {
+	snap, stale, err := b.eng.Snapshot(ctx)
+	if snap == nil {
+		return nil, false, err
+	}
+	return snap, stale, err
+}
+
+func (b engineBackend) Ingest(batch *stream.Batch[float64]) error { return b.eng.Ingest(batch) }
+
+func (b engineBackend) N() int { return b.eng.cfg.N }
+
+func (b engineBackend) Shards() int { return 1 }
+
+func (b engineBackend) Health() map[string]any {
+	//grblint:ignore swallowederr liveness must answer even over a poisoned store; zero values are the honest degraded report
+	epoch, _ := b.eng.Matrix().EpochID()
+	//grblint:ignore swallowederr liveness must answer even over a poisoned store; zero values are the honest degraded report
+	delta, _ := b.eng.Matrix().DeltaNVals()
+	return map[string]any{
+		"backend": "engine",
+		"breaker": b.eng.Breaker().State(),
+		"epoch":   epoch,
+		"delta":   delta,
+	}
+}
+
+func (b engineBackend) Drain(ctx context.Context) error { return core.WaitContext(ctx) }

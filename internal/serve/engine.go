@@ -73,6 +73,7 @@ type Snapshot struct {
 
 	mu  sync.Mutex
 	sym *core.Matrix[bool] // lazily built symmetrized pattern for stats
+	deg []int              // lazily counted out-degrees for /query/degree
 }
 
 // Sym returns the snapshot's symmetrized, loop-free boolean pattern —

@@ -43,7 +43,13 @@ import (
 
 // Options configures a Server. Zero values get serving-sensible defaults.
 type Options struct {
+	// Engine is the single-engine store; it is wrapped in NewEngineBackend
+	// when Backend is nil.
 	Engine *Engine
+	// Backend, when set, overrides Engine — the sharded path passes
+	// NewShardedBackend here and the whole resilience ladder applies
+	// unchanged to scatter-gather execution.
+	Backend Backend
 
 	// MaxConcurrent bounds simultaneously executing requests (default 4).
 	MaxConcurrent int
@@ -104,19 +110,24 @@ func (o Options) withDefaults() Options {
 // http.Handler.
 type Server struct {
 	opt     Options
-	eng     *Engine
+	be      Backend
 	adm     *Admission
 	retrier *Retrier
 	mux     *http.ServeMux
 	ready   atomic.Bool
 }
 
-// NewServer assembles the server around an existing Engine.
+// NewServer assembles the server around a Backend (or an Engine, wrapped as
+// the single-engine backend).
 func NewServer(opt Options) *Server {
 	opt = opt.withDefaults()
+	be := opt.Backend
+	if be == nil {
+		be = NewEngineBackend(opt.Engine)
+	}
 	s := &Server{
 		opt:     opt,
-		eng:     opt.Engine,
+		be:      be,
 		adm:     NewAdmission(opt.MaxConcurrent, opt.MaxQueue),
 		retrier: NewRetrier(opt.RetrySeed, opt.RetryAttempts, opt.RetryBase, opt.RetryMax),
 		mux:     http.NewServeMux(),
@@ -126,6 +137,7 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/query/khop", s.handleKHop)
 	s.mux.HandleFunc("/query/ppr", s.handlePPR)
+	s.mux.HandleFunc("/query/degree", s.handleDegree)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.ready.Store(true)
@@ -145,7 +157,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if err := s.adm.Drain(ctx); err != nil {
 		return err
 	}
-	return core.WaitContext(ctx)
+	return s.be.Drain(ctx)
 }
 
 // writeJSON emits one JSON response and feeds the status metrics.
@@ -171,18 +183,15 @@ func unavailable(w http.ResponseWriter, route string, msg string) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	//grblint:ignore swallowederr liveness must answer even over a poisoned store; zero values are the honest degraded report
-	epoch, _ := s.eng.Matrix().EpochID()
-	//grblint:ignore swallowederr liveness must answer even over a poisoned store; zero values are the honest degraded report
-	delta, _ := s.eng.Matrix().DeltaNVals()
-	writeJSON(w, "healthz", http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
-		"breaker":  s.eng.Breaker().State(),
-		"epoch":    epoch,
-		"delta":    delta,
 		"inflight": s.adm.InflightCount(),
 		"queued":   s.adm.QueueDepth(),
-	})
+	}
+	for k, v := range s.be.Health() {
+		body[k] = v
+	}
+	writeJSON(w, "healthz", http.StatusOK, body)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -229,20 +238,28 @@ func intParam(r *http.Request, name string, def int) (int, error) {
 }
 
 // runQuery is the shared admission → deadline → retry → respond spine of the
-// query endpoints. fn runs under the request context against a pinned
-// snapshot and returns the response payload; degraded reports whether the
-// ladder reduced quality before fn ran.
+// query endpoints. fn runs under the request context against a pinned view
+// and returns the response payload; degraded reports whether the ladder
+// reduced quality before fn ran. Each request gets an obs span — endpoint as
+// the op, backend fan-out, and the outcome the ladder settled on — costing
+// nothing when no tracer is registered (Begin returns nil, every setter is
+// nil-safe).
 func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, route string,
-	fn func(ctx context.Context, snap *Snapshot, degraded bool) (any, error)) {
+	fn func(ctx context.Context, v View, degraded bool) (any, error)) {
 
 	start := time.Now()
 	defer func() { Latency.With(route).Observe(time.Since(start).Seconds()) }()
+
+	sp := obs.Begin("serve." + route)
+	sp.NoteFanout(s.be.Shards())
+	defer obs.Emit(sp)
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 
 	release, err := s.adm.Acquire(ctx)
 	if err != nil {
+		sp.Finish(obs.OutcomeShortCircuit, err)
 		switch {
 		case errors.Is(err, ErrShed), errors.Is(err, ErrDraining):
 			unavailable(w, route, err.Error())
@@ -252,6 +269,7 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, route string,
 		return
 	}
 	defer release()
+	sp.MarkScheduled()
 
 	degraded := s.adm.Pressure() >= s.opt.DegradePressure
 	if degraded {
@@ -261,29 +279,34 @@ func (s *Server) runQuery(w http.ResponseWriter, r *http.Request, route string,
 	var payload any
 	var stale bool
 	var epoch uint64
+	sp.MarkKernel()
 	attempts, err := s.retrier.Do(ctx, func(ctx context.Context) error {
-		snap, st, serr := s.eng.Snapshot(ctx)
+		v, st, serr := s.be.View(ctx)
 		if serr != nil {
 			return serr
 		}
-		out, qerr := fn(ctx, snap, degraded)
+		out, qerr := fn(ctx, v, degraded)
 		if qerr != nil {
 			return qerr
 		}
-		payload, stale, epoch = out, st, snap.EpochID
+		payload, stale, epoch = out, st, v.Epoch()
 		return nil
 	})
 	if attempts > 1 {
 		w.Header().Set("X-Graphblas-Attempts", strconv.Itoa(attempts))
+		sp.NoteRetry()
 	}
 	if err != nil {
 		if core.InfoOf(err) == core.Canceled || errors.Is(err, context.DeadlineExceeded) {
+			sp.Finish(obs.OutcomeCanceled, err)
 			writeJSON(w, route, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
 			return
 		}
+		sp.Finish(obs.OutcomeError, err)
 		writeJSON(w, route, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
+	sp.Finish(obs.OutcomeOK, nil)
 	w.Header().Set("X-Graphblas-Epoch", strconv.FormatUint(epoch, 10))
 	if stale {
 		w.Header().Set("X-Graphblas-Stale", "true")
@@ -305,19 +328,38 @@ func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, "khop", http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	if src >= s.eng.cfg.N {
+	if src >= s.be.N() {
 		writeJSON(w, "khop", http.StatusBadRequest, errorBody{Error: "src out of range"})
 		return
 	}
-	s.runQuery(w, r, "khop", func(ctx context.Context, snap *Snapshot, _ bool) (any, error) {
-		verts, err := KHop(ctx, snap, src, k)
+	s.runQuery(w, r, "khop", func(ctx context.Context, v View, _ bool) (any, error) {
+		verts, err := v.KHop(ctx, src, k)
 		if err != nil {
 			return nil, err
 		}
 		return map[string]any{
-			"source": src, "k": k, "epoch": snap.EpochID,
+			"source": src, "k": k, "epoch": v.Epoch(),
 			"count": len(verts), "vertices": verts,
 		}, nil
+	})
+}
+
+func (s *Server) handleDegree(w http.ResponseWriter, r *http.Request) {
+	src, err := intParam(r, "v", -1)
+	if err != nil {
+		writeJSON(w, "degree", http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if src >= s.be.N() {
+		writeJSON(w, "degree", http.StatusBadRequest, errorBody{Error: "v out of range"})
+		return
+	}
+	s.runQuery(w, r, "degree", func(ctx context.Context, v View, _ bool) (any, error) {
+		deg, err := v.Degree(ctx, src)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{"vertex": src, "epoch": v.Epoch(), "degree": deg}, nil
 	})
 }
 
@@ -332,33 +374,33 @@ func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, "ppr", http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	if src >= s.eng.cfg.N {
+	if src >= s.be.N() {
 		writeJSON(w, "ppr", http.StatusBadRequest, errorBody{Error: "src out of range"})
 		return
 	}
-	s.runQuery(w, r, "ppr", func(ctx context.Context, snap *Snapshot, degraded bool) (any, error) {
+	s.runQuery(w, r, "ppr", func(ctx context.Context, v View, degraded bool) (any, error) {
 		maxIter := s.opt.PPRMaxIter
 		if degraded {
 			maxIter = s.opt.PPRDegradedIter
 		}
-		ranks, iters, err := PPRTopK(ctx, snap, src, k, 0.85, 1e-6, maxIter)
+		ranks, iters, err := v.PPRTopK(ctx, src, k, 0.85, 1e-6, maxIter)
 		if err != nil {
 			return nil, err
 		}
 		return map[string]any{
-			"source": src, "k": k, "epoch": snap.EpochID,
+			"source": src, "k": k, "epoch": v.Epoch(),
 			"iterations": iters, "degraded": degraded, "ranks": ranks,
 		}, nil
 	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.runQuery(w, r, "stats", func(ctx context.Context, snap *Snapshot, _ bool) (any, error) {
-		st, err := Stats(ctx, snap)
+	s.runQuery(w, r, "stats", func(ctx context.Context, v View, _ bool) (any, error) {
+		st, err := v.Stats(ctx)
 		if err != nil {
 			return nil, err
 		}
-		return map[string]any{"epoch": snap.EpochID, "stats": st}, nil
+		return map[string]any{"epoch": v.Epoch(), "stats": st}, nil
 	})
 }
 
@@ -380,12 +422,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		unavailable(w, "ingest", "draining")
 		return
 	}
+	sp := obs.Begin("serve.ingest")
+	sp.NoteFanout(s.be.Shards())
+	defer obs.Emit(sp)
 	var body ingestBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		sp.Finish(obs.OutcomeShortCircuit, err)
 		writeJSON(w, "ingest", http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	n := s.eng.cfg.N
+	n := s.be.N()
 	b := stream.NewBatch[float64]()
 	for _, ins := range body.Inserts {
 		if len(ins) < 2 {
@@ -410,13 +456,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		b.Delete(del[0], del[1])
 	}
-	if err := s.eng.Ingest(b); err != nil {
+	sp.MarkKernel()
+	if err := s.be.Ingest(b); err != nil {
 		if errors.Is(err, ErrBackpressure) {
+			sp.Finish(obs.OutcomeShortCircuit, err)
 			unavailable(w, "ingest", err.Error())
 			return
+		}
+		sp.Finish(obs.OutcomeError, err)
+		if errors.Is(err, ErrIndeterminate) {
+			// The batch is partially applied and converging via redo: it may
+			// surface in a later epoch despite the failure status, so the
+			// client must not model it as never-happened.
+			w.Header().Set("X-Graphblas-Indeterminate", "true")
 		}
 		writeJSON(w, "ingest", http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
+	sp.Finish(obs.OutcomeOK, nil)
 	writeJSON(w, "ingest", http.StatusOK, map[string]int{"applied": b.Len()})
 }

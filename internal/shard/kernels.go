@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"graphblas/internal/core"
+	"graphblas/internal/faults"
+	"graphblas/internal/stream"
+)
+
+// The coordination kernels — batch routing, frontier scatter, partial-result
+// gather — run on the sharding coordinator, outside any instance's executor,
+// so they contain their own injected faults: runKernel recovers the *Fault
+// panic raised by faults.Step / faults.GovernAlloc and surfaces it as the
+// matching execution error, exactly the mapping the engine's executor applies
+// (OOM → GrB_OUT_OF_MEMORY, everything else → GrB_PANIC). The error class is
+// transient, so the serving retry ladder treats a faulted scatter or gather
+// like any other recoverable kernel failure.
+
+// runKernel executes one coordination kernel under fault containment.
+func runKernel(op string, f func()) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		fl, ok := r.(*faults.Fault)
+		if !ok {
+			panic(r)
+		}
+		if fl.Kind == faults.OOM {
+			err = &core.Error{Info: core.OutOfMemory, Op: op, Msg: fl.Error()}
+			return
+		}
+		err = &core.Error{Info: core.PanicInfo, Op: op, Msg: "unknown internal error: " + fl.Error()}
+	}()
+	f()
+	return nil
+}
+
+// routeBatch deals one logical update batch into per-shard sub-batches by
+// source row. Visiting preserves program order, so each sub-batch keeps the
+// last-wins semantics of the whole; entries land only in owning shards, so
+// the union of sub-batches is exactly the original batch.
+func routeBatch(p Plan, b *stream.Batch[float64]) []*stream.Batch[float64] {
+	faults.Step("shard.kernel.route")
+	subs := make([]*stream.Batch[float64], p.Shards)
+	b.Each(func(i, j int, v float64, del bool) {
+		s := p.Owner(i)
+		if subs[s] == nil {
+			subs[s] = stream.NewBatch[float64]()
+		}
+		if del {
+			subs[s].Delete(p.Local(i), j)
+		} else {
+			subs[s].Insert(p.Local(i), j, v)
+		}
+	})
+	return subs
+}
+
+// scatterRows deals a global row-index set to its owning shards as local row
+// indices — the scatter half of every sharded query (k-hop frontiers, PPR
+// rank support).
+func scatterRows(p Plan, rows []int) [][]int {
+	faults.Step("shard.kernel.scatter")
+	parts := make([][]int, p.Shards)
+	for _, v := range rows {
+		s := p.Owner(v)
+		parts[s] = append(parts[s], p.Local(v))
+	}
+	return parts
+}
+
+// gatherMerge accumulates per-shard partial result vectors into the dense
+// global accumulator, in ascending shard order — the fixed combine order that
+// makes cross-shard float summation deterministic run to run. The governor is
+// charged for the partials being folded, so an oversized gather fails with
+// OOM before the accumulation, like any engine allocation.
+func gatherMerge(dst []float64, idx [][]int, vals [][]float64) {
+	faults.Step("shard.kernel.gather")
+	var bytes int64
+	for s := range idx {
+		bytes += int64(len(idx[s])) * 16
+	}
+	faults.GovernAlloc("shard.alloc.partial", bytes)
+	for s := 0; s < len(idx); s++ {
+		for t, v := range idx[s] {
+			dst[v] += vals[s][t]
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"graphblas/internal/algorithms"
+	"graphblas/internal/builtins"
+	"graphblas/internal/core"
+)
+
+// Sharded serving queries: scatter-gather over the composed snapshot. The
+// shape is always the same — a global vector is dealt to its owning shards
+// (scatterRows), each shard runs its slice of the GraphBLAS kernel inside
+// its own engine with the request deadline threaded into that engine's
+// flush (inst.WaitContext), and the coordinator folds the partial results
+// in fixed shard order (gatherMerge). Row partitioning never splits a
+// per-row reduction, so k-hop, stats, degrees, and NVals are tuple-exact
+// against a single engine; PPR's cross-shard gather regroups float
+// additions and agrees to summation tolerance.
+
+// errCanceled wraps a pre-execution context error in the engine's Canceled
+// class so the serving retry layer treats it uniformly.
+func errCanceled(ctx context.Context) error {
+	return &core.Error{Info: core.Canceled, Op: "shard.query", Msg: ctx.Err().Error()}
+}
+
+// KHop returns every vertex reachable from src within at most k hops
+// (including src), ascending — tuple-identical to the single-engine BFS
+// frontier loop. Each hop scatters the frontier to its owning shards, runs
+// one per-shard VxM with a presence clamp, and gathers the union.
+func KHop(ctx context.Context, snap *Snapshot, src, k int) ([]int, error) {
+	visited := make([]bool, snap.N)
+	visited[src] = true
+	out := []int{src}
+	frontier := []int{src}
+	dense := make([]float64, snap.N)
+
+	for hop := 0; hop < k && len(frontier) > 0; hop++ {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, errCanceled(ctx)
+		}
+		var parts [][]int
+		if err := runKernel("shard.KHop", func() { parts = scatterRows(snap.plan, frontier) }); err != nil {
+			return nil, err
+		}
+		idxs := make([][]int, len(snap.mats))
+		valss := make([][]float64, len(snap.mats))
+		errs := make([]error, len(snap.mats))
+		var wg sync.WaitGroup
+		for s := range snap.mats {
+			if len(parts[s]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				idxs[s], valss[s], errs[s] = snap.expandFrontier(ctx, s, parts[s])
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := runKernel("shard.KHop", func() { gatherMerge(dense, idxs, valss) }); err != nil {
+			return nil, err
+		}
+		// Read the union off the accumulator (clearing it for the next hop);
+		// only first-visits extend the frontier — the filtered frontier
+		// reaches exactly the vertices the unfiltered one does.
+		frontier = frontier[:0]
+		for s := range idxs {
+			for _, v := range idxs[s] {
+				if dense[v] != 0 && !visited[v] {
+					visited[v] = true
+					out = append(out, v)
+					frontier = append(frontier, v)
+				}
+				dense[v] = 0
+			}
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// expandFrontier runs one shard's hop: a local frontier vector through the
+// shard's VxM, clamped back to presence.
+func (snap *Snapshot) expandFrontier(ctx context.Context, s int, local []int) ([]int, []float64, error) {
+	inst := snap.insts[s]
+	f, err := core.NewVectorIn[float64](inst, snap.plan.LocalRows(s))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, lr := range local {
+		if err := f.SetElement(1, lr); err != nil {
+			return nil, nil, err
+		}
+	}
+	next, err := core.NewVectorIn[float64](inst, snap.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := core.VxM(next, core.NoMaskV, core.NoAccum[float64](), builtins.PlusTimes[float64](), f, snap.mats[s], nil); err != nil {
+		return nil, nil, err
+	}
+	if err := core.ApplyV(next, core.NoMaskV, core.NoAccum[float64](), builtins.One[float64](), next, core.Desc().ReplaceOutput()); err != nil {
+		return nil, nil, err
+	}
+	if err := inst.WaitContext(ctx); err != nil {
+		return nil, nil, err
+	}
+	idx, vals, err := next.ExtractTuples()
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, vals, err
+}
+
+// Ranked is one entry of a top-k ranking.
+type Ranked struct {
+	Vertex int     `json:"vertex"`
+	Score  float64 `json:"score"`
+}
+
+// PPRTopK runs personalized PageRank with restart vertex src over the
+// composed snapshot and returns the k highest-ranked vertices plus the sweep
+// count. Per sweep, the rank's share vector scatters to the owning shards,
+// each shard runs its slice of shareᵀA, and the coordinator folds the
+// partials in fixed shard order before damping and restart — so the sweep
+// structure (dangling mass to src, L1 convergence on tol) matches the
+// single-engine formulation, with cross-shard additions regrouped.
+func PPRTopK(ctx context.Context, snap *Snapshot, src, k int, damping, tol float64, maxIter int) ([]Ranked, int, error) {
+	n := snap.N
+	outdeg, err := snap.outdegrees(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	rank := make([]float64, n)
+	live := make([]bool, n)
+	rank[src] = 1
+	live[src] = true
+	next := make([]float64, n)
+	liveNext := make([]bool, n)
+	var supp []int
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, iters, errCanceled(ctx)
+		}
+		// Dangling and restart mass both return to src in the personalized
+		// formulation; the share's support is rank ∩ outdeg, as in the
+		// single-engine EWiseMult intersection.
+		var total, linked float64
+		supp = supp[:0]
+		for v := 0; v < n; v++ {
+			if !live[v] {
+				continue
+			}
+			total += rank[v]
+			if outdeg[v] > 0 {
+				linked += rank[v]
+				supp = append(supp, v)
+			}
+		}
+		dangling := total - linked
+
+		var parts [][]int
+		if err := runKernel("shard.PPRTopK", func() { parts = scatterRows(snap.plan, supp) }); err != nil {
+			return nil, iters, err
+		}
+		idxs := make([][]int, len(snap.mats))
+		valss := make([][]float64, len(snap.mats))
+		errs := make([]error, len(snap.mats))
+		var wg sync.WaitGroup
+		for s := range snap.mats {
+			if len(parts[s]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				idxs[s], valss[s], errs[s] = snap.spreadShare(ctx, s, parts[s], rank, outdeg)
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, iters, err
+			}
+		}
+		for v := range liveNext {
+			next[v], liveNext[v] = 0, false
+		}
+		if err := runKernel("shard.PPRTopK", func() { gatherMerge(next, idxs, valss) }); err != nil {
+			return nil, iters, err
+		}
+		for s := range idxs {
+			for _, v := range idxs[s] {
+				liveNext[v] = true
+			}
+		}
+		for v := 0; v < n; v++ {
+			if liveNext[v] {
+				next[v] *= damping
+			}
+		}
+		next[src] += (1 - damping) + damping*dangling
+		liveNext[src] = true
+
+		var diff float64
+		for v := 0; v < n; v++ {
+			if !live[v] && !liveNext[v] {
+				continue
+			}
+			d := next[v] - rank[v]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		rank, next = next, rank
+		live, liveNext = liveNext, live
+		if diff < tol {
+			iters++
+			break
+		}
+	}
+
+	var ranked []Ranked
+	for v := 0; v < n; v++ {
+		if live[v] {
+			ranked = append(ranked, Ranked{Vertex: v, Score: rank[v]})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].Vertex < ranked[j].Vertex
+	})
+	if k > 0 && len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked, iters, nil
+}
+
+// spreadShare runs one shard's PPR sweep slice: the local share vector
+// (rank/outdeg at the scattered rows) through the shard's VxM, undamped —
+// damping applies after the coordinator's gather, where the full row sums
+// exist.
+func (snap *Snapshot) spreadShare(ctx context.Context, s int, local []int, rank, outdeg []float64) ([]int, []float64, error) {
+	inst := snap.insts[s]
+	share, err := core.NewVectorIn[float64](inst, snap.plan.LocalRows(s))
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, lr := range local {
+		g := snap.plan.Global(s, lr)
+		if err := share.SetElement(rank[g]/outdeg[g], lr); err != nil {
+			return nil, nil, err
+		}
+	}
+	part, err := core.NewVectorIn[float64](inst, snap.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := core.VxM(part, core.NoMaskV, core.NoAccum[float64](), builtins.PlusTimes[float64](), share, snap.mats[s], nil); err != nil {
+		return nil, nil, err
+	}
+	if err := inst.WaitContext(ctx); err != nil {
+		return nil, nil, err
+	}
+	idx, vals, err := part.ExtractTuples()
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, vals, nil
+}
+
+// GraphStats summarizes the structure of one composed snapshot.
+type GraphStats struct {
+	Nodes      int     `json:"nodes"`
+	Edges      int     `json:"edges"`
+	Triangles  int64   `json:"triangles"`
+	Clustering float64 `json:"clustering"`
+}
+
+// Stats computes triangle and clustering statistics: per-shard pinned tuples
+// gather into the global symmetrized pattern (Snapshot.Sym) and the triangle
+// and wedge reductions run on it exactly as the single-engine path does —
+// integer counts, so the result is exact at any shard count.
+func Stats(ctx context.Context, snap *Snapshot) (GraphStats, error) {
+	st := GraphStats{Nodes: snap.N, Edges: snap.NVals}
+	if ctx != nil && ctx.Err() != nil {
+		return st, errCanceled(ctx)
+	}
+	sym, err := snap.Sym(ctx)
+	if err != nil {
+		return st, err
+	}
+	tri, err := algorithms.TriangleCount(sym)
+	if err != nil {
+		return st, err
+	}
+	st.Triangles = tri
+	n := snap.N
+	lifted, err := core.NewMatrix[float64](n, n)
+	if err != nil {
+		return st, err
+	}
+	if err := core.ApplyM(lifted, core.NoMask, core.NoAccum[float64](), builtins.CastBoolTo[float64](), sym, nil); err != nil {
+		return st, err
+	}
+	deg, err := core.NewVector[float64](n)
+	if err != nil {
+		return st, err
+	}
+	if err := core.ReduceMatrixToVector(deg, core.NoMaskV, core.NoAccum[float64](), builtins.PlusMonoid[float64](), lifted, nil); err != nil {
+		return st, err
+	}
+	if err := core.WaitContext(ctx); err != nil {
+		return st, err
+	}
+	_, degs, err := deg.ExtractTuples()
+	if err != nil {
+		return st, err
+	}
+	var wedges float64
+	for _, d := range degs {
+		wedges += d * (d - 1) / 2
+	}
+	if wedges > 0 {
+		st.Clustering = 3 * float64(tri) / wedges
+	}
+	return st, nil
+}
+
+// Degree reports vertex v's out-degree at the snapshot — answered entirely
+// by the owning shard's row block, gathered once per snapshot.
+func Degree(ctx context.Context, snap *Snapshot, v int) (int, error) {
+	outdeg, err := snap.outdegrees(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return int(outdeg[v]), nil
+}

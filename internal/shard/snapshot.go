@@ -1,0 +1,310 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"graphblas/internal/builtins"
+	"graphblas/internal/core"
+)
+
+// Snapshot is one consistent composed read view: every shard's epoch pinned
+// at a single acknowledged version. Queries run against the snapshot's
+// per-shard matrices (each immutable, each bound to its shard's engine), so
+// a request observes one atomic prefix of the acknowledged update stream no
+// matter how the writer churns.
+type Snapshot struct {
+	// Version is the acknowledged store version the composition is keyed by —
+	// also the epoch token served to clients (Epoch), since per-shard epoch
+	// counters advance independently and no single one names the composed
+	// state.
+	Version uint64
+	// Epochs records each shard's streaming epoch at pin time.
+	Epochs []uint64
+	// N is the global vertex-space dimension; NVals the global stored-edge
+	// count (sum of per-shard pinned counts — rows partition, so exact).
+	N     int
+	NVals int
+
+	plan  Plan
+	mats  []*core.Matrix[float64] // per-shard pinned LocalRows(s)×N adjacency
+	insts []*core.Instance        // the owning engines, for query-side objects
+
+	mu     sync.Mutex
+	sym    *core.Matrix[bool] // lazily gathered global symmetrized pattern
+	outdeg []float64          // lazily gathered global out-degrees
+}
+
+// Epoch returns the token a response names its consistent state by.
+func (snap *Snapshot) Epoch() uint64 { return snap.Version }
+
+// ShardCount reports the composition width.
+func (snap *Snapshot) ShardCount() int { return len(snap.mats) }
+
+// Snapshot returns a composed snapshot of the current acknowledged state.
+// The second result reports staleness: when the store is frozen by a partial
+// ingest failure, a writer keeps tearing the composition, or a shard cannot
+// be pinned, the coordinator degrades to the last good composed snapshot
+// rather than failing the request. With no fallback the error surfaces for
+// the retry layer.
+func (st *Store) Snapshot(ctx context.Context) (*Snapshot, bool, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return st.fallback(ctx.Err())
+	}
+	var lastErr error
+	for attempt := 0; attempt < snapshotAttempts; attempt++ {
+		s1 := st.wseq.Load()
+		if s1&1 == 1 {
+			// A shard-mutating write is in flight; composing now could pin
+			// shards on both sides of it.
+			lastErr = errTorn("writer in flight")
+			continue
+		}
+		v := st.version.Load()
+		st.mu.Lock()
+		frozen, cur := st.frozen, st.cur
+		st.mu.Unlock()
+		if frozen {
+			return st.fallback(errTorn("store frozen by partial ingest failure"))
+		}
+		if cur != nil && cur.Version == v {
+			return cur, false, nil
+		}
+		snap, err := st.materialize(ctx)
+		if err != nil {
+			return st.fallback(err)
+		}
+		if st.wseq.Load() != s1 {
+			lastErr = errTorn("write landed mid-composition")
+			continue
+		}
+		snap.Version = v
+		st.mu.Lock()
+		st.cur, st.last = snap, snap
+		st.mu.Unlock()
+		return snap, false, nil
+	}
+	return st.fallback(lastErr)
+}
+
+// errTorn classifies a torn or blocked composition as InvalidObject — the
+// transient "poisoned by concurrent activity" class the retry ladder already
+// re-attempts.
+func errTorn(msg string) error {
+	return &core.Error{Info: core.InvalidObject, Op: "shard.Snapshot", Msg: msg}
+}
+
+// materialize pins every shard's epoch concurrently and builds the per-shard
+// snapshot matrices, each inside its own engine.
+func (st *Store) materialize(ctx context.Context) (*Snapshot, error) {
+	k := len(st.shards)
+	snap := &Snapshot{
+		N:      st.cfg.N,
+		plan:   st.plan,
+		Epochs: make([]uint64, k),
+		mats:   make([]*core.Matrix[float64], k),
+		insts:  make([]*core.Instance, k),
+	}
+	errs := make([]error, k)
+	nvals := make([]int, k)
+	var wg sync.WaitGroup
+	for i, sh := range st.shards {
+		wg.Add(1)
+		go func(i int, sh *engineShard) {
+			defer wg.Done()
+			ep, err := sh.m.PinEpoch()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows, cols, vals := ep.Tuples()
+			mat, err := core.NewMatrixIn[float64](sh.inst, st.plan.LocalRows(sh.id), st.cfg.N)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := mat.Build(rows, cols, vals, core.NoAccum[float64]()); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := sh.inst.WaitContext(ctx); err != nil {
+				errs[i] = err
+				return
+			}
+			snap.Epochs[i] = ep.ID()
+			nvals[i] = ep.NVals()
+			snap.mats[i] = mat
+			snap.insts[i] = sh.inst
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, nv := range nvals {
+		snap.NVals += nv
+	}
+	return snap, nil
+}
+
+// fallback degrades to the last good composed snapshot, or surfaces err.
+func (st *Store) fallback(err error) (*Snapshot, bool, error) {
+	st.mu.Lock()
+	last := st.last
+	st.mu.Unlock()
+	if last != nil {
+		return last, true, nil
+	}
+	return nil, false, err
+}
+
+// Tuples gathers the composed snapshot's global (row, col, value) triples in
+// row-major order — the sharded analogue of Matrix.ExtractTuples. The
+// differential suite uses it to hold the sharded store to tuple-level
+// equivalence with a single engine.
+func (snap *Snapshot) Tuples() ([]int, []int, []float64, error) {
+	var ri, ci []int
+	var vv []float64
+	for s, mat := range snap.mats {
+		rows, cols, vals, err := mat.ExtractTuples()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for t := range rows {
+			ri = append(ri, snap.plan.Global(s, rows[t]))
+			ci = append(ci, cols[t])
+			vv = append(vv, vals[t])
+		}
+	}
+	ord := make([]int, len(ri))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if ri[ord[a]] != ri[ord[b]] {
+			return ri[ord[a]] < ri[ord[b]]
+		}
+		return ci[ord[a]] < ci[ord[b]]
+	})
+	sr := make([]int, len(ord))
+	sc := make([]int, len(ord))
+	sv := make([]float64, len(ord))
+	for i, o := range ord {
+		sr[i], sc[i], sv[i] = ri[o], ci[o], vv[o]
+	}
+	return sr, sc, sv, nil
+}
+
+// Sym returns the snapshot's global symmetrized, loop-free boolean pattern,
+// gathering every shard's pinned tuples (rows translated to global indices)
+// and building the pattern in the coordinator's context — the reduction
+// pattern sharded stats uses so the triangle kernel consumes exactly the
+// matrix a single engine would. Built once per snapshot.
+func (snap *Snapshot) Sym(ctx context.Context) (*core.Matrix[bool], error) {
+	snap.mu.Lock()
+	defer snap.mu.Unlock()
+	if snap.sym != nil {
+		return snap.sym, nil
+	}
+	var si, sj []int
+	var sv []bool
+	for s, mat := range snap.mats {
+		rows, cols, _, err := mat.ExtractTuples()
+		if err != nil {
+			return nil, err
+		}
+		for t := range rows {
+			g := snap.plan.Global(s, rows[t])
+			if g == cols[t] {
+				continue
+			}
+			si = append(si, g, cols[t])
+			sj = append(sj, cols[t], g)
+			sv = append(sv, true, true)
+		}
+	}
+	sym, err := core.NewMatrix[bool](snap.N, snap.N)
+	if err != nil {
+		return nil, err
+	}
+	if err := sym.Build(si, sj, sv, builtins.LOr()); err != nil {
+		return nil, err
+	}
+	if err := core.WaitContext(ctx); err != nil {
+		return nil, err
+	}
+	snap.sym = sym
+	return sym, nil
+}
+
+// outdegrees returns the global out-degree vector, computed shard-parallel
+// (each shard reduces its own row block inside its engine) and gathered once
+// per snapshot. Out-degrees are whole counts, so the float64 values are
+// exact at any shard count.
+func (snap *Snapshot) outdegrees(ctx context.Context) ([]float64, error) {
+	snap.mu.Lock()
+	defer snap.mu.Unlock()
+	if snap.outdeg != nil {
+		return snap.outdeg, nil
+	}
+	deg := make([]float64, snap.N)
+	errs := make([]error, len(snap.mats))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s := range snap.mats {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			idx, vals, err := snap.shardOutdeg(ctx, s)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			mu.Lock()
+			for t := range idx {
+				deg[snap.plan.Global(s, idx[t])] = vals[t]
+			}
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	snap.outdeg = deg
+	return deg, nil
+}
+
+// shardOutdeg reduces one shard's row block to its local out-degree vector,
+// inside that shard's engine.
+func (snap *Snapshot) shardOutdeg(ctx context.Context, s int) ([]int, []float64, error) {
+	inst := snap.insts[s]
+	rows := snap.plan.LocalRows(s)
+	ones, err := core.NewMatrixIn[float64](inst, rows, snap.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := core.ApplyM(ones, core.NoMask, core.NoAccum[float64](), builtins.One[float64](), snap.mats[s], nil); err != nil {
+		return nil, nil, err
+	}
+	od, err := core.NewVectorIn[float64](inst, rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := core.ReduceMatrixToVector(od, core.NoMaskV, core.NoAccum[float64](), builtins.PlusMonoid[float64](), ones, nil); err != nil {
+		return nil, nil, err
+	}
+	if err := inst.WaitContext(ctx); err != nil {
+		return nil, nil, err
+	}
+	idx, vals, err := od.ExtractTuples()
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, vals, nil
+}

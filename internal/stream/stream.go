@@ -47,6 +47,16 @@ func (b *Batch[D]) Len() int { return len(b.ops) }
 // Reset empties the builder, keeping the backing array for reuse.
 func (b *Batch[D]) Reset() { b.ops = b.ops[:0] }
 
+// Each visits every recorded update in program order — the routing hook the
+// sharding layer uses to deal one logical batch into per-shard sub-batches.
+// del reports a deletion; v is meaningful only for inserts. Visiting preserves
+// order, so per-shard sub-batches keep the last-wins semantics of the whole.
+func (b *Batch[D]) Each(f func(i, j int, v D, del bool)) {
+	for _, t := range b.ops {
+		f(t.I, t.J, t.V, t.Del)
+	}
+}
+
 // Seal validates the batch against the target dimensions and freezes it into
 // a hypersparse overlay with last-wins dedup (the final update to each
 // position survives, exactly like a pending-tuple flush). The builder is
