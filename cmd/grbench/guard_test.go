@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStaleBenchGuard pins the overwrite-protection matrix: a single-core
+// run must not clobber a multi-core artifact unless forced; everything else
+// passes through.
+func TestStaleBenchGuard(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	multi := write("multi.json", `{"cores": 8, "gomaxprocs": 8}`)
+	single := write("single.json", `{"cores": 1, "gomaxprocs": 4}`)
+	garbage := write("garbage.json", `not json`)
+	missing := filepath.Join(dir, "missing.json")
+
+	cases := []struct {
+		name    string
+		path    string
+		cur     benchEnv
+		force   bool
+		refuses bool
+	}{
+		{"single over multi refused", multi, benchEnv{Cores: 1, GoMaxProcs: 4}, false, true},
+		{"single over multi forced", multi, benchEnv{Cores: 1, GoMaxProcs: 4}, true, false},
+		{"multi over multi ok", multi, benchEnv{Cores: 16, GoMaxProcs: 16}, false, false},
+		{"single over single ok", single, benchEnv{Cores: 1, GoMaxProcs: 4}, false, false},
+		{"multi over single ok", single, benchEnv{Cores: 8, GoMaxProcs: 8}, false, false},
+		{"no existing file ok", missing, benchEnv{Cores: 1, GoMaxProcs: 1}, false, false},
+		{"unparseable existing ok", garbage, benchEnv{Cores: 1, GoMaxProcs: 1}, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := staleBenchErr(tc.path, tc.cur, tc.force)
+			if tc.refuses && err == nil {
+				t.Fatalf("staleBenchErr(%s, cores=%d, force=%v) = nil, want refusal", tc.path, tc.cur.Cores, tc.force)
+			}
+			if !tc.refuses && err != nil {
+				t.Fatalf("staleBenchErr(%s, cores=%d, force=%v) = %v, want nil", tc.path, tc.cur.Cores, tc.force, err)
+			}
+		})
+	}
+}

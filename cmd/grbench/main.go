@@ -24,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -37,6 +38,10 @@ import (
 // serveRequests is the -requests flag: per-row query count of the SERVE sweep.
 var serveRequests int
 
+// forceBench is the -force flag: allow a run to overwrite a bench JSON that
+// was generated on better hardware (see guardStaleBench).
+var forceBench bool
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id: E1 E2 E3 E5 E6 E7B E8 DAG STREAM SERVE SHARD or all")
 	scale := flag.Int("scale", 11, "RMAT scale for the workload experiments")
@@ -45,6 +50,7 @@ func main() {
 	sched := flag.String("sched", "dag", "nonblocking flush scheduler: dag or sequential")
 	metrics := flag.Bool("metrics", false, "trace the run and dump the engine metrics registry (Prometheus text) after the experiments")
 	flag.IntVar(&serveRequests, "requests", 400, "SERVE: query requests per load-regime row")
+	flag.BoolVar(&forceBench, "force", false, "overwrite bench JSONs even when the existing file was generated on more cores than this host has")
 	flag.Parse()
 
 	if err := graphblas.Init(graphblas.NonBlocking); err != nil {
@@ -119,4 +125,39 @@ func warnIfSerial(id string) {
 		fmt.Printf("WARNING: %s is a parallel experiment but this run has cores=%d GOMAXPROCS=%d; "+
 			"speedup rows will collapse to ~1x by physics\n", id, env.Cores, env.GoMaxProcs)
 	}
+}
+
+// guardStaleBench refuses to let a single-core run clobber a bench JSON that
+// was generated on a multi-core host: the committed artifact would silently
+// downgrade from real speedup rows to ~1× physics, which is exactly the
+// regression that hid the chained-workload slowdown. -force overrides (for
+// intentional single-core baselines).
+func guardStaleBench(path string) {
+	if err := staleBenchErr(path, currentEnv(), forceBench); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// staleBenchErr is the guard's decision: non-nil when overwriting path from
+// the cur environment would replace multi-core speedup rows with single-core
+// ones and force is not set. A missing or unparseable existing file protects
+// nothing.
+func staleBenchErr(path string, cur benchEnv, force bool) error {
+	if force {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prev benchEnv
+	if json.Unmarshal(data, &prev) != nil {
+		return nil
+	}
+	if prev.Cores > 1 && cur.Cores == 1 {
+		return fmt.Errorf("refusing to overwrite %s: existing file was generated with cores=%d, "+
+			"this run has cores=%d and its speedup rows would be meaningless; "+
+			"rerun on comparable hardware or pass -force", path, prev.Cores, cur.Cores)
+	}
+	return nil
 }

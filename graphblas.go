@@ -255,6 +255,15 @@ func GetStats() Stats { return core.StatsSnapshot() }
 // SetElision toggles dead-store elimination in the nonblocking engine.
 func SetElision(on bool) bool { return core.SetElision(on) }
 
+// SetFusion toggles the flush-time kernel-fusion pass of the DAG scheduler
+// (on by default) and returns the previous setting. With it off — or on the
+// sequential scheduler — every operation materializes its output, the
+// unfused reference semantics.
+func SetFusion(on bool) bool { return core.SetFusion(on) }
+
+// FusionEnabled reports whether flush-time kernel fusion is enabled.
+func FusionEnabled() bool { return core.FusionEnabled() }
+
 // SetScheduler selects the nonblocking flush strategy (SchedDag by default)
 // and returns the previous one.
 func SetScheduler(s Scheduler) Scheduler { return core.SetScheduler(s) }

@@ -12,6 +12,7 @@ var KernelSites = []string{
 	"sparse.kernel.good",
 	"sparse.kernel.goof",
 	"sparse.kernel.dup",
+	"fuse.kernel.good",
 	"format.kernel.unused", // want `drawn by no kernel`
 }
 
@@ -38,6 +39,19 @@ func undottedKernel() {
 // wrongNamespace is dotted but outside every registered namespace.
 func wrongNamespace() {
 	faults.Step("wrong.namespace.site") // want `outside the registered namespaces` `not in faults.KernelSites`
+}
+
+// fusedKernel draws from the fuse.kernel. namespace the flush-time fusion
+// pass registered.
+func fusedKernel() {
+	faults.Step("fuse.kernel.good")
+}
+
+// unregisteredFusedKernel is inside the fuse.kernel. namespace but missing
+// from KernelSites — the exact hole that would make a fusion fault plan
+// silently unreachable.
+func unregisteredFusedKernel() {
+	faults.Step("fuse.kernel.rogue") // want `fault site "fuse.kernel.rogue" is not in faults.KernelSites`
 }
 
 // dynamicSite cannot be targeted by a plan.

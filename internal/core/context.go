@@ -96,6 +96,13 @@ type Stats struct {
 	DagNodes        int64
 	DagEdges        int64
 	MaxWidth        int64
+
+	// Fusion counters: producer operations whose computation ran inside a
+	// consumer's fused kernel instead of materializing (FusedOps), and
+	// producer-consumer pairs the flush-time fusion pass collapsed
+	// (FusedPairs; a chain of three ops counts as two pairs).
+	FusedOps   int64
+	FusedPairs int64
 }
 
 // The execution-engine counters live in the internal/obs metrics registry —
@@ -137,6 +144,16 @@ type pendingOp struct {
 	// span is the operation's observability record, nil when no tracer is
 	// registered (every obs.Span method is nil-safe).
 	span *obs.Span
+	// fuse describes how the flush-time fusion pass may combine this op with
+	// a neighbor (nil for ops that neither produce nor consume fused
+	// streams); fusedStub marks a producer whose computation was folded into
+	// its consumer's kernel — the node keeps its program position but runs
+	// nothing; fusedOuts, on a fused consumer, lists the fused-away
+	// intermediate outputs so a fused-kernel failure invalidates every
+	// logical result the kernel was computing. See fusion.go.
+	fuse      *fuseInfo
+	fusedStub bool
+	fusedOuts []*obj
 }
 
 // context is the GraphBLAS execution context. The paper defines exactly one
@@ -154,6 +171,7 @@ type context struct {
 	execErr  error
 	lastMsg  string
 	elision  bool      // dead-store elimination enabled (default true)
+	fusion   bool      // flush-time kernel fusion enabled (default true; DAG scheduler only)
 	sched    Scheduler // nonblocking flush strategy (default SchedDag)
 	reinitOK bool      // testing escape hatch
 
@@ -200,6 +218,7 @@ func Init(mode Mode) error {
 	global.execErr = nil
 	global.lastMsg = ""
 	global.elision = true
+	global.fusion = true
 	global.sched = SchedDag
 	global.errLog = nil
 	global.seqDone = nil
@@ -235,6 +254,7 @@ func ResetForTesting() {
 	global.execErr = nil
 	global.lastMsg = ""
 	global.elision = true
+	global.fusion = true
 	global.sched = SchedDag
 	global.reinitOK = true
 	global.errLog = nil
@@ -259,6 +279,25 @@ func SetElision(on bool) bool {
 	prev := global.elision
 	global.elision = on
 	return prev
+}
+
+// SetFusion toggles the flush-time kernel-fusion pass and returns the
+// previous setting. Fusion engages only on the DAG scheduler; turning it off
+// (or selecting SchedSequential) yields the unfused reference semantics the
+// differential tests compare against. Used by the E13 ablation benchmarks.
+func SetFusion(on bool) bool {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	prev := global.fusion
+	global.fusion = on
+	return prev
+}
+
+// FusionEnabled reports whether the flush-time fusion pass is enabled.
+func FusionEnabled() bool {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	return global.fusion
 }
 
 // SetScheduler selects the nonblocking flush strategy and returns the
@@ -303,6 +342,8 @@ func StatsSnapshot() Stats {
 		DagNodes:          obs.DagNodes.Value(),
 		DagEdges:          obs.DagEdges.Value(),
 		MaxWidth:          obs.DagWidth.Value(),
+		FusedOps:          obs.OpsFused.Value(),
+		FusedPairs:        obs.FusedPairs.Value(),
 	}
 	// faults.Configure/Reset zero the package counter independently of the
 	// stats epoch; a counter below the baseline means the plan was
@@ -408,7 +449,7 @@ func (c *context) flushLocked(ctx stdctx.Context) error {
 	}
 	var results []error
 	if c.sched == SchedDag && len(nodes) > 1 && parallel.MaxWorkers() > 1 {
-		results = runQueueDag(ctx, nodes)
+		results = c.runQueueDag(ctx, nodes)
 	} else {
 		results = make([]error, len(nodes))
 		for i, op := range nodes {
@@ -607,6 +648,21 @@ func runOpAt(op *pendingOp, gate *faults.Sequencer, idx int, serialBody bool) er
 		err := errf(InvalidObject, op.name, "output object invalid from a previous execution error: %v", op.out.err)
 		return failOp(op, obs.OutcomeShortCircuit, err)
 	}
+	if op.fusedStub {
+		// The operation's computation runs inside its consumer's fused kernel
+		// (fusion.go); the stub holds the program position so validity
+		// propagation, the sequence gate, and the error-log slot behave
+		// exactly as unfused. Its output is logically recomputed — it clears
+		// any prior invalidity just as the materializing op would — but its
+		// committed store is untouched: the fusion legality proof guarantees
+		// a later full overwrite refreshes it before anything reads it.
+		op.out.err = nil
+		obs.OpsExecuted.With(op.name).Inc()
+		obs.OpsFused.Inc()
+		op.span.Finish(obs.OutcomeFused, nil)
+		obs.Emit(op.span)
+		return nil
+	}
 	var restore func()
 	if op.out.snapshot != nil {
 		restore = op.out.snapshot()
@@ -619,6 +675,14 @@ func runOpAt(op *pendingOp, gate *faults.Sequencer, idx int, serialBody bool) er
 			op.span.NoteRollback()
 		}
 		op.out.err = err
+		// A fused kernel was computing the fused-away intermediates too:
+		// invalidate them all, so both logical operations of a fused pair
+		// roll back. Their stores already hold prior committed content (the
+		// stubs never wrote), and the error carries the consumer's program
+		// position — the operation that actually ran.
+		for _, fo := range op.fusedOuts {
+			fo.err = err
+		}
 		return failOp(op, obs.OutcomeError, err)
 	}
 	op.out.err = nil
@@ -685,11 +749,20 @@ func enqueueHinted(name string, out *obj, reads []*obj, overwrites bool, hint fo
 	return enqueueSpanned(name, out, reads, overwrites, hint, obs.Begin(name), run)
 }
 
-// enqueueSpanned is the full-argument enqueue: operations that thread their
-// observability span into kernel dispatch (the multiply family) open it
-// themselves with obs.Begin and pass it in; everything else arrives here via
-// enqueueHinted. sp is nil whenever tracing is disabled.
+// enqueueSpanned is the full-argument enqueue for operations without fusion
+// capabilities: operations that thread their observability span into kernel
+// dispatch (the multiply family) open it themselves with obs.Begin and pass
+// it in; everything else arrives here via enqueueHinted. sp is nil whenever
+// tracing is disabled.
 func enqueueSpanned(name string, out *obj, reads []*obj, overwrites bool, hint format.OpHint, sp *obs.Span, run func() error) error {
+	return enqueueFusable(name, out, reads, overwrites, hint, sp, nil, run)
+}
+
+// enqueueFusable is enqueueSpanned for operations that additionally declare
+// how the flush-time fusion pass may combine them with a neighbor (fi; see
+// fusion.go). Blocking mode runs the unfused closure immediately — fusion is
+// a deferral optimization and there is nothing deferred to pair with.
+func enqueueFusable(name string, out *obj, reads []*obj, overwrites bool, hint format.OpHint, sp *obs.Span, fi *fuseInfo, run func() error) error {
 	c := out.engine()
 	for _, r := range reads {
 		if r.engine() != c {
@@ -724,7 +797,7 @@ func enqueueSpanned(name string, out *obj, reads []*obj, overwrites bool, hint f
 	}
 	pos := c.beginOpLocked()
 	sp.SetPos(pos)
-	c.queue = append(c.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: pos, hint: hint, span: sp})
+	c.queue = append(c.queue, &pendingOp{out: out, reads: reads, overwrites: overwrites, run: run, name: name, pos: pos, hint: hint, span: sp, fuse: fi})
 	obs.OpsEnqueued.With(name).Inc()
 	obs.QueueDepth.Set(int64(len(c.queue)))
 	c.mu.Unlock()

@@ -1,0 +1,551 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"graphblas/internal/faults"
+	"graphblas/internal/parallel"
+)
+
+// Differential tests for the flush-time kernel fusion pass (fusion.go).
+//
+// The bar is byte identity: a fused flush must leave every object — and the
+// sequence error log — in exactly the state the unfused reference produces,
+// across blocking mode, the sequential drain, and the DAG scheduler with
+// fusion disabled. The fused kernels share their fold loops with the
+// materializing kernels (sparse/fused.go), so identity holds even where
+// floating-point arithmetic is inexact; the tests below still keep values at
+// small integers so no outcome depends on which storage layout a kernel ran
+// on.
+//
+// Fault plans split in two by site namespace, mirroring the engine's own
+// gate (faults.PlanCoversSitesOutside):
+//
+//   - op-name rules (and anything else outside "fuse.") make fusion stand
+//     down, so the fused run must be *identical* to the references and
+//     report zero fused pairs;
+//   - "fuse.kernel.*" rules only ever fire under the DAG scheduler — the
+//     sequential reference never reaches a fused kernel — so those plans get
+//     DAG-only assertions: error attribution to the consumer's program
+//     position, rollback of every logical output of the fused node, and
+//     rehabilitation by a later overwrite.
+
+// fuseOp is one step of a program over a pool of size-fuseDim vectors and a
+// fixed fuseDim×fuseDim matrix: dst = op(s1).
+type fuseOp struct {
+	kind int // see runFuseBody
+	dst  int
+	s1   int
+}
+
+const (
+	fusePool = 4
+	fuseDim  = 6
+)
+
+func normalizeFuseOp(op fuseOp) fuseOp {
+	op.kind %= 6
+	op.dst %= fusePool
+	op.s1 %= fusePool
+	if op.s1 == op.dst {
+		op.s1 = (op.s1 + 1) % fusePool
+	}
+	return op
+}
+
+// fuseEnv is the prepared object environment a fusion-test body runs against.
+type fuseEnv struct {
+	pool  []*Vector[float64]
+	mask  *Vector[float64]
+	a     *Matrix[float64]
+	s     Semiring[float64, float64, float64]
+	scale UnaryOp[float64, float64]
+}
+
+// runFusionRun executes body in the given mode/scheduler with fusion toggled,
+// under the fault plan, and returns a printable fingerprint of every
+// comparable outcome (error log, per-vector validity class, committed
+// contents) plus the engine stats of the run.
+func runFusionRun(t *testing.T, mode Mode, sched Scheduler, fuse bool, seed int64, rules []faults.Rule, body func(env *fuseEnv)) (string, Stats) {
+	t.Helper()
+	ResetForTesting()
+	if err := Init(mode); err != nil {
+		t.Fatalf("Init(%v): %v", mode, err)
+	}
+	SetScheduler(sched)
+	SetFusion(fuse)
+	if sched == SchedDag {
+		prev := parallel.SetMaxWorkers(4)
+		defer parallel.SetMaxWorkers(prev)
+	}
+	defer func() {
+		faults.Disable()
+		ResetForTesting()
+		if err := Init(Blocking); err != nil {
+			t.Fatalf("re-Init: %v", err)
+		}
+	}()
+	SetElision(false) // keep per-site call counts aligned across modes
+
+	// Identical environment in every mode, committed before the plan arms.
+	rng := rand.New(rand.NewSource(99))
+	env := &fuseEnv{
+		pool:  make([]*Vector[float64], fusePool),
+		s:     plusTimesF64(t),
+		scale: UnaryOp[float64, float64]{Name: "scale", F: func(x float64) float64 { return 2 * x }},
+	}
+	env.a, _ = newTestMatrix(t, rng, fuseDim, fuseDim, 0.5)
+	for i := range env.pool {
+		v, err := NewVector[float64](fuseDim)
+		if err != nil {
+			t.Fatalf("NewVector: %v", err)
+		}
+		for j := 0; j < fuseDim; j++ {
+			if rng.Float64() < 0.6 {
+				if err := v.SetElement(float64(1+rng.Intn(9)), j); err != nil {
+					t.Fatalf("SetElement: %v", err)
+				}
+			}
+		}
+		env.pool[i] = v
+	}
+	env.mask, _ = NewVector[float64](fuseDim)
+	for j := 0; j < fuseDim; j += 2 {
+		if err := env.mask.SetElement(1, j); err != nil {
+			t.Fatalf("mask SetElement: %v", err)
+		}
+	}
+	if err := Wait(); err != nil {
+		t.Fatalf("pool Wait: %v", err)
+	}
+
+	faults.Configure(seed, rules...)
+	body(env)
+	waitErr := Wait()
+	log := SequenceErrors()
+	st := StatsSnapshot()
+
+	if mode == NonBlocking {
+		if len(log) > 0 && InfoOf(waitErr) != InfoOf(log[0].Err) {
+			t.Fatalf("Wait error %v disagrees with log head %v", waitErr, log[0])
+		}
+		if len(log) == 0 && waitErr != nil {
+			t.Fatalf("Wait error %v with empty log", waitErr)
+		}
+	}
+
+	faults.Disable() // fingerprinting below must not inject
+	var sb strings.Builder
+	for _, e := range log {
+		fmt.Fprintf(&sb, "err pos=%d op=%s class=%v\n", e.Pos, e.Op, InfoOf(e.Err))
+	}
+	for i, v := range env.pool {
+		if v.err != nil {
+			fmt.Fprintf(&sb, "vec%d invalid class=%v\n", i, InfoOf(v.err))
+		} else {
+			fmt.Fprintf(&sb, "vec%d valid\n", i)
+		}
+		// Committed contents compare even for invalid objects: rollback (and
+		// the stub's untouched store) guarantee exactly the prior committed
+		// state. vdat reads the store directly, without a validity check.
+		d := committedVecTuples(v)
+		keys := make([]int, 0, len(d))
+		for k := range d {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "  (%d)=%v\n", k, d[k])
+		}
+	}
+	return sb.String(), st
+}
+
+// committedVecTuples reads a vector's committed store, valid or not.
+func committedVecTuples(v *Vector[float64]) map[int]float64 {
+	d := v.vdat()
+	out := make(map[int]float64, len(d.Idx))
+	for k, i := range d.Idx {
+		out[i] = d.Val[k]
+	}
+	return out
+}
+
+// runFuseBody issues a normalized program against the environment.
+func runFuseBody(env *fuseEnv, prog []fuseOp) {
+	for _, op := range prog {
+		op = normalizeFuseOp(op)
+		dst, u := env.pool[op.dst], env.pool[op.s1]
+		switch op.kind {
+		case 0: // fusion producer and consumer
+			_ = ApplyV(dst, NoMaskV, NoAccum[float64](), env.scale, u, nil)
+		case 1: // accumulating apply: consumer only
+			_ = ApplyV(dst, NoMaskV, plusF64(), env.scale, u, nil)
+		case 2: // pull-style mxv
+			_ = MxV(dst, NoMaskV, NoAccum[float64](), env.s, env.a, u, nil)
+		case 3: // push-style vxm
+			_ = VxM(dst, NoMaskV, NoAccum[float64](), env.s, u, env.a, nil)
+		case 4: // full-width accumulating assign
+			_ = AssignVector(dst, NoMaskV, plusF64(), u, nil, nil)
+		case 5: // masked apply: consumer with mask pushdown
+			_ = ApplyV(dst, env.mask, NoAccum[float64](), env.scale, u, nil)
+		}
+	}
+}
+
+// fuseQuad runs one program in all four comparable configurations and
+// requires byte identity, returning the fused run's stats.
+func fuseQuad(t *testing.T, label string, seed int64, rules []faults.Rule, body func(env *fuseEnv)) Stats {
+	t.Helper()
+	blk, _ := runFusionRun(t, Blocking, SchedSequential, true, seed, rules, body)
+	seq, _ := runFusionRun(t, NonBlocking, SchedSequential, true, seed, rules, body)
+	unf, unfSt := runFusionRun(t, NonBlocking, SchedDag, false, seed, rules, body)
+	fus, fusSt := runFusionRun(t, NonBlocking, SchedDag, true, seed, rules, body)
+	if blk != seq {
+		t.Fatalf("%s: blocking vs sequential diverged\n-- blocking --\n%s-- sequential --\n%s", label, blk, seq)
+	}
+	if blk != unf {
+		t.Fatalf("%s: blocking vs dag-unfused diverged\n-- blocking --\n%s-- dag-unfused --\n%s", label, blk, unf)
+	}
+	if blk != fus {
+		t.Fatalf("%s: blocking vs dag-fused diverged\n-- blocking --\n%s-- dag-fused --\n%s", label, blk, fus)
+	}
+	if unfSt.FusedPairs != 0 {
+		t.Fatalf("%s: fusion disabled but FusedPairs = %d", label, unfSt.FusedPairs)
+	}
+	if fusSt.OpsExecuted != unfSt.OpsExecuted {
+		t.Fatalf("%s: fused run executed %d ops, unfused %d — stubs must still count", label, fusSt.OpsExecuted, unfSt.OpsExecuted)
+	}
+	return fusSt
+}
+
+// TestFusion_DifferentialSweep: random vector programs with no fault plan
+// must be byte-identical fused and unfused, and the sweep as a whole must
+// actually exercise fusion.
+func TestFusion_DifferentialSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	var fusedTotal int64
+	for sweep := 0; sweep < 8; sweep++ {
+		n := 3 + rng.Intn(6)
+		prog := make([]fuseOp, n)
+		for i := range prog {
+			prog[i] = fuseOp{kind: rng.Intn(6), dst: rng.Intn(fusePool), s1: rng.Intn(fusePool)}
+		}
+		st := fuseQuad(t, fmt.Sprintf("sweep %d (prog %v)", sweep, prog), rng.Int63(), nil,
+			func(env *fuseEnv) { runFuseBody(env, prog) })
+		fusedTotal += st.FusedPairs
+	}
+	if fusedTotal == 0 {
+		t.Fatalf("differential sweep never fused a pair; the sweep is not exercising fusion")
+	}
+}
+
+// TestFusion_SelfDisablesUnderOpNamePlan: any rule outside the "fuse."
+// namespace could observe the difference between fused and separate
+// execution, so fusion must stand down — and with it disabled, the usual
+// four-way identity must hold under injection.
+func TestFusion_SelfDisablesUnderOpNamePlan(t *testing.T) {
+	rules := []faults.Rule{
+		{Site: "ApplyV", Kind: faults.KernelErr, After: 2},
+		{Site: "MxV", Kind: faults.OOM, Every: 2},
+		{Site: "AssignVector", Kind: faults.KernelErr, Times: 1},
+		{Site: "VxM", Kind: faults.OOM, Prob: 0.5},
+	}
+	rng := rand.New(rand.NewSource(7))
+	sawInjection := false
+	for sweep := 0; sweep < 6; sweep++ {
+		n := 4 + rng.Intn(5)
+		prog := make([]fuseOp, n)
+		for i := range prog {
+			prog[i] = fuseOp{kind: rng.Intn(6), dst: rng.Intn(fusePool), s1: rng.Intn(fusePool)}
+		}
+		st := fuseQuad(t, fmt.Sprintf("op-name sweep %d (prog %v)", sweep, prog), rng.Int63(), rules,
+			func(env *fuseEnv) { runFuseBody(env, prog) })
+		if st.FusedPairs != 0 {
+			t.Fatalf("sweep %d: fused %d pairs under an op-name fault plan", sweep, st.FusedPairs)
+		}
+		// InjectedCount was zeroed by the last run's Configure, so a nonzero
+		// value here means the plan fired inside that run.
+		if faults.InjectedCount() > 0 {
+			sawInjection = true
+		}
+	}
+	if !sawInjection {
+		t.Fatalf("op-name plan never injected; the self-disable test is vacuous")
+	}
+}
+
+// TestFusion_PairShapes drives every fusable pair shape (and the legality
+// negative cases) explicitly: byte identity plus an exact fused-pair count.
+// Pool roles: pool[0] = source, pool[1] = intermediate x (and pool[2] = y for
+// the chain), pool[3] = refresher; an op overwriting the intermediate at the
+// end makes it dead within the flush, which legality requires.
+func TestFusion_PairShapes(t *testing.T) {
+	apply := func(env *fuseEnv, dst, src int) {
+		_ = ApplyV(env.pool[dst], NoMaskV, NoAccum[float64](), env.scale, env.pool[src], nil)
+	}
+	shapes := []struct {
+		name  string
+		pairs int64
+		body  func(env *fuseEnv)
+	}{
+		{"apply_apply", 1, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			apply(env, 2, 1)
+			apply(env, 1, 3)
+		}},
+		{"apply_mxv_dot", 1, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = MxV(env.pool[2], NoMaskV, NoAccum[float64](), env.s, env.a, env.pool[1], nil)
+			apply(env, 1, 3)
+		}},
+		{"apply_mxv_push", 1, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = MxV(env.pool[2], NoMaskV, NoAccum[float64](), env.s, env.a, env.pool[1], Desc().Transpose0())
+			apply(env, 1, 3)
+		}},
+		{"apply_vxm_push", 1, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = VxM(env.pool[2], NoMaskV, NoAccum[float64](), env.s, env.pool[1], env.a, nil)
+			apply(env, 1, 3)
+		}},
+		{"mxv_apply", 1, func(env *fuseEnv) {
+			_ = MxV(env.pool[1], NoMaskV, NoAccum[float64](), env.s, env.a, env.pool[0], nil)
+			apply(env, 2, 1)
+			apply(env, 1, 3)
+		}},
+		{"mxv_assign_accum", 1, func(env *fuseEnv) {
+			_ = MxV(env.pool[1], NoMaskV, NoAccum[float64](), env.s, env.a, env.pool[0], nil)
+			_ = AssignVector(env.pool[2], NoMaskV, plusF64(), env.pool[1], nil, nil)
+			apply(env, 1, 3)
+		}},
+		{"apply_assign_noaccum", 1, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = AssignVector(env.pool[2], NoMaskV, NoAccum[float64](), env.pool[1], nil, nil)
+			apply(env, 1, 3)
+		}},
+		{"chain_trio", 2, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			apply(env, 2, 1)
+			_ = MxV(env.pool[3], NoMaskV, NoAccum[float64](), env.s, env.a, env.pool[2], nil)
+			apply(env, 1, 0)
+			apply(env, 2, 0)
+		}},
+		{"masked_consumer", 1, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = ApplyV(env.pool[2], env.mask, NoAccum[float64](), env.scale, env.pool[1], nil)
+			apply(env, 1, 3)
+		}},
+		{"accum_consumer", 1, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = ApplyV(env.pool[2], NoMaskV, plusF64(), env.scale, env.pool[1], nil)
+			apply(env, 1, 3)
+		}},
+		// Negative cases: legality must refuse these.
+		{"neg_masked_producer", 0, func(env *fuseEnv) {
+			_ = ApplyV(env.pool[1], env.mask, NoAccum[float64](), env.scale, env.pool[0], nil)
+			apply(env, 2, 1)
+			apply(env, 1, 3)
+		}},
+		{"neg_accum_producer", 0, func(env *fuseEnv) {
+			_ = ApplyV(env.pool[1], NoMaskV, plusF64(), env.scale, env.pool[0], nil)
+			apply(env, 2, 1)
+			apply(env, 1, 3)
+		}},
+		{"neg_second_reader", 0, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			apply(env, 2, 1)
+			apply(env, 3, 1) // x has a reader after the consumer, before any refresh
+			apply(env, 1, 0)
+		}},
+		{"neg_escapes_flush", 0, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			apply(env, 2, 1) // x is never refreshed: its content must materialize
+		}},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			st := fuseQuad(t, sh.name, 1, nil, sh.body)
+			if st.FusedPairs != sh.pairs {
+				t.Fatalf("%s: FusedPairs = %d, want %d", sh.name, st.FusedPairs, sh.pairs)
+			}
+			if st.FusedOps != sh.pairs {
+				t.Fatalf("%s: FusedOps = %d, want %d (one stub per pair)", sh.name, st.FusedOps, sh.pairs)
+			}
+		})
+	}
+}
+
+// TestFusion_FusedKernelFaultRollsBackPair: a fault drawn inside a fused
+// kernel is one physical failure of two logical operations. The error must
+// carry the consumer's program position (the operation that actually ran),
+// both outputs must be invalid with their prior committed contents intact,
+// and later full overwrites must rehabilitate both. "fuse.kernel.*" plans
+// fire only under the DAG scheduler — the sequential reference never reaches
+// a fused kernel — so these assertions are absolute, not differential.
+func TestFusion_FusedKernelFaultRollsBackPair(t *testing.T) {
+	for _, kind := range []faults.Kind{faults.KernelErr, faults.OOM} {
+		t.Run(kind.String(), func(t *testing.T) {
+			ResetForTesting()
+			if err := Init(NonBlocking); err != nil {
+				t.Fatalf("Init: %v", err)
+			}
+			SetScheduler(SchedDag)
+			prevW := parallel.SetMaxWorkers(4)
+			defer parallel.SetMaxWorkers(prevW)
+			defer func() {
+				faults.Disable()
+				ResetForTesting()
+				if err := Init(Blocking); err != nil {
+					t.Fatalf("re-Init: %v", err)
+				}
+			}()
+
+			rng := rand.New(rand.NewSource(3))
+			a, _ := newTestMatrix(t, rng, fuseDim, fuseDim, 0.5)
+			mk := func(vals ...float64) *Vector[float64] {
+				v, err := NewVector[float64](fuseDim)
+				if err != nil {
+					t.Fatalf("NewVector: %v", err)
+				}
+				for i, x := range vals {
+					if x != 0 {
+						if err := v.SetElement(x, i); err != nil {
+							t.Fatalf("SetElement: %v", err)
+						}
+					}
+				}
+				return v
+			}
+			v0 := mk(1, 0, 2, 0, 3, 4)
+			x := mk(5, 6, 0, 7, 0, 0)
+			v2 := mk(0, 8, 0, 9, 0, 1)
+			if err := Wait(); err != nil {
+				t.Fatalf("setup Wait: %v", err)
+			}
+			xBefore := committedVecTuples(x)
+			v2Before := committedVecTuples(v2)
+
+			s := plusTimesF64(t)
+			scale := UnaryOp[float64, float64]{Name: "scale", F: func(v float64) float64 { return 2 * v }}
+			faults.Configure(1, faults.Rule{Site: "fuse.kernel.*", Kind: kind, Times: 1})
+
+			// pos 0: producer (stubbed); pos 1: consumer (fused kernel faults);
+			// pos 2: overwrites x reading the poisoned v2 — it legalizes the
+			// fusion but short-circuits, so x stays invalid for the assertions.
+			_ = ApplyV(x, NoMaskV, NoAccum[float64](), scale, v0, nil)
+			_ = MxV(v2, NoMaskV, NoAccum[float64](), s, a, x, nil)
+			_ = AssignVector(x, NoMaskV, NoAccum[float64](), v2, nil, nil)
+			waitErr := Wait()
+			faults.Disable()
+
+			wantInfo := PanicInfo
+			if kind == faults.OOM {
+				wantInfo = OutOfMemory
+			}
+			if InfoOf(waitErr) != wantInfo {
+				t.Fatalf("Wait = %v (class %v), want class %v", waitErr, InfoOf(waitErr), wantInfo)
+			}
+			log := SequenceErrors()
+			if len(log) != 2 {
+				t.Fatalf("error log has %d entries, want 2: %v", len(log), log)
+			}
+			if log[0].Pos != 1 || log[0].Op != "MxV" || InfoOf(log[0].Err) != wantInfo {
+				t.Fatalf("first error = pos %d op %s class %v, want pos 1 op MxV class %v (consumer position)",
+					log[0].Pos, log[0].Op, InfoOf(log[0].Err), wantInfo)
+			}
+			if log[1].Pos != 2 || log[1].Op != "AssignVector" || InfoOf(log[1].Err) != InvalidObject {
+				t.Fatalf("second error = %+v, want pos 2 AssignVector short-circuit", log[1])
+			}
+			if x.err == nil || v2.err == nil {
+				t.Fatalf("fused fault must invalidate both outputs: x.err=%v v2.err=%v", x.err, v2.err)
+			}
+			if got := committedVecTuples(x); !equalVecTuples(got, xBefore) {
+				t.Fatalf("x committed content changed across failed fused flush: %v, want %v", got, xBefore)
+			}
+			if got := committedVecTuples(v2); !equalVecTuples(got, v2Before) {
+				t.Fatalf("v2 committed content changed across failed fused flush: %v, want %v", got, v2Before)
+			}
+			st := StatsSnapshot()
+			if st.FusedPairs != 1 {
+				t.Fatalf("FusedPairs = %d, want 1", st.FusedPairs)
+			}
+			if st.Rollbacks == 0 {
+				t.Fatalf("failed fused kernel recorded no rollback")
+			}
+
+			// Full overwrites rehabilitate both, exactly as after any kernel
+			// failure.
+			if err := ApplyV(x, NoMaskV, NoAccum[float64](), scale, v0, nil); err != nil {
+				t.Fatalf("rehabilitating ApplyV(x): %v", err)
+			}
+			if err := ApplyV(v2, NoMaskV, NoAccum[float64](), scale, v0, nil); err != nil {
+				t.Fatalf("rehabilitating ApplyV(v2): %v", err)
+			}
+			if err := Wait(); err != nil {
+				t.Fatalf("rehabilitation Wait: %v", err)
+			}
+			if x.err != nil || v2.err != nil {
+				t.Fatalf("overwrite did not rehabilitate: x.err=%v v2.err=%v", x.err, v2.err)
+			}
+		})
+	}
+}
+
+func equalVecTuples(a, b map[int]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzFusionSchedule derives a short vector program and an optional op-name
+// fault rule from fuzz input and asserts the four-way identity. A zero site
+// selector installs no plan, so the fused path runs live; any installed rule
+// is an op-name rule, under which fusion must stand down and match anyway.
+func FuzzFusionSchedule(f *testing.F) {
+	// Seeds covering: plain producer-consumer chains, a fused chain under no
+	// plan, each op-name rule site, and junk.
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 1, 0, 0, 2, 1, 0, 1, 3})
+	f.Add([]byte{0, 1, 1, 2, 5, 0, 1, 0, 2, 2, 1, 0, 1, 3, 4, 2, 1})
+	f.Add([]byte{1, 0, 1, 2, 9, 0, 1, 0, 2, 2, 1, 0, 1, 3})
+	f.Add([]byte{3, 1, 0, 0, 7, 3, 2, 1, 4, 0, 2, 0, 3, 1})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 249, 248, 247})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			t.Skip()
+		}
+		sites := []string{"", "ApplyV", "MxV", "VxM", "AssignVector"}
+		var rules []faults.Rule
+		if site := sites[int(data[0])%len(sites)]; site != "" {
+			rules = []faults.Rule{{
+				Site:  site,
+				Kind:  []faults.Kind{faults.OOM, faults.KernelErr, faults.PanicFault}[int(data[1])%3],
+				After: int(data[2]) % 3,
+				Every: int(data[3]) % 3,
+			}}
+		}
+		seed := int64(data[4])
+		var prog []fuseOp
+		for i := 5; i+2 < len(data) && len(prog) < 8; i += 3 {
+			prog = append(prog, fuseOp{kind: int(data[i]), dst: int(data[i+1]), s1: int(data[i+2])})
+		}
+		if len(prog) == 0 {
+			t.Skip()
+		}
+		st := fuseQuad(t, fmt.Sprintf("fuzz (rules %v, prog %v)", rules, prog), seed, rules,
+			func(env *fuseEnv) { runFuseBody(env, prog) })
+		if len(rules) > 0 && st.FusedPairs != 0 {
+			t.Fatalf("fused %d pairs under an op-name fault plan", st.FusedPairs)
+		}
+	})
+}

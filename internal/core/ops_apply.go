@@ -1,6 +1,10 @@
 package core
 
-import "graphblas/internal/sparse"
+import (
+	"graphblas/internal/format"
+	"graphblas/internal/obs"
+	"graphblas/internal/sparse"
+)
 
 // apply (Table II): C ⊙= F_u(A) and w ⊙= F_u(u) — a unary function mapped
 // over the stored values, preserving structure. The C API uses apply both
@@ -92,13 +96,42 @@ func ApplyV[DC, DA, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, 
 	reads := maskReadsV([]*obj{&u.obj}, mask)
 	overwrites := !accum.Defined() && (mask == nil || desc.replace())
 	scmp, replace := desc.scmp(), desc.replace()
-	return enqueue(name, &w.obj, reads, overwrites, func() error {
+	var accumF func(DC, DC) DC
+	if accum.Defined() {
+		accumF = accum.F
+	}
+	// Fusion capabilities (fusion.go). Producer: with no mask and no
+	// accumulator the output is exactly f mapped over u, expressible as a
+	// virtual vector. Consumer: always — a fused upstream of u feeds
+	// FusedVecMap, with this op's write mask pushed into the kernel (replace
+	// mode makes allowed positions the entire surviving structure, so the
+	// pushdown is exact; merge mode keeps old content only at disallowed
+	// positions, which the kernel skips and the mask merge restores).
+	fi := &fuseInfo{srcID: u.obj.id}
+	if mask == nil && !accum.Defined() {
+		fi.producer = applySource[DA, DC]{u: u, f: f.F}
+	}
+	fi.consume = func(src any) (func() error, any, bool) {
+		vs, ok := src.(vecSource[DA])
+		if !ok {
+			return nil, nil, false
+		}
+		run := func() error {
+			n, idx, get := vs.vecElems()
+			vm := resolveVecMask(mask, scmp)
+			t := sparse.FusedVecMap(n, idx, get, f.F, vm)
+			w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+			return nil
+		}
+		var chained any
+		if mask == nil && !accum.Defined() {
+			chained = composedSource[DA, DC]{inner: vs, f: f.F}
+		}
+		return run, chained, true
+	}
+	return enqueueFusable(name, &w.obj, reads, overwrites, format.HintNone, obs.Begin(name), fi, func() error {
 		t := sparse.VecApply(u.vdat(), f.F)
 		vm := resolveVecMask(mask, scmp)
-		var accumF func(DC, DC) DC
-		if accum.Defined() {
-			accumF = accum.F
-		}
 		w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
 		return nil
 	})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"graphblas/internal/format"
+	"graphblas/internal/obs"
 	"graphblas/internal/sparse"
 )
 
@@ -51,11 +52,36 @@ func AssignVector[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC
 	// never fully overwrites unless the region is everything and there is no
 	// mask or accumulator.
 	overwrites := !accum.Defined() && mask == nil && indices == nil
-	return enqueue(name, &w.obj, reads, overwrites, func() error {
-		var accumF func(DC, DC) DC
-		if accum.Defined() {
-			accumF = accum.F
+	var accumF func(DC, DC) DC
+	if accum.Defined() {
+		accumF = accum.F
+	}
+	// Fusion capability (fusion.go): the full-width form w(:) ⊙= u consumes
+	// a fused upstream of u directly — FusedAssignAccum computes the same
+	// pre-mask Z content AssignExpandVec produces over the identity index
+	// list, streaming u instead of materializing it. The region-restricted
+	// form keeps the generic path (the expand/sort machinery wants a
+	// materialized source), and assign's output merges into prior content,
+	// so it never acts as a producer.
+	var fi *fuseInfo
+	if indices == nil {
+		fi = &fuseInfo{srcID: u.obj.id}
+		fi.consume = func(src any) (func() error, any, bool) {
+			vs, ok := src.(vecSource[DC])
+			if !ok {
+				return nil, nil, false
+			}
+			run := func() error {
+				_, sidx, get := vs.vecElems()
+				z := sparse.FusedAssignAccum(w.vdat(), sidx, get, accumF)
+				vm := resolveVecMask(mask, scmp)
+				w.setVData(sparse.MaskMergeVec(w.vdat(), z, vm, replace))
+				return nil
+			}
+			return run, nil, true
 		}
+	}
+	return enqueueFusable(name, &w.obj, reads, overwrites, format.HintNone, obs.Begin(name), fi, func() error {
 		z := sparse.AssignExpandVec(w.vdat(), u.vdat(), idx, accumF)
 		vm := resolveVecMask(mask, scmp)
 		w.setVData(sparse.MaskMergeVec(w.vdat(), z, vm, replace))

@@ -188,7 +188,51 @@ func MxV[DC, DA, DU, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC,
 	tran0, scmp, replace := desc.tran0(), desc.scmp(), desc.replace()
 	a.noteHint(format.HintMxV)
 	sp := obs.Begin(name)
-	return enqueueSpanned(name, &w.obj, reads, overwrites, format.HintMxV, sp, func() error {
+	var accumF func(DC, DC) DC
+	if accum.Defined() {
+		accumF = accum.F
+	}
+	// Fusion capabilities (fusion.go). Producer: unmasked, non-accumulating
+	// mxv streams its (materialized-on-demand) product downstream. Consumer:
+	// a fused upstream of u feeds the fused mxv kernels, which run on the
+	// committed CSR store directly — the fused path trades the adaptive
+	// format engine's alternate-layout kernels for eliding the intermediate.
+	fi := &fuseInfo{srcID: u.obj.id}
+	if mask == nil && !accum.Defined() {
+		fi.producer = mxvSource[DC]{compute: func() *sparse.Vec[DC] {
+			if tran0 {
+				return pushMxVDispatch(a, u.vdat(), op.Mul.F, op.Add.Op.F, nil, nil)
+			}
+			return dotMxVDispatch(a, u.vdat(), op, nil, nil)
+		}}
+	}
+	fi.consume = func(src any) (func() error, any, bool) {
+		vs, ok := src.(vecSource[DU])
+		if !ok {
+			return nil, nil, false
+		}
+		fusedT := func(vm *sparse.VecMask) *sparse.Vec[DC] {
+			n, idx, get := vs.vecElems()
+			if tran0 {
+				return sparse.FusedPushMxV(a.mdat(), idx, get, op.Mul.F, op.Add.Op.F, vm)
+			}
+			return sparse.FusedDotMxV(a.mdat(), n, idx, get, op.Mul.F, op.Add.Op.F, vm)
+		}
+		run := func() error {
+			vm := resolveVecMask(mask, scmp)
+			t := fusedT(vm)
+			sp.NoteLayout("csr")
+			sp.AddBytes(t.ApproxBytes())
+			w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+			return nil
+		}
+		var chained any
+		if mask == nil && !accum.Defined() {
+			chained = mxvSource[DC]{compute: func() *sparse.Vec[DC] { return fusedT(nil) }}
+		}
+		return run, chained, true
+	}
+	return enqueueFusable(name, &w.obj, reads, overwrites, format.HintMxV, sp, fi, func() error {
 		vm := resolveVecMask(mask, scmp)
 		var t *sparse.Vec[DC]
 		if tran0 {
@@ -197,10 +241,6 @@ func MxV[DC, DA, DU, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC,
 			t = dotMxVDispatch(a, u.vdat(), op, vm, sp)
 		}
 		sp.AddBytes(t.ApproxBytes())
-		var accumF func(DC, DC) DC
-		if accum.Defined() {
-			accumF = accum.F
-		}
 		w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
 		return nil
 	})
@@ -258,7 +298,48 @@ func VxM[DC, DU, DA, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC,
 	flipped := Semiring[DA, DU, DC]{Add: op.Add, Mul: BinaryOp[DA, DU, DC]{Name: op.Mul.Name, F: flip}}
 	a.noteHint(format.HintMxV)
 	sp := obs.Begin(name)
-	return enqueueSpanned(name, &w.obj, reads, overwrites, format.HintMxV, sp, func() error {
+	var accumF func(DC, DC) DC
+	if accum.Defined() {
+		accumF = accum.F
+	}
+	// Fusion capabilities mirror MxV's, with the operand order flipped
+	// through the same flipped semiring the unfused dispatch uses.
+	fi := &fuseInfo{srcID: u.obj.id}
+	if mask == nil && !accum.Defined() {
+		fi.producer = mxvSource[DC]{compute: func() *sparse.Vec[DC] {
+			if tran1 {
+				return dotMxVDispatch(a, u.vdat(), flipped, nil, nil)
+			}
+			return pushMxVDispatch(a, u.vdat(), flip, op.Add.Op.F, nil, nil)
+		}}
+	}
+	fi.consume = func(src any) (func() error, any, bool) {
+		vs, ok := src.(vecSource[DU])
+		if !ok {
+			return nil, nil, false
+		}
+		fusedT := func(vm *sparse.VecMask) *sparse.Vec[DC] {
+			n, idx, get := vs.vecElems()
+			if tran1 {
+				return sparse.FusedDotMxV(a.mdat(), n, idx, get, flip, op.Add.Op.F, vm)
+			}
+			return sparse.FusedPushMxV(a.mdat(), idx, get, flip, op.Add.Op.F, vm)
+		}
+		run := func() error {
+			vm := resolveVecMask(mask, scmp)
+			t := fusedT(vm)
+			sp.NoteLayout("csr")
+			sp.AddBytes(t.ApproxBytes())
+			w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+			return nil
+		}
+		var chained any
+		if mask == nil && !accum.Defined() {
+			chained = mxvSource[DC]{compute: func() *sparse.Vec[DC] { return fusedT(nil) }}
+		}
+		return run, chained, true
+	}
+	return enqueueFusable(name, &w.obj, reads, overwrites, format.HintMxV, sp, fi, func() error {
 		vm := resolveVecMask(mask, scmp)
 		var t *sparse.Vec[DC]
 		if tran1 {
@@ -267,10 +348,6 @@ func VxM[DC, DU, DA, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC,
 			t = pushMxVDispatch(a, u.vdat(), flip, op.Add.Op.F, vm, sp)
 		}
 		sp.AddBytes(t.ApproxBytes())
-		var accumF func(DC, DC) DC
-		if accum.Defined() {
-			accumF = accum.F
-		}
 		w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
 		return nil
 	})

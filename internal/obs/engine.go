@@ -30,6 +30,10 @@ var (
 		"Deferred operations pruned by dead-store elimination before scheduling.")
 	OpsCanceled = NewCounter("graphblas_ops_canceled_total",
 		"Deferred operations abandoned unexecuted because the flush context was canceled.")
+	OpsFused = NewCounter("graphblas_ops_fused_total",
+		"Deferred producers whose computation ran inside a consumer's fused kernel instead of materializing.")
+	FusedPairs = NewCounter("graphblas_fused_pairs_total",
+		"Producer-consumer pairs collapsed into one fused kernel by the flush-time fusion pass.")
 	Flushes = NewCounter("graphblas_flushes_total",
 		"Queue flushes (Wait, blocking-mode barriers, and forced materializations).")
 	ParallelFlushes = NewCounter("graphblas_parallel_flushes_total",

@@ -198,6 +198,35 @@ func PartitionByWeight(n, parts int, cum []int) []int {
 	return bounds
 }
 
+// ForRanges runs body(k, lo, hi) for each contiguous range k described by
+// bounds (the shape PartitionByWeight returns: range k is
+// [bounds[k], bounds[k+1])), one goroutine per range. Unlike ForWeighted it
+// exposes the range ordinal, which deterministic kernels use to give each
+// chunk its own scratch space and to lay results out in chunk order. A
+// single range runs inline on the calling goroutine.
+func ForRanges(bounds []int, body func(k, lo, hi int)) {
+	n := len(bounds) - 1
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		body(0, bounds[0], bounds[1])
+		return
+	}
+	var wg sync.WaitGroup
+	var pan panicBox
+	wg.Add(n)
+	for k := 0; k < n; k++ {
+		go func(k int) {
+			defer wg.Done()
+			defer pan.capture()
+			body(k, bounds[k], bounds[k+1])
+		}(k)
+	}
+	wg.Wait()
+	pan.repanic()
+}
+
 // ForWeighted runs body over [0, n) partitioned by the cumulative weight
 // array cum (length n+1), balancing total weight rather than index count.
 // Used for nnz-balanced row loops over CSR matrices.

@@ -1,6 +1,8 @@
 package sparse
 
 import (
+	"math"
+
 	"graphblas/internal/obs"
 	"graphblas/internal/parallel"
 )
@@ -17,6 +19,14 @@ import (
 func DotMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
 	done := obs.KernelStart("mxv.dot")
 	dense, present := u.Dense()
+	w := dotCore(a, dense, present, mul, add, mask)
+	done(w.NVals())
+	return w
+}
+
+// dotCore is the row-parallel pull loop shared by DotMxV and FusedDotMxV:
+// the input vector is already scattered into dense/present.
+func dotCore[DA, DU, DC any](a *CSR[DA], dense []DU, present []bool, mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
 	rowOut := make([]DC, a.NRows)
 	rowHas := make([]bool, a.NRows)
 	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
@@ -46,9 +56,7 @@ func DotMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add fun
 			}
 		}
 	})
-	w := FromDense(rowOut, rowHas)
-	done(w.NVals())
-	return w
+	return FromDense(rowOut, rowHas)
 }
 
 // PushMxV computes w(i) = ⊕_k mul(a(k,i), u(k)) — i.e. w = Aᵀ ⊕.⊗ u — by
@@ -60,8 +68,29 @@ func DotMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add fun
 // A non-nil mask filters target positions before accumulation.
 func PushMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
 	done := obs.KernelStart("mxv.push")
-	spa := NewSPA[DC](a.NCols)
-	spa.Reset()
+	w := pushCore(a, u.Idx, func(p int) DU { return u.Val[p] }, mul, add, mask)
+	done(w.NVals())
+	return w
+}
+
+// pushParallelMinWork is the total-edge threshold below which the push
+// kernel stays serial: the count/scatter/fold scheme touches every
+// contribution twice, so tiny frontiers are cheaper in the single SPA pass.
+const pushParallelMinWork = 2048
+
+// pushCore is the push-style scatter shared by PushMxV and FusedPushMxV.
+// The frontier is (uIdx, uval): stored row indices in increasing order and
+// an accessor for the value at frontier position p (called exactly once per
+// frontier entry, in increasing position order, so fused producers observe
+// the same evaluation schedule as a materialized input).
+//
+// The parallel path is bit-exact with the serial SPA pass for any worker
+// count: contributions to each target are laid out in global traversal
+// order (chunks are contiguous frontier ranges, slots within a target are
+// chunk-major) and folded left-to-right in that order — the same fold the
+// serial SPA performs — rather than merging per-worker partial reductions,
+// which would reassociate floating-point ⊕.
+func pushCore[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
 	var allowed *BitSPA
 	comp := false
 	if mask != nil {
@@ -74,8 +103,30 @@ func PushMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add fu
 			allowed.MarkAll(mask.Idx)
 		}
 	}
-	for pu, k := range u.Idx {
-		uv := u.Val[pu]
+	if workers := parallel.MaxWorkers(); workers > 1 && len(uIdx) > 1 {
+		cum := make([]int, len(uIdx)+1)
+		for k, r := range uIdx {
+			cum[k+1] = cum[k] + (a.Ptr[r+1] - a.Ptr[r])
+		}
+		if cum[len(uIdx)] >= pushParallelMinWork {
+			bounds := parallel.PartitionByWeight(len(uIdx), workers, cum)
+			if len(bounds) > 2 {
+				if w, ok := pushParallel(a, uIdx, uval, mul, add, allowed, comp, bounds); ok {
+					return w
+				}
+			}
+		}
+	}
+	return pushSerial(a, uIdx, uval, mul, add, allowed, comp)
+}
+
+// pushSerial is the single SPA pass: a left fold over contributions in
+// frontier-traversal order, gathered in sorted target order.
+func pushSerial[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul func(DA, DU) DC, add func(DC, DC) DC, allowed *BitSPA, comp bool) *Vec[DC] {
+	spa := NewSPA[DC](a.NCols)
+	spa.Reset()
+	for pu, k := range uIdx {
+		uv := uval(pu)
 		for p := a.Ptr[k]; p < a.Ptr[k+1]; p++ {
 			i := a.ColIdx[p]
 			if allowed != nil && allowed.Has(i) == comp {
@@ -85,6 +136,92 @@ func PushMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add fu
 		}
 	}
 	idx, val := spa.Gather(nil, nil)
-	done(len(idx))
 	return &Vec[DC]{N: a.NCols, Idx: idx, Val: val}
+}
+
+// pushParallel runs the four-phase exact-order scheme over the contiguous
+// frontier chunks in bounds: (A) per-chunk dense contribution counts,
+// (B) serial prefix sums into per-target slot ranges and per-(chunk,target)
+// start offsets, (C) parallel scatter of mul products into globally ordered
+// slots, (D) parallel per-target left fold in slot order. Returns ok=false
+// when slot offsets would overflow the int32 count arrays (callers fall
+// back to the serial pass).
+func pushParallel[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul func(DA, DU) DC, add func(DC, DC) DC, allowed *BitSPA, comp bool, bounds []int) (*Vec[DC], bool) {
+	nchunks := len(bounds) - 1
+	ncols := a.NCols
+	// Phase A: each chunk counts its contributions per target column.
+	counts := make([][]int32, nchunks)
+	parallel.ForRanges(bounds, func(c, lo, hi int) {
+		cnt := make([]int32, ncols)
+		for k := lo; k < hi; k++ {
+			r := uIdx[k]
+			for p := a.Ptr[r]; p < a.Ptr[r+1]; p++ {
+				i := a.ColIdx[p]
+				if allowed != nil && allowed.Has(i) == comp {
+					continue
+				}
+				cnt[i]++
+			}
+		}
+		counts[c] = cnt
+	})
+	// Phase B: per-target slot ranges; chunk-major order within a target is
+	// exactly global traversal order because chunks are contiguous.
+	colPtr := make([]int, ncols+1)
+	for i := 0; i < ncols; i++ {
+		total := 0
+		for c := 0; c < nchunks; c++ {
+			total += int(counts[c][i])
+		}
+		colPtr[i+1] = colPtr[i] + total
+	}
+	slots := colPtr[ncols]
+	if slots > math.MaxInt32 {
+		return nil, false
+	}
+	// Rewrite each chunk's counts in place into its start offsets.
+	for i := 0; i < ncols; i++ {
+		off := colPtr[i]
+		for c := 0; c < nchunks; c++ {
+			n := int(counts[c][i])
+			counts[c][i] = int32(off)
+			off += n
+		}
+	}
+	// Phase C: scatter products into the globally ordered slots. Chunks
+	// advance only their own offset cursors and write disjoint slot ranges.
+	vals := make([]DC, slots)
+	parallel.ForRanges(bounds, func(c, lo, hi int) {
+		off := counts[c]
+		for k := lo; k < hi; k++ {
+			r := uIdx[k]
+			uv := uval(k)
+			for p := a.Ptr[r]; p < a.Ptr[r+1]; p++ {
+				i := a.ColIdx[p]
+				if allowed != nil && allowed.Has(i) == comp {
+					continue
+				}
+				vals[off[i]] = mul(a.Val[p], uv)
+				off[i]++
+			}
+		}
+	})
+	// Phase D: left fold per target in slot order — the serial SPA's fold.
+	rowOut := make([]DC, ncols)
+	rowHas := make([]bool, ncols)
+	parallel.ForWeighted(ncols, colPtr, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s, e := colPtr[i], colPtr[i+1]
+			if s == e {
+				continue
+			}
+			acc := vals[s]
+			for p := s + 1; p < e; p++ {
+				acc = add(acc, vals[p])
+			}
+			rowOut[i] = acc
+			rowHas[i] = true
+		}
+	})
+	return FromDense(rowOut, rowHas), true
 }
