@@ -123,6 +123,17 @@ type fuseInfo struct {
 	// present to consumers further down the chain (nil when the fused result
 	// is merged/masked into prior content and cannot stream onward).
 	// ok is false when the payload's domain does not match.
+	//
+	// Ops must leave consume nil when their mask is the srcID operand
+	// itself. The fused kernels resolve the mask from its committed store at
+	// run time, but fusing stubs the producer so the source's store is never
+	// refreshed: a mask aliasing the source would filter through the *stale*
+	// content while the kernel streams the fresh values. dataflow.FuseLegal
+	// cannot veto this case — footprints list the mask and the data operand
+	// as indistinguishable reads — so the veto lives here, where the mask's
+	// identity is known. (Transitive aliasing needs no guard: a mask reading
+	// a fused-away intermediate from *outside* the pair is a plain read of X
+	// after j, which FuseLegal already rejects.)
 	consume func(src any) (run func() error, chained any, ok bool)
 }
 

@@ -48,7 +48,7 @@ const (
 )
 
 func normalizeFuseOp(op fuseOp) fuseOp {
-	op.kind %= 6
+	op.kind %= 7
 	op.dst %= fusePool
 	op.s1 %= fusePool
 	if op.s1 == op.dst {
@@ -193,6 +193,8 @@ func runFuseBody(env *fuseEnv, prog []fuseOp) {
 			_ = AssignVector(dst, NoMaskV, plusF64(), u, nil, nil)
 		case 5: // masked apply: consumer with mask pushdown
 			_ = ApplyV(dst, env.mask, NoAccum[float64](), env.scale, u, nil)
+		case 6: // mask aliases the source: consumption must be vetoed
+			_ = ApplyV(dst, u, NoAccum[float64](), env.scale, u, nil)
 		}
 	}
 }
@@ -227,13 +229,13 @@ func fuseQuad(t *testing.T, label string, seed int64, rules []faults.Rule, body 
 // must be byte-identical fused and unfused, and the sweep as a whole must
 // actually exercise fusion.
 func TestFusion_DifferentialSweep(t *testing.T) {
-	rng := rand.New(rand.NewSource(2025))
+	rng := rand.New(rand.NewSource(2026))
 	var fusedTotal int64
-	for sweep := 0; sweep < 8; sweep++ {
+	for sweep := 0; sweep < 12; sweep++ {
 		n := 3 + rng.Intn(6)
 		prog := make([]fuseOp, n)
 		for i := range prog {
-			prog[i] = fuseOp{kind: rng.Intn(6), dst: rng.Intn(fusePool), s1: rng.Intn(fusePool)}
+			prog[i] = fuseOp{kind: rng.Intn(7), dst: rng.Intn(fusePool), s1: rng.Intn(fusePool)}
 		}
 		st := fuseQuad(t, fmt.Sprintf("sweep %d (prog %v)", sweep, prog), rng.Int63(), nil,
 			func(env *fuseEnv) { runFuseBody(env, prog) })
@@ -261,7 +263,7 @@ func TestFusion_SelfDisablesUnderOpNamePlan(t *testing.T) {
 		n := 4 + rng.Intn(5)
 		prog := make([]fuseOp, n)
 		for i := range prog {
-			prog[i] = fuseOp{kind: rng.Intn(6), dst: rng.Intn(fusePool), s1: rng.Intn(fusePool)}
+			prog[i] = fuseOp{kind: rng.Intn(7), dst: rng.Intn(fusePool), s1: rng.Intn(fusePool)}
 		}
 		st := fuseQuad(t, fmt.Sprintf("op-name sweep %d (prog %v)", sweep, prog), rng.Int63(), rules,
 			func(env *fuseEnv) { runFuseBody(env, prog) })
@@ -365,6 +367,36 @@ func TestFusion_PairShapes(t *testing.T) {
 		{"neg_escapes_flush", 0, func(env *fuseEnv) {
 			apply(env, 1, 0)
 			apply(env, 2, 1) // x is never refreshed: its content must materialize
+		}},
+		// Mask aliased to the fused source: legal by footprint (the mask and
+		// the data operand are indistinguishable reads to FuseLegal), so each
+		// consumer must veto it itself — the fused kernel would resolve the
+		// mask from x's stale committed store while streaming x's fresh
+		// values. Byte identity here is the regression bar.
+		{"neg_mask_aliases_src_apply", 0, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = ApplyV(env.pool[2], env.pool[1], NoAccum[float64](), env.scale, env.pool[1], nil)
+			apply(env, 1, 3)
+		}},
+		{"neg_mask_aliases_src_mxv", 0, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = MxV(env.pool[2], env.pool[1], NoAccum[float64](), env.s, env.a, env.pool[1], nil)
+			apply(env, 1, 3)
+		}},
+		{"neg_mask_aliases_src_mxv_push", 0, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = MxV(env.pool[2], env.pool[1], NoAccum[float64](), env.s, env.a, env.pool[1], Desc().Transpose0())
+			apply(env, 1, 3)
+		}},
+		{"neg_mask_aliases_src_vxm", 0, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = VxM(env.pool[2], env.pool[1], NoAccum[float64](), env.s, env.pool[1], env.a, nil)
+			apply(env, 1, 3)
+		}},
+		{"neg_mask_aliases_src_assign", 0, func(env *fuseEnv) {
+			apply(env, 1, 0)
+			_ = AssignVector(env.pool[2], env.pool[1], plusF64(), env.pool[1], nil, nil)
+			apply(env, 1, 3)
 		}},
 	}
 	for _, sh := range shapes {
@@ -519,6 +551,9 @@ func FuzzFusionSchedule(f *testing.F) {
 	f.Add([]byte{0, 1, 1, 2, 5, 0, 1, 0, 2, 2, 1, 0, 1, 3, 4, 2, 1})
 	f.Add([]byte{1, 0, 1, 2, 9, 0, 1, 0, 2, 2, 1, 0, 1, 3})
 	f.Add([]byte{3, 1, 0, 0, 7, 3, 2, 1, 4, 0, 2, 0, 3, 1})
+	// Producer followed by a consumer whose mask aliases the fused source
+	// (kind 6): fusion must stand down, identity must hold.
+	f.Add([]byte{0, 0, 0, 0, 5, 0, 1, 0, 6, 2, 1, 0, 1, 3})
 	f.Add([]byte{255, 254, 253, 252, 251, 250, 249, 248, 247})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 8 {

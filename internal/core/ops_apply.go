@@ -107,27 +107,32 @@ func ApplyV[DC, DA, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC, 
 	// mode makes allowed positions the entire surviving structure, so the
 	// pushdown is exact; merge mode keeps old content only at disallowed
 	// positions, which the kernel skips and the mask merge restores).
+	// A mask aliasing u vetoes consumption (see fuseInfo.consume): the fused
+	// kernel would resolve the mask from u's stale committed store while
+	// streaming u's fresh values.
 	fi := &fuseInfo{srcID: u.obj.id}
 	if mask == nil && !accum.Defined() {
 		fi.producer = applySource[DA, DC]{u: u, f: f.F}
 	}
-	fi.consume = func(src any) (func() error, any, bool) {
-		vs, ok := src.(vecSource[DA])
-		if !ok {
-			return nil, nil, false
+	if mask == nil || mask.obj.id != u.obj.id {
+		fi.consume = func(src any) (func() error, any, bool) {
+			vs, ok := src.(vecSource[DA])
+			if !ok {
+				return nil, nil, false
+			}
+			run := func() error {
+				n, idx, get := vs.vecElems()
+				vm := resolveVecMask(mask, scmp)
+				t := sparse.FusedVecMap(n, idx, get, f.F, vm)
+				w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+				return nil
+			}
+			var chained any
+			if mask == nil && !accum.Defined() {
+				chained = composedSource[DA, DC]{inner: vs, f: f.F}
+			}
+			return run, chained, true
 		}
-		run := func() error {
-			n, idx, get := vs.vecElems()
-			vm := resolveVecMask(mask, scmp)
-			t := sparse.FusedVecMap(n, idx, get, f.F, vm)
-			w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
-			return nil
-		}
-		var chained any
-		if mask == nil && !accum.Defined() {
-			chained = composedSource[DA, DC]{inner: vs, f: f.F}
-		}
-		return run, chained, true
 	}
 	return enqueueFusable(name, &w.obj, reads, overwrites, format.HintNone, obs.Begin(name), fi, func() error {
 		t := sparse.VecApply(u.vdat(), f.F)

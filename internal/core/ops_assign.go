@@ -62,9 +62,11 @@ func AssignVector[DC, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC
 	// list, streaming u instead of materializing it. The region-restricted
 	// form keeps the generic path (the expand/sort machinery wants a
 	// materialized source), and assign's output merges into prior content,
-	// so it never acts as a producer.
+	// so it never acts as a producer. A mask aliasing u vetoes consumption
+	// (see fuseInfo.consume): the fused kernel would resolve the mask from
+	// u's stale committed store while streaming u's fresh values.
 	var fi *fuseInfo
-	if indices == nil {
+	if indices == nil && (mask == nil || mask.obj.id != u.obj.id) {
 		fi = &fuseInfo{srcID: u.obj.id}
 		fi.consume = func(src any) (func() error, any, bool) {
 			vs, ok := src.(vecSource[DC])

@@ -206,31 +206,36 @@ func MxV[DC, DA, DU, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC,
 			return dotMxVDispatch(a, u.vdat(), op, nil, nil)
 		}}
 	}
-	fi.consume = func(src any) (func() error, any, bool) {
-		vs, ok := src.(vecSource[DU])
-		if !ok {
-			return nil, nil, false
-		}
-		fusedT := func(vm *sparse.VecMask) *sparse.Vec[DC] {
-			n, idx, get := vs.vecElems()
-			if tran0 {
-				return sparse.FusedPushMxV(a.mdat(), idx, get, op.Mul.F, op.Add.Op.F, vm)
+	// A mask aliasing u vetoes consumption (see fuseInfo.consume): the fused
+	// kernel would resolve the mask from u's stale committed store while
+	// streaming u's fresh values.
+	if mask == nil || mask.obj.id != u.obj.id {
+		fi.consume = func(src any) (func() error, any, bool) {
+			vs, ok := src.(vecSource[DU])
+			if !ok {
+				return nil, nil, false
 			}
-			return sparse.FusedDotMxV(a.mdat(), n, idx, get, op.Mul.F, op.Add.Op.F, vm)
+			fusedT := func(vm *sparse.VecMask) *sparse.Vec[DC] {
+				n, idx, get := vs.vecElems()
+				if tran0 {
+					return sparse.FusedPushMxV(a.mdat(), idx, get, op.Mul.F, op.Add.Op.F, vm)
+				}
+				return sparse.FusedDotMxV(a.mdat(), n, idx, get, op.Mul.F, op.Add.Op.F, vm)
+			}
+			run := func() error {
+				vm := resolveVecMask(mask, scmp)
+				t := fusedT(vm)
+				sp.NoteLayout("csr")
+				sp.AddBytes(t.ApproxBytes())
+				w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+				return nil
+			}
+			var chained any
+			if mask == nil && !accum.Defined() {
+				chained = mxvSource[DC]{compute: func() *sparse.Vec[DC] { return fusedT(nil) }}
+			}
+			return run, chained, true
 		}
-		run := func() error {
-			vm := resolveVecMask(mask, scmp)
-			t := fusedT(vm)
-			sp.NoteLayout("csr")
-			sp.AddBytes(t.ApproxBytes())
-			w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
-			return nil
-		}
-		var chained any
-		if mask == nil && !accum.Defined() {
-			chained = mxvSource[DC]{compute: func() *sparse.Vec[DC] { return fusedT(nil) }}
-		}
-		return run, chained, true
 	}
 	return enqueueFusable(name, &w.obj, reads, overwrites, format.HintMxV, sp, fi, func() error {
 		vm := resolveVecMask(mask, scmp)
@@ -313,31 +318,34 @@ func VxM[DC, DU, DA, DM any](w *Vector[DC], mask *Vector[DM], accum BinaryOp[DC,
 			return pushMxVDispatch(a, u.vdat(), flip, op.Add.Op.F, nil, nil)
 		}}
 	}
-	fi.consume = func(src any) (func() error, any, bool) {
-		vs, ok := src.(vecSource[DU])
-		if !ok {
-			return nil, nil, false
-		}
-		fusedT := func(vm *sparse.VecMask) *sparse.Vec[DC] {
-			n, idx, get := vs.vecElems()
-			if tran1 {
-				return sparse.FusedDotMxV(a.mdat(), n, idx, get, flip, op.Add.Op.F, vm)
+	// A mask aliasing u vetoes consumption, exactly as in MxV.
+	if mask == nil || mask.obj.id != u.obj.id {
+		fi.consume = func(src any) (func() error, any, bool) {
+			vs, ok := src.(vecSource[DU])
+			if !ok {
+				return nil, nil, false
 			}
-			return sparse.FusedPushMxV(a.mdat(), idx, get, flip, op.Add.Op.F, vm)
+			fusedT := func(vm *sparse.VecMask) *sparse.Vec[DC] {
+				n, idx, get := vs.vecElems()
+				if tran1 {
+					return sparse.FusedDotMxV(a.mdat(), n, idx, get, flip, op.Add.Op.F, vm)
+				}
+				return sparse.FusedPushMxV(a.mdat(), idx, get, flip, op.Add.Op.F, vm)
+			}
+			run := func() error {
+				vm := resolveVecMask(mask, scmp)
+				t := fusedT(vm)
+				sp.NoteLayout("csr")
+				sp.AddBytes(t.ApproxBytes())
+				w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
+				return nil
+			}
+			var chained any
+			if mask == nil && !accum.Defined() {
+				chained = mxvSource[DC]{compute: func() *sparse.Vec[DC] { return fusedT(nil) }}
+			}
+			return run, chained, true
 		}
-		run := func() error {
-			vm := resolveVecMask(mask, scmp)
-			t := fusedT(vm)
-			sp.NoteLayout("csr")
-			sp.AddBytes(t.ApproxBytes())
-			w.setVData(sparse.WriteVec(w.vdat(), t, vm, accumF, replace))
-			return nil
-		}
-		var chained any
-		if mask == nil && !accum.Defined() {
-			chained = mxvSource[DC]{compute: func() *sparse.Vec[DC] { return fusedT(nil) }}
-		}
-		return run, chained, true
 	}
 	return enqueueFusable(name, &w.obj, reads, overwrites, format.HintMxV, sp, fi, func() error {
 		vm := resolveVecMask(mask, scmp)

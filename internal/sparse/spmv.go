@@ -108,7 +108,10 @@ func pushCore[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul fun
 		for k, r := range uIdx {
 			cum[k+1] = cum[k] + (a.Ptr[r+1] - a.Ptr[r])
 		}
-		if cum[len(uIdx)] >= pushParallelMinWork {
+		// The upper bound keeps every per-chunk per-column count in phase A
+		// within int32 (each is ≤ the total contribution count), so the
+		// counts can never wrap before pushParallel's slot-overflow check.
+		if total := cum[len(uIdx)]; total >= pushParallelMinWork && total <= math.MaxInt32 {
 			bounds := parallel.PartitionByWeight(len(uIdx), workers, cum)
 			if len(bounds) > 2 {
 				if w, ok := pushParallel(a, uIdx, uval, mul, add, allowed, comp, bounds); ok {
@@ -145,7 +148,8 @@ func pushSerial[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul f
 // start offsets, (C) parallel scatter of mul products into globally ordered
 // slots, (D) parallel per-target left fold in slot order. Returns ok=false
 // when slot offsets would overflow the int32 count arrays (callers fall
-// back to the serial pass).
+// back to the serial pass); pushCore's total-work bound makes this
+// unreachable today, but the check keeps pushParallel safe standalone.
 func pushParallel[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul func(DA, DU) DC, add func(DC, DC) DC, allowed *BitSPA, comp bool, bounds []int) (*Vec[DC], bool) {
 	nchunks := len(bounds) - 1
 	ncols := a.NCols
