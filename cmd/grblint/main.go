@@ -1,14 +1,20 @@
-// Command grblint runs the engine's static-analysis suite — the five
+// Command grblint runs the engine's static-analysis suite — the
 // project-specific invariant checkers in internal/analysis — over a set of
 // package patterns, in the style of a go/analysis multichecker:
 //
 //	go run ./cmd/grblint ./...
 //	go run ./cmd/grblint -json ./internal/core
+//	go run ./cmd/grblint -report ./...
 //
 // Exit status: 0 when the tree is clean, 1 when findings were reported, 2
-// when loading or type-checking failed. With -json the findings are printed
-// as a JSON array of {file, line, col, analyzer, message} objects for CI and
-// editor tooling; otherwise one vet-style line per finding.
+// when loading or type-checking failed. With -json the output is a JSON
+// object {"findings": [...], "suppressions": [...]}: findings are
+// {file, line, col, analyzer, message}; suppressions inventory every
+// //grblint:ignore directive as {file, line, analyzer, justification, used},
+// where file/line locate the justification comment itself and used reports
+// whether this run honored it. -report prints the same inventory as text
+// (per-analyzer counts plus each directive's justification) — the CI
+// suppression-audit artifact. Otherwise one vet-style line per finding.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"go/token"
 	"os"
+	"sort"
 	"strings"
 
 	"graphblas/internal/analysis"
@@ -29,11 +36,12 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("grblint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "print findings as a JSON array instead of vet-style lines")
+	jsonOut := fs.Bool("json", false, "print {findings, suppressions} as JSON instead of vet-style lines")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	report := fs.Bool("report", false, "print the suppression inventory (count per analyzer + justifications)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: grblint [-json] [-only a,b] [packages]\n\n")
+		fmt.Fprintf(stderr, "usage: grblint [-json] [-report] [-only a,b] [packages]\n\n")
 		fmt.Fprintf(stderr, "Runs the engine invariant analyzers over the given package patterns\n")
 		fmt.Fprintf(stderr, "(default ./...). Suppress a finding with a justified directive:\n")
 		fmt.Fprintf(stderr, "\t//grblint:ignore <analyzer> <why this is safe>\n\n")
@@ -80,23 +88,36 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "grblint: %v\n", err)
 		return 2
 	}
-	findings, err := analysis.Run(fset, pkgs, suite)
+	findings, suppressions, err := analysis.Run(fset, pkgs, suite)
 	if err != nil {
 		fmt.Fprintf(stderr, "grblint: %v\n", err)
 		return 2
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		if findings == nil {
 			findings = []analysis.Finding{}
 		}
+		if suppressions == nil {
+			suppressions = []analysis.Suppression{}
+		}
+		out := struct {
+			Findings     []analysis.Finding     `json:"findings"`
+			Suppressions []analysis.Suppression `json:"suppressions"`
+		}{findings, suppressions}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(stderr, "grblint: %v\n", err)
 			return 2
 		}
-	} else {
+	case *report:
+		printReport(stdout, suppressions)
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f.String())
 		}
@@ -108,4 +129,28 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// printReport renders the suppression inventory: per-analyzer counts, then
+// every directive with the location and text of its justification and
+// whether this run honored it. A STALE entry means the suppressed finding no
+// longer fires — the directive should be deleted, or the code it covered has
+// moved out from under it.
+func printReport(stdout *os.File, suppressions []analysis.Suppression) {
+	fmt.Fprintf(stdout, "suppression inventory: %d directive(s)\n", len(suppressions))
+	counts := map[string]int{}
+	var names []string
+	for _, s := range suppressions {
+		if counts[s.Analyzer] == 0 {
+			names = append(names, s.Analyzer)
+		}
+		counts[s.Analyzer]++
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(stdout, "  %-14s %d\n", name, counts[name])
+	}
+	for _, s := range suppressions {
+		fmt.Fprintln(stdout, s.String())
+	}
 }

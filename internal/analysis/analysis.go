@@ -86,7 +86,30 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
-// NewSuite returns fresh instances of the five engine analyzers. A new suite
+// Suppression is one //grblint:ignore directive found in the analyzed tree:
+// where it sits, the analyzer it silences, the justification text, and
+// whether this run actually honored it (an unused directive is stale — the
+// finding it once silenced no longer fires, so it should be deleted or the
+// code it annotates has drifted out from under it). The -report and -json
+// modes of cmd/grblint expose the full inventory so suppressions are audited
+// in review rather than accreting silently.
+type Suppression struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Analyzer      string `json:"analyzer"`
+	Justification string `json:"justification"`
+	Used          bool   `json:"used"`
+}
+
+func (s Suppression) String() string {
+	state := "honored"
+	if !s.Used {
+		state = "STALE"
+	}
+	return fmt.Sprintf("%s:%d: %s [%s] %s", s.File, s.Line, s.Analyzer, state, s.Justification)
+}
+
+// NewSuite returns fresh instances of the engine analyzers. A new suite
 // must be built per run: faultsite accumulates cross-package state inside
 // its constructor closure.
 func NewSuite() []*Analyzer {
@@ -97,13 +120,18 @@ func NewSuite() []*Analyzer {
 		NewSpanLife(),
 		NewAtomicMix(),
 		NewCtxFlow(),
+		NewFootprint(),
+		NewFuseCap(),
+		NewHotAlloc(),
 	}
 }
 
 // Run executes the analyzers over the loaded packages, applies the
 // //grblint:ignore suppressions, and returns the surviving findings sorted
-// by file position. Malformed suppression comments are themselves findings.
-func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+// by file position, plus the suppression inventory (every directive seen,
+// with its honored/stale flag). Malformed suppression comments are
+// themselves findings.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Suppression, error) {
 	var diags []Diagnostic
 	ig := newIgnoreIndex()
 	for _, pkg := range pkgs {
@@ -118,7 +146,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 				Report:    func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
@@ -151,7 +179,14 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 		}
 		return out[i].Col < out[j].Col
 	})
-	return out, nil
+	sup := ig.inventory()
+	sort.Slice(sup, func(i, j int) bool {
+		if sup[i].File != sup[j].File {
+			return sup[i].File < sup[j].File
+		}
+		return sup[i].Line < sup[j].Line
+	})
+	return out, sup, nil
 }
 
 // engineScope reports whether an engine-convention analyzer applies to this

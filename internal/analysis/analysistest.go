@@ -206,7 +206,7 @@ func RunGolden(t *testing.T, name string, analyzers ...*Analyzer) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := Run(fset, []*Package{pkg}, analyzers)
+	findings, _, err := Run(fset, []*Package{pkg}, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}

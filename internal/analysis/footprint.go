@@ -1,0 +1,390 @@
+package analysis
+
+// footprint codifies the invariant the nonblocking scheduler's correctness
+// rests on: the hazard DAG sees exactly the objects an operation's deferred
+// closures will actually touch. PR 9's mask-aliasing fusion bug was this
+// class — a kernel consulted an object's store in a way the declared
+// Reads/Writes footprint could not express, and the scheduler fused a pair it
+// should not have. The analyzer makes the contract checkable at the enqueue
+// sites themselves:
+//
+//   - Every *Matrix/*Vector variable captured by an op's run closure (or by
+//     its fuseInfo producer/consume payloads) must be covered by the op's
+//     declared footprint: the out argument, an element of the reads list, or
+//     the mask operand passed through maskReadsV/maskReadsM. A captured
+//     object outside that set is a read or write the DAG builder never hears
+//     about — exactly the shape that turns into a flush-worker race or an
+//     illegal fusion.
+//   - The mask operand must enter the footprint through maskReadsV/M, never
+//     folded into the data-operand literal: downstream passes (fusion's
+//     alias veto) need mask and data operands distinguishable, which the
+//     flat []uint64 read set cannot express on its own.
+//   - No store dereference (vdat()/mdat() calls) may happen in the enqueue
+//     path outside the deferred closures: a store read at enqueue time sees
+//     pre-hazard content and silently bypasses the DAG's ordering.
+//
+// The analysis is structural over the engine's own idioms: enqueue-family
+// calls are recognized by callee name and signature (a *obj out, a []*obj
+// reads, a trailing func() error run), the reads argument is resolved back
+// through the local `reads := maskReadsV([]*obj{...}, mask)` assignment, and
+// the closures are walked for free-variable uses of object-typed vars.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// enqueueFuncs are the enqueue-family entry points, by name. The analyzer
+// additionally verifies the signature shape before treating a call as an
+// enqueue site, so a same-named helper elsewhere cannot confuse it.
+var enqueueFuncs = map[string]bool{
+	"enqueue":        true,
+	"enqueueHinted":  true,
+	"enqueueSpanned": true,
+	"enqueueFusable": true,
+}
+
+// maskReadsFuncs are the helpers that fold the mask operand into the reads
+// list while keeping it distinguishable for later passes.
+var maskReadsFuncs = map[string]bool{
+	"maskReadsV": true,
+	"maskReadsM": true,
+}
+
+// NewFootprint returns a fresh footprint analyzer.
+func NewFootprint() *Analyzer {
+	a := &Analyzer{
+		Name: "footprint",
+		Doc:  "flags enqueued kernel closures touching objects outside the op's declared Reads/Writes footprint",
+	}
+	a.Run = func(pass *Pass) error {
+		if !engineScope(pass.Pkg) {
+			return nil
+		}
+		// The analyzer engages only in packages that define the enqueue
+		// family (internal/core and the golden mock).
+		if pass.Pkg.Scope().Lookup("enqueue") == nil && pass.Pkg.Scope().Lookup("enqueueFusable") == nil {
+			return nil
+		}
+		for _, f := range pass.Files {
+			checkEnqueueSites(pass, f)
+		}
+		return nil
+	}
+	return a
+}
+
+// checkEnqueueSites finds every enqueue-family call in f and verifies each
+// site's closures against its declared footprint.
+func checkEnqueueSites(pass *Pass, f *ast.File) {
+	eagerChecked := map[ast.Node]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || !enqueueFuncs[callee.Name] {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[callee].(*types.Func)
+		if !ok || fn.Pkg() != pass.Pkg {
+			return true
+		}
+		site := resolveEnqueueSite(pass, f, call, fn)
+		if site == nil {
+			return true
+		}
+		site.check(pass)
+		if !eagerChecked[site.enclosing] {
+			eagerChecked[site.enclosing] = true
+			site.checkEagerStoreReads(pass)
+		}
+		return true
+	})
+}
+
+// enqueueSite is one resolved enqueue-family call: the declared footprint and
+// the closures that will execute against it at flush time.
+type enqueueSite struct {
+	call *ast.CallExpr
+	// outVar is the object written (the base variable of the &x.obj out
+	// argument); nil when the out argument is not that shape.
+	outVar types.Object
+	// readVars are the base variables of the declared read operands.
+	readVars map[types.Object]bool
+	// maskVar is the mask operand threaded through maskReadsV/M, nil when
+	// the site declares no mask.
+	maskVar types.Object
+	// maskDeclared reports whether the reads list was built by maskReadsV/M
+	// at all (even with a nil mask argument).
+	maskDeclared bool
+	// closures are the deferred regions to scan: the run closure plus any
+	// fuseInfo payload expressions assigned in the enclosing function.
+	closures []ast.Node
+	// enclosing is the op function containing the call.
+	enclosing ast.Node
+}
+
+// resolveEnqueueSite decodes one call's footprint declaration. Returns nil
+// when the call is a forwarding shape (run argument is not a function
+// literal), which the enqueue family uses internally.
+func resolveEnqueueSite(pass *Pass, f *ast.File, call *ast.CallExpr, fn *types.Func) *enqueueSite {
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != len(call.Args) {
+		return nil // variadic or mismatched shapes are not enqueue sites
+	}
+	site := &enqueueSite{call: call, readVars: map[types.Object]bool{}}
+	var readsArg, fiArg ast.Expr
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		switch {
+		case isPtrToNamed(p.Type(), "obj"):
+			site.outVar = objBaseVar(pass, call.Args[i])
+		case isSliceOfPtrNamed(p.Type(), "obj"):
+			readsArg = call.Args[i]
+		case isPtrToNamed(p.Type(), "fuseInfo"):
+			fiArg = call.Args[i]
+		case i == sig.Params().Len()-1:
+			if lit, ok := unparen(call.Args[i]).(*ast.FuncLit); ok {
+				site.closures = append(site.closures, lit)
+			}
+		}
+	}
+	if len(site.closures) == 0 {
+		return nil // forwarding call: the run closure lives at the outer site
+	}
+	funcs := enclosingFuncs(f, call.Pos())
+	if len(funcs) == 0 {
+		return nil
+	}
+	site.enclosing = funcs[0]
+	if readsArg != nil {
+		site.resolveReads(pass, readsArg, 0)
+	}
+	if fiArg != nil {
+		site.collectFuseClosures(pass, fiArg)
+	}
+	return site
+}
+
+// resolveReads decodes the reads argument: nil, a []*obj literal, a
+// maskReadsV/M call, or a local variable traced to its assignment(s) in the
+// enclosing function. depth bounds indirection so aliasing chains terminate.
+func (s *enqueueSite) resolveReads(pass *Pass, e ast.Expr, depth int) {
+	if depth > 4 {
+		return
+	}
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if x.Name == "nil" {
+			return
+		}
+		obj := pass.TypesInfo.Uses[x]
+		if obj == nil {
+			return
+		}
+		// Trace the local back through every assignment in the enclosing
+		// function; multiple assignments union conservatively.
+		ast.Inspect(funcBody(s.enclosing), func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pass.TypesInfo.Defs[lhs] == obj || pass.TypesInfo.Uses[lhs] == obj {
+				s.resolveReads(pass, as.Rhs[0], depth+1)
+			}
+			return true
+		})
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if v := objBaseVar(pass, el); v != nil {
+				s.readVars[v] = true
+			}
+		}
+	case *ast.CallExpr:
+		callee, ok := unparen(x.Fun).(*ast.Ident)
+		if !ok || !maskReadsFuncs[callee.Name] || len(x.Args) != 2 {
+			return
+		}
+		s.maskDeclared = true
+		s.resolveReads(pass, x.Args[0], depth+1)
+		if id, ok := unparen(x.Args[1]).(*ast.Ident); ok && id.Name != "nil" {
+			s.maskVar = pass.TypesInfo.Uses[id]
+		}
+	}
+}
+
+// collectFuseClosures gathers the fusion-payload expressions attached to the
+// fuseInfo argument: the composite literal it was built from and every
+// assignment to it or its fields in the enclosing function. Their closures
+// run at flush time exactly like the run closure and meet the same footprint
+// bar.
+func (s *enqueueSite) collectFuseClosures(pass *Pass, fiArg ast.Expr) {
+	fiExpr := unparen(fiArg)
+	if id, ok := fiExpr.(*ast.Ident); ok {
+		if id.Name == "nil" {
+			return
+		}
+		fiObj := pass.TypesInfo.Uses[id]
+		if fiObj == nil {
+			return
+		}
+		ast.Inspect(funcBody(s.enclosing), func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			base := baseIdent(as.Lhs[0])
+			if base == nil {
+				return true
+			}
+			if pass.TypesInfo.Defs[base] == fiObj || pass.TypesInfo.Uses[base] == fiObj {
+				s.closures = append(s.closures, as.Rhs[0])
+			}
+			return true
+		})
+		return
+	}
+	// Inline &fuseInfo{...} argument.
+	s.closures = append(s.closures, fiExpr)
+}
+
+// check walks the site's closures and reports captured object variables
+// outside the declared footprint.
+func (s *enqueueSite) check(pass *Pass) {
+	reported := map[types.Object]bool{}
+	for _, region := range s.closures {
+		ast.Inspect(region, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || reported[v] {
+				return true
+			}
+			if !isObjectVar(pass, v) || !s.freeIn(v, region) {
+				return true
+			}
+			if v.Name() == "mask" && v != s.maskVar {
+				// The mask operand must enter the footprint through
+				// maskReadsV/M specifically; folding &mask.obj into the data
+				// literal hides the mask/data distinction from fusion
+				// legality (the PR 9 alias class).
+				reported[v] = true
+				if s.maskDeclared {
+					pass.Reportf(id.Pos(), "kernel closure captures mask operand %s that is not the mask declared via maskReadsV/maskReadsM; the scheduler cannot distinguish it from data operands", v.Name())
+				} else {
+					pass.Reportf(id.Pos(), "mask operand %s is captured by the kernel closure but the reads list is not built with maskReadsV/maskReadsM; mask and data operands must stay distinguishable for fusion legality", v.Name())
+				}
+				return true
+			}
+			if v == s.outVar || s.readVars[v] || v == s.maskVar {
+				return true
+			}
+			reported[v] = true
+			pass.Reportf(id.Pos(), "kernel closure captures %s outside the op's declared footprint: add &%s.obj to the reads list (or make it the out argument) so the hazard DAG orders this access", v.Name(), v.Name())
+			return true
+		})
+	}
+}
+
+// checkEagerStoreReads flags vdat()/mdat() store dereferences in the op
+// function outside any function literal: the enqueue path runs at program
+// order, before the hazard DAG has ordered this op against the operands'
+// writers, so a store read there observes pre-hazard content.
+func (s *enqueueSite) checkEagerStoreReads(pass *Pass) {
+	body := funcBody(s.enclosing)
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "vdat" && sel.Sel.Name != "mdat") {
+			return true
+		}
+		if base := baseIdent(sel.X); base != nil {
+			if v, ok := pass.TypesInfo.Uses[base].(*types.Var); ok && isObjectVar(pass, v) {
+				pass.Reportf(call.Pos(), "store read %s.%s() at enqueue time, outside the deferred closure: the hazard DAG has not ordered this op against %s's writers yet", base.Name, sel.Sel.Name, base.Name)
+			}
+		}
+		return true
+	})
+}
+
+// freeIn reports whether v is declared outside region (a capture) but inside
+// the enclosing op function (an operand or local, not a package global).
+func (s *enqueueSite) freeIn(v *types.Var, region ast.Node) bool {
+	if v.Pos() >= region.Pos() && v.Pos() < region.End() {
+		return false // bound inside the closure
+	}
+	encl := s.enclosing
+	return v.Pos() >= encl.Pos() && v.Pos() < encl.End()
+}
+
+// isObjectVar reports whether v is a pointer to the engine's Matrix or
+// Vector type declared in the package under analysis.
+func isObjectVar(pass *Pass, v *types.Var) bool {
+	ptr, ok := v.Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	if name != "Matrix" && name != "Vector" {
+		return false
+	}
+	return named.Obj().Pkg() == pass.Pkg
+}
+
+// objBaseVar extracts the base variable of an `&x.obj` (or `&x.obj`-shaped)
+// operand expression, nil for other shapes.
+func objBaseVar(pass *Pass, e ast.Expr) types.Object {
+	un, ok := unparen(e).(*ast.UnaryExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := unparen(un.X).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "obj" {
+		return nil
+	}
+	base := baseIdent(sel.X)
+	if base == nil {
+		return nil
+	}
+	return pass.TypesInfo.Uses[base]
+}
+
+// isPtrToNamed reports whether t is *T for a named type T called name.
+func isPtrToNamed(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// isSliceOfPtrNamed reports whether t is []*T for a named type T called name.
+func isSliceOfPtrNamed(t types.Type, name string) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isPtrToNamed(sl.Elem(), name)
+}

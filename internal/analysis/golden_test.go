@@ -30,3 +30,15 @@ func TestAtomicMixGolden(t *testing.T) {
 func TestCtxFlowGolden(t *testing.T) {
 	RunGolden(t, "ctxflow", NewCtxFlow())
 }
+
+func TestFootprintGolden(t *testing.T) {
+	RunGolden(t, "footprint", NewFootprint())
+}
+
+func TestFuseCapGolden(t *testing.T) {
+	RunGolden(t, "fusecap", NewFuseCap())
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	RunGolden(t, "hotalloc", NewHotAlloc())
+}

@@ -1,0 +1,294 @@
+package analysis
+
+// hotalloc is the allocation-discipline pass over the engine's hot paths —
+// the ROADMAP item 5 companion to the pool package. A function marked
+//
+//	//grblint:hotpath
+//
+// in its doc comment promises steady-state allocation discipline: the
+// kernels run once per queued op (or once per parallel chunk) over inputs
+// that can be millions of entries, so a per-iteration allocation turns into
+// GC pressure proportional to nnz rather than to op count. The pass reports
+// three shapes inside marked functions:
+//
+//   - allocation expressions (make, new, &T{...}, slice/map literals)
+//     inside a loop: one heap object per iteration; hoist the buffer out of
+//     the loop or draw it from internal/pool;
+//   - function literals inside a loop: the closure header itself allocates
+//     per iteration, and capturing loop-scoped variables forces their
+//     escape (the SpGEMM per-row mask-closure shape);
+//   - pooled buffers (pool.Get*) that can reach a return without the
+//     matching pool.Put* or an ownership handoff — the spanlife walk
+//     applied to buffers, so an early-exit path that strands a buffer is a
+//     finding, not a slow leak found in a heap profile.
+//
+// A function literal boundary resets the loop context: a closure body runs
+// per call, not per iteration of the loop that created it, so allocations
+// there are judged against the loops inside the closure itself. Intrinsic
+// output allocations (the result slice a kernel returns) sit at function
+// scope outside any loop and pass untouched.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathMarker is the doc-comment annotation that opts a function into the
+// allocation discipline.
+const hotpathMarker = "grblint:hotpath"
+
+// NewHotAlloc returns a fresh hotalloc analyzer.
+func NewHotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "flags per-iteration allocations, loop closures, and leaked pool buffers in //grblint:hotpath functions",
+	}
+	a.Run = func(pass *Pass) error {
+		if !engineScope(pass.Pkg) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hotpathMarked(fd) {
+					continue
+				}
+				checkLoopAllocs(pass, fd.Body, false)
+				checkPoolDiscipline(pass, fd.Body)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// hotpathMarked reports whether fd's doc comment carries the hotpath marker.
+func hotpathMarked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.Contains(c.Text, hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoopAllocs walks stmts flagging allocation expressions that execute
+// once per loop iteration. inLoop tracks whether the current position is
+// inside a for/range statement of the *current* function: entering a
+// function literal resets it (the literal's body allocates per call), while
+// the literal itself is an allocation at its creation site.
+func checkLoopAllocs(pass *Pass, root ast.Node, inLoop bool) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		switch x := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			if x.Init != nil {
+				walk(x.Init, inLoop)
+			}
+			if x.Cond != nil {
+				walk(x.Cond, inLoop)
+			}
+			if x.Post != nil {
+				walk(x.Post, inLoop)
+			}
+			walk(x.Body, true)
+			return
+		case *ast.RangeStmt:
+			if x.X != nil {
+				walk(x.X, inLoop)
+			}
+			walk(x.Body, true)
+			return
+		case *ast.FuncLit:
+			if inLoop {
+				pass.Reportf(x.Pos(), "closure created inside a hot loop: the literal allocates per iteration and its captures escape; hoist it above the loop")
+			}
+			walk(x.Body, false)
+			return
+		case *ast.CallExpr:
+			if inLoop {
+				if id, ok := unparen(x.Fun).(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						pass.Reportf(x.Pos(), "%s inside a hot loop allocates per iteration; hoist the buffer or draw it from internal/pool", id.Name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if inLoop && allocatingLiteral(pass, x) {
+				pass.Reportf(x.Pos(), "composite literal inside a hot loop allocates per iteration; hoist the buffer or draw it from internal/pool")
+			}
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			if m == nil {
+				return false
+			}
+			walk(m, inLoop)
+			return false
+		})
+	}
+	walk(root, inLoop)
+}
+
+// allocatingLiteral reports whether a composite literal heap-allocates per
+// evaluation: slice and map literals always do; struct literals only when
+// their address is taken.
+func allocatingLiteral(pass *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// checkPoolDiscipline runs the spanlife walk for every pool.Get* binding in
+// body: the buffer must reach the matching pool.Put* (or an ownership
+// handoff — returned or stored) on every path out of the function.
+func checkPoolDiscipline(pass *Pass, body *ast.BlockStmt) {
+	checkPoolInBlock(pass, body)
+	// Function literals get their own walk: a buffer drawn inside a chunk
+	// closure must be returned to the pool inside that closure.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkPoolInBlock(pass, lit.Body)
+		}
+		return true
+	})
+}
+
+func checkPoolInBlock(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Rhs) != 1 || len(st.Lhs) != 1 {
+			return true
+		}
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		getName, ok := poolCall(pass.TypesInfo, call, "Get")
+		if !ok {
+			return true
+		}
+		id, ok := st.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			pass.Reportf(call.Pos(), "pooled buffer from pool.%s is discarded; bind it and return it with pool.Put%s", getName, strings.TrimPrefix(getName, "Get"))
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		putName := "Put" + strings.TrimPrefix(getName, "Get")
+		w := &spanWalker{pass: pass, span: obj, begin: st}
+		w.retires = func(n ast.Node) bool { return poolRetires(pass, n, obj, putName) }
+		w.leak = func(ret ast.Stmt) {
+			pass.Reportf(ret.Pos(), "pooled buffer from pool.%s at line %d may leak: this return is reached without pool.%s or a handoff", getName, pass.Fset.Position(st.Pos()).Line, putName)
+		}
+		w.block(body.List, false)
+		return true
+	})
+}
+
+// poolCall matches a call to the internal pool package whose function name
+// starts with prefix, returning the function name.
+func poolCall(info *types.Info, call *ast.CallExpr, prefix string) (string, bool) {
+	pkg, name, ok := calleePkgFunc(info, call)
+	if !ok || pkg != "pool" || !strings.HasPrefix(name, prefix) {
+		return "", false
+	}
+	return name, true
+}
+
+// poolRetires reports whether n discharges the buffer obligation: the
+// matching pool.Put* call with the buffer as an argument, a return statement
+// carrying the buffer value out, or an assignment parking the buffer value
+// in a structure. Only *value* uses count — an element read like
+// out[i] = buf[j] hands out a copied element, not the slice header, and a
+// plain use as a call argument (handing the buffer to a kernel helper) is
+// staging, not retirement — unlike spans, pooled buffers come back.
+func poolRetires(pass *Pass, n ast.Node, buf types.Object, putName string) bool {
+	// valueUses reports whether e mentions the buffer as a slice value (the
+	// header escaping), skipping buf[i] element accesses.
+	valueUses := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			if ix, ok := m.(*ast.IndexExpr); ok {
+				if id, isID := unparen(ix.X).(*ast.Ident); isID && pass.TypesInfo.Uses[id] == buf {
+					return false // element access: the header stays put
+				}
+			}
+			if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == buf {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	retired := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if retired {
+			return false
+		}
+		switch x := m.(type) {
+		case *ast.CallExpr:
+			if name, ok := poolCall(pass.TypesInfo, x, "Put"); ok && name == putName {
+				for _, arg := range x.Args {
+					if valueUses(arg) {
+						retired = true
+						return false
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if valueUses(res) {
+					retired = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// Parking the buffer: the buffer value flows to an LHS that is
+			// neither the buffer itself nor the blank identifier
+			// (out.idx = buf, s.scratch = buf).
+			for i, rhs := range x.Rhs {
+				if !valueUses(rhs) {
+					continue
+				}
+				if i < len(x.Lhs) {
+					if id, ok := unparen(x.Lhs[i]).(*ast.Ident); ok {
+						if id.Name == "_" || pass.TypesInfo.Uses[id] == buf {
+							continue // discard or reslice: staging, not a handoff
+						}
+					}
+				}
+				retired = true
+				return false
+			}
+		}
+		return true
+	})
+	return retired
+}

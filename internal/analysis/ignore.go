@@ -25,13 +25,25 @@ type ignoreKey struct {
 	analyzer string
 }
 
+// directive is one well-formed //grblint:ignore comment: where it sits, which
+// analyzer it silences, the reviewed justification, and whether this run
+// actually honored it — the raw material of the suppression inventory.
+type directive struct {
+	file          string
+	line          int
+	analyzer      string
+	justification string
+	used          bool
+}
+
 type ignoreIndex struct {
-	keys      map[ignoreKey]bool
-	malformed []Diagnostic
+	keys       map[ignoreKey]*directive
+	directives []*directive
+	malformed  []Diagnostic
 }
 
 func newIgnoreIndex() *ignoreIndex {
-	return &ignoreIndex{keys: map[ignoreKey]bool{}}
+	return &ignoreIndex{keys: map[ignoreKey]*directive{}}
 }
 
 // collect indexes every //grblint:ignore directive in the files.
@@ -53,17 +65,46 @@ func (ig *ignoreIndex) collect(fset *token.FileSet, files []*ast.File) {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				d := &directive{
+					file:          pos.Filename,
+					line:          pos.Line,
+					analyzer:      fields[0],
+					justification: strings.Join(fields[1:], " "),
+				}
+				ig.directives = append(ig.directives, d)
 				// The directive covers its own line; when the comment stands
 				// alone it covers the next line instead.
-				ig.keys[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
-				ig.keys[ignoreKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+				ig.keys[ignoreKey{pos.Filename, pos.Line, fields[0]}] = d
+				ig.keys[ignoreKey{pos.Filename, pos.Line + 1, fields[0]}] = d
 			}
 		}
 	}
 }
 
 // suppressed reports whether a finding by the named analyzer at pos is
-// covered by a directive.
+// covered by a directive, marking the directive as honored when it is.
 func (ig *ignoreIndex) suppressed(pos token.Position, analyzer string) bool {
-	return ig.keys[ignoreKey{pos.Filename, pos.Line, analyzer}]
+	d := ig.keys[ignoreKey{pos.Filename, pos.Line, analyzer}]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
+}
+
+// inventory resolves the collected directives into the public Suppression
+// records. Used flags are meaningful only after every diagnostic has been
+// filtered through suppressed.
+func (ig *ignoreIndex) inventory() []Suppression {
+	out := make([]Suppression, 0, len(ig.directives))
+	for _, d := range ig.directives {
+		out = append(out, Suppression{
+			File:          d.file,
+			Line:          d.line,
+			Analyzer:      d.analyzer,
+			Justification: d.justification,
+			Used:          d.used,
+		})
+	}
+	return out
 }

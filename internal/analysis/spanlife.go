@@ -101,6 +101,10 @@ func checkSpans(pass *Pass, file *ast.File, body *ast.BlockStmt) {
 			return true
 		}
 		w := &spanWalker{pass: pass, span: obj, begin: st}
+		w.retires = w.retiresIn
+		w.leak = func(ret ast.Stmt) {
+			pass.Reportf(ret.Pos(), "span from obs.Begin at line %d may leak: this return is reached without obs.Emit or a handoff", pass.Fset.Position(st.Pos()).Line)
+		}
 		w.block(body.List, false)
 		if !w.started {
 			// The Begin statement was nested somewhere the walker did not
@@ -112,13 +116,22 @@ func checkSpans(pass *Pass, file *ast.File, body *ast.BlockStmt) {
 	})
 }
 
-// spanWalker is the abstract interpreter for one span variable.
+// spanWalker is the abstract interpreter for one tracked resource variable.
+// spanlife instantiates it for obs.Begin spans; hotalloc reuses the same
+// walk for pooled buffers by supplying its own retire predicate and leak
+// reporter. The walk itself is resource-agnostic: it only knows "a binding
+// statement starts tracking", "retires says a statement discharges the
+// obligation", and "a return reached live leaks".
 type spanWalker struct {
 	pass    *Pass
 	span    types.Object
-	begin   *ast.AssignStmt
-	started bool // the Begin statement has been passed
-	pinned  bool // a defer retires the span on every later exit
+	begin   ast.Stmt
+	started bool // the binding statement has been passed
+	pinned  bool // a defer retires the resource on every later exit
+	// retires reports whether a statement discharges the obligation.
+	retires func(ast.Node) bool
+	// leak is invoked for each return reached with the resource live.
+	leak func(ret ast.Stmt)
 }
 
 // block walks stmts with the given entry state and returns the retired
@@ -134,7 +147,7 @@ func (w *spanWalker) stmt(st ast.Stmt, retired bool) bool {
 	if !w.started {
 		// Skip everything before the Begin binding; containers are searched
 		// for it.
-		if st == ast.Stmt(w.begin) {
+		if st == w.begin {
 			w.started = true
 			return false
 		}
@@ -174,17 +187,17 @@ func (w *spanWalker) stmt(st ast.Stmt, retired bool) bool {
 	}
 	switch s := st.(type) {
 	case *ast.DeferStmt:
-		if w.retiresIn(s) {
+		if w.retires(s) {
 			w.pinned = true
 			return true
 		}
 		return retired
 	case *ast.ReturnStmt:
-		if w.retiresIn(s) {
+		if w.retires(s) {
 			return true
 		}
 		if !retired && !w.pinned {
-			w.pass.Reportf(s.Pos(), "span from obs.Begin at line %d may leak: this return is reached without obs.Emit or a handoff", w.pass.Fset.Position(w.begin.Pos()).Line)
+			w.leak(s)
 		}
 		return true
 	case *ast.BlockStmt:
@@ -225,7 +238,7 @@ func (w *spanWalker) stmt(st ast.Stmt, retired bool) bool {
 	case *ast.LabeledStmt:
 		return w.stmt(s.Stmt, retired)
 	default:
-		if w.retiresIn(st) {
+		if w.retires(st) {
 			return true
 		}
 		return retired

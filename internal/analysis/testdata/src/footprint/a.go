@@ -1,0 +1,172 @@
+// Package footprint holds the golden cases for the footprint analyzer:
+// every *Matrix/*Vector a deferred kernel closure captures must be covered
+// by the enqueue site's declared footprint (out, reads, or the maskReadsV/M
+// mask), masks must stay distinguishable from data operands, and no store
+// dereference may happen on the enqueue path outside the closures.
+//
+// The package mirrors the engine's enqueue-family shapes: an obj identity
+// struct, Vector/Matrix wrappers with vdat/mdat store accessors, the
+// enqueue/enqueueFusable entry points, and the maskReadsV helper.
+package footprint
+
+type obj struct{ id uint64 }
+
+type store struct{ vals []float64 }
+
+// Vector mirrors core.Vector: an obj header plus a store.
+type Vector struct {
+	obj  obj
+	data *store
+}
+
+func (v *Vector) vdat() *store { return v.data }
+
+// Matrix mirrors core.Matrix.
+type Matrix struct {
+	obj  obj
+	data *store
+}
+
+func (m *Matrix) mdat() *store { return m.data }
+
+// fuseInfo mirrors core.fuseInfo: a producer payload, the source identity,
+// and the consume capability.
+type fuseInfo struct {
+	producer any
+	srcID    uint64
+	consume  func(src any) (func() error, any, bool)
+}
+
+func enqueue(name string, out *obj, reads []*obj, overwrites bool, run func() error) error {
+	_ = name
+	_ = out
+	_ = reads
+	_ = overwrites
+	return run()
+}
+
+func enqueueFusable(name string, out *obj, reads []*obj, overwrites bool, fi *fuseInfo, run func() error) error {
+	_ = fi
+	return enqueue(name, out, reads, overwrites, run)
+}
+
+func maskReadsV(reads []*obj, mask *Vector) []*obj {
+	if mask != nil {
+		reads = append(reads, &mask.obj)
+	}
+	return reads
+}
+
+// applySource is the producer payload shape ops hand to fusion.
+type applySource struct{ u *Vector }
+
+// applyGood is the canonical well-declared op: the run closure touches only
+// the out object, the declared read, and the maskReadsV-declared mask.
+func applyGood(w, u, mask *Vector) error {
+	reads := maskReadsV([]*obj{&u.obj}, mask)
+	return enqueue("apply", &w.obj, reads, true, func() error {
+		d := u.vdat()
+		if mask != nil {
+			_ = mask.vdat()
+		}
+		w.data = d
+		return nil
+	})
+}
+
+// droppedRead is the must-flag acceptance case: v is consumed by the kernel
+// but missing from the declared reads, so the hazard DAG would never order
+// this op against v's writers.
+func droppedRead(w, u, v *Vector) error {
+	reads := []*obj{&u.obj}
+	return enqueue("ewise", &w.obj, reads, true, func() error {
+		_ = u.vdat()
+		_ = v.vdat() // want `kernel closure captures v outside the op's declared footprint`
+		return nil
+	})
+}
+
+// maskFolded declares the mask as an ordinary data read; fusion legality
+// cannot tell it apart from u, which is the PR 9 alias class.
+func maskFolded(w, u, mask *Vector) error {
+	return enqueue("apply", &w.obj, []*obj{&u.obj, &mask.obj}, true, func() error {
+		_ = u.vdat()
+		_ = mask.vdat() // want `reads list is not built with maskReadsV/maskReadsM`
+		return nil
+	})
+}
+
+// maskUndeclared filters through a mask the footprint never mentions at all.
+func maskUndeclared(w, u, mask *Vector) error {
+	return enqueue("select", &w.obj, []*obj{&u.obj}, true, func() error {
+		_ = u.vdat()
+		_ = mask.vdat() // want `reads list is not built with maskReadsV/maskReadsM`
+		return nil
+	})
+}
+
+// eagerStoreRead dereferences the operand's store on the enqueue path: the
+// closure would run against a snapshot taken before the DAG ordered this op.
+func eagerStoreRead(w, u *Vector) error {
+	d := u.vdat() // want `store read u.vdat\(\) at enqueue time`
+	return enqueue("apply", &w.obj, []*obj{&u.obj}, true, func() error {
+		w.data = d
+		return nil
+	})
+}
+
+// fusableGood mirrors the post-PR 9 ApplyV shape: producer payload and
+// consume capability both stay inside the declared footprint, and consume is
+// withheld when the mask aliases the source.
+func fusableGood(w, u, mask *Vector) error {
+	reads := maskReadsV([]*obj{&u.obj}, mask)
+	fi := &fuseInfo{srcID: u.obj.id}
+	if mask == nil {
+		fi.producer = applySource{u: u}
+	}
+	if mask == nil || mask.obj.id != u.obj.id {
+		fi.consume = func(src any) (func() error, any, bool) {
+			s, ok := src.(applySource)
+			if !ok {
+				return nil, nil, false
+			}
+			return func() error {
+				_ = s.u
+				if mask != nil {
+					_ = mask.vdat()
+				}
+				w.data = nil
+				return nil
+			}, nil, true
+		}
+	}
+	return enqueueFusable("apply", &w.obj, reads, true, fi, func() error {
+		_ = u.vdat()
+		if mask != nil {
+			_ = mask.vdat()
+		}
+		return nil
+	})
+}
+
+// fusablePayloadLeak smuggles an undeclared object into the producer
+// payload: a fused consumer would read aux with no hazard edge ordering it.
+func fusablePayloadLeak(w, u, aux *Vector) error {
+	fi := &fuseInfo{srcID: u.obj.id}
+	fi.producer = applySource{u: aux} // want `kernel closure captures aux outside the op's declared footprint`
+	return enqueueFusable("apply", &w.obj, []*obj{&u.obj}, true, fi, func() error {
+		_ = u.vdat()
+		return nil
+	})
+}
+
+// suppressedCapture shows the reviewed escape hatch for a provable false
+// positive.
+func suppressedCapture(w, u, stats *Vector) error {
+	return enqueue("probe", &w.obj, []*obj{&u.obj}, true, func() error {
+		_ = u.vdat()
+		//grblint:ignore footprint stats is engine-private and frozen before any op is enqueued
+		_ = stats.vdat()
+		return nil
+	})
+}

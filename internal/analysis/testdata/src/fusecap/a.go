@@ -1,0 +1,199 @@
+// Package fusecap holds the golden cases for the fusecap analyzer: every
+// enqueueFusable capability declaration must name a fusion source drawn from
+// the op's declared reads, must withhold its consume callback whenever the
+// mask aliases that source (the PR 9 bug class), and must never read the
+// source's committed store from inside the consume path.
+package fusecap
+
+type obj struct{ id uint64 }
+
+type store struct{ vals []float64 }
+
+// Vector mirrors core.Vector.
+type Vector struct {
+	obj  obj
+	data *store
+}
+
+func (v *Vector) vdat() *store { return v.data }
+
+// Matrix mirrors core.Matrix.
+type Matrix struct {
+	obj  obj
+	data *store
+}
+
+func (m *Matrix) mdat() *store { return m.data }
+
+// fuseInfo mirrors core.fuseInfo.
+type fuseInfo struct {
+	producer any
+	srcID    uint64
+	consume  func(src any) (func() error, any, bool)
+}
+
+func enqueueFusable(name string, out *obj, reads []*obj, overwrites bool, fi *fuseInfo, run func() error) error {
+	_ = name
+	_ = out
+	_ = reads
+	_ = overwrites
+	_ = fi
+	return run()
+}
+
+func maskReadsV(reads []*obj, mask *Vector) []*obj {
+	if mask != nil {
+		reads = append(reads, &mask.obj)
+	}
+	return reads
+}
+
+// applySource is the producer payload shape.
+type applySource struct{ u *Vector }
+
+// guardedGood is the post-PR 9 ApplyV shape: consume withheld when the mask
+// aliases the source, source declared in reads, consume streams the payload.
+func guardedGood(w, u, mask *Vector) error {
+	reads := maskReadsV([]*obj{&u.obj}, mask)
+	fi := &fuseInfo{srcID: u.obj.id}
+	if mask == nil {
+		fi.producer = applySource{u: u}
+	}
+	if mask == nil || mask.obj.id != u.obj.id {
+		fi.consume = func(src any) (func() error, any, bool) {
+			s, ok := src.(applySource)
+			if !ok {
+				return nil, nil, false
+			}
+			return func() error {
+				_ = s
+				w.data = nil
+				return nil
+			}, nil, true
+		}
+	}
+	return enqueueFusable("apply", &w.obj, reads, true, fi, func() error {
+		_ = u.vdat()
+		return nil
+	})
+}
+
+// assignShapeGood folds the veto into the fi construction guard itself, the
+// AssignVector idiom: fi only exists when the mask cannot alias the source.
+func assignShapeGood(w, u, mask *Vector, indices []int) error {
+	reads := maskReadsV([]*obj{&u.obj}, mask)
+	var fi *fuseInfo
+	if indices == nil && (mask == nil || mask.obj.id != u.obj.id) {
+		fi = &fuseInfo{srcID: u.obj.id}
+		fi.consume = func(src any) (func() error, any, bool) {
+			s, ok := src.(applySource)
+			if !ok {
+				return nil, nil, false
+			}
+			_ = s
+			return func() error { return nil }, nil, true
+		}
+	}
+	return enqueueFusable("assign", &w.obj, reads, true, fi, func() error {
+		_ = u.vdat()
+		return nil
+	})
+}
+
+// nilMaskOnlyGood attaches consume only on the maskless path; no alias is
+// possible there.
+func nilMaskOnlyGood(w, u, mask *Vector) error {
+	reads := maskReadsV([]*obj{&u.obj}, mask)
+	fi := &fuseInfo{srcID: u.obj.id}
+	if mask == nil {
+		fi.consume = func(src any) (func() error, any, bool) {
+			return func() error { return nil }, nil, true
+		}
+	}
+	return enqueueFusable("apply", &w.obj, reads, true, fi, func() error {
+		_ = u.vdat()
+		return nil
+	})
+}
+
+// unguardedConsume is the PR 9 must-flag case: the capability is attached
+// unconditionally, so MxV(w, u, A, u) can fuse and resolve the mask from u's
+// stale committed store.
+func unguardedConsume(w, u, mask *Vector) error {
+	reads := maskReadsV([]*obj{&u.obj}, mask)
+	fi := &fuseInfo{srcID: u.obj.id}
+	fi.consume = func(src any) (func() error, any, bool) { // want `consume capability is not vetoed when mask aliases the fusion source u`
+		return func() error { return nil }, nil, true
+	}
+	return enqueueFusable("apply", &w.obj, reads, true, fi, func() error {
+		_ = u.vdat()
+		if mask != nil {
+			_ = mask.vdat()
+		}
+		return nil
+	})
+}
+
+// invertedGuard fuses exactly when the mask aliases the source — the
+// comparison direction is wrong, so the guard is not protective.
+func invertedGuard(w, u, mask *Vector) error {
+	reads := maskReadsV([]*obj{&u.obj}, mask)
+	fi := &fuseInfo{srcID: u.obj.id}
+	if mask == nil || mask.obj.id == u.obj.id {
+		fi.consume = func(src any) (func() error, any, bool) { // want `consume capability is not vetoed when mask aliases the fusion source u`
+			return func() error { return nil }, nil, true
+		}
+	}
+	return enqueueFusable("apply", &w.obj, reads, true, fi, func() error {
+		_ = u.vdat()
+		return nil
+	})
+}
+
+// srcNotInReads declares a fusion source the footprint never mentions:
+// FuseLegal would elide a store the hazard DAG never proved dead.
+func srcNotInReads(w, u, v *Vector) error {
+	fi := &fuseInfo{srcID: v.obj.id} // want `fusion source v is not in the op's declared reads`
+	fi.consume = func(src any) (func() error, any, bool) {
+		return func() error { return nil }, nil, true
+	}
+	return enqueueFusable("ewise", &w.obj, []*obj{&u.obj}, true, fi, func() error {
+		_ = u.vdat()
+		return nil
+	})
+}
+
+// staleSourceRead streams the payload but still dereferences the source
+// inside the fused run: when fused, u's committed store is stale.
+func staleSourceRead(w, u *Vector) error {
+	fi := &fuseInfo{srcID: u.obj.id}
+	fi.consume = func(src any) (func() error, any, bool) {
+		s, ok := src.(applySource)
+		if !ok {
+			return nil, nil, false
+		}
+		_ = s
+		return func() error {
+			_ = u.vdat() // want `fused consumer reads fusion source u directly`
+			return nil
+		}, nil, true
+	}
+	return enqueueFusable("apply", &w.obj, []*obj{&u.obj}, true, fi, func() error {
+		_ = u.vdat()
+		return nil
+	})
+}
+
+// suppressedVeto shows the reviewed escape hatch.
+func suppressedVeto(w, u, mask *Vector) error {
+	reads := maskReadsV([]*obj{&u.obj}, mask)
+	fi := &fuseInfo{srcID: u.obj.id}
+	//grblint:ignore fusecap this op rejects aliased masks in validation before enqueue
+	fi.consume = func(src any) (func() error, any, bool) {
+		return func() error { return nil }, nil, true
+	}
+	return enqueueFusable("apply", &w.obj, reads, true, fi, func() error {
+		_ = u.vdat()
+		return nil
+	})
+}

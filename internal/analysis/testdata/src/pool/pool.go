@@ -1,0 +1,12 @@
+// Package pool is a shape stub of the engine's internal/pool freelists for
+// the hotalloc golden tests: only the Get*/Put* signatures matter to the
+// analyzer.
+package pool
+
+func GetInts(n int) []int { return make([]int, n) }
+
+func PutInts(s []int) { _ = s }
+
+func GetBools(n int) []bool { return make([]bool, n) }
+
+func PutBools(s []bool) { _ = s }

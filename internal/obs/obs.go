@@ -246,6 +246,8 @@ func Enabled() bool { return activeTracer.Load() != nil }
 
 // Begin opens a span for one operation, stamping the enqueue time. Returns
 // nil — and allocates nothing — when no tracer is registered.
+//
+//grblint:hotpath
 func Begin(op string) *Span {
 	if activeTracer.Load() == nil {
 		return nil
@@ -275,6 +277,8 @@ var kernelNoop = func(int) {}
 // pay one atomic load and no allocation. Callers invoke the callback
 // directly rather than deferring a closure, keeping the disabled path
 // allocation-free.
+//
+//grblint:hotpath
 func KernelStart(kernel string) func(nnz int) {
 	if activeTracer.Load() == nil {
 		return kernelNoop

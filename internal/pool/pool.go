@@ -1,0 +1,121 @@
+// Package pool provides freelist-backed scratch buffers for the kernel hot
+// paths — ROADMAP item 5's allocation discipline made concrete. The sparse
+// kernels need three recurring scratch shapes that are *not* generic over
+// the element domain: index prefix sums ([]int), per-chunk contribution
+// counts ([]int32), and presence flags ([]bool). Allocating them per
+// operation turns kernel throughput into GC pressure proportional to matrix
+// dimension; drawing them from a freelist makes the steady state
+// allocation-free.
+//
+// The implementation is deliberately a mutex-guarded [][]T freelist rather
+// than sync.Pool: Put'ing a slice into a sync.Pool boxes the slice header
+// into an interface, which itself allocates — exactly the per-call
+// allocation the pool exists to remove — and sync.Pool's GC-cycle draining
+// defeats steady-state reuse for bursty op queues. The kernels call Get/Put
+// once per operation or per parallel chunk (coarse-grained), so a plain
+// mutex is never contended enough to matter.
+//
+// Contract: Get* returns a zeroed slice of length n; Put* returns a buffer
+// to the freelist and the caller must not touch it afterwards. Buffers are
+// shelved by power-of-two capacity class, so a recycled buffer always has
+// capacity for the class it is shelved under; anything larger than the
+// largest class or smaller than a class floor is simply dropped for the
+// collector. Every Get must be matched by a Put on every path (or the
+// buffer handed off to an owner who takes over the obligation) — the
+// hotalloc analyzer enforces exactly this for //grblint:hotpath functions.
+package pool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxClass bounds the capacity classes: buffers up to 1<<maxClass elements
+// are recycled, larger ones go to the collector (a 64M-entry scratch slice
+// is not a steady-state shape; holding it forever would be a leak).
+const maxClass = 26
+
+// shelfCap bounds how many buffers a class retains; beyond it, Put drops
+// the buffer. Workers × a small factor covers every engine shape.
+const shelfCap = 64
+
+// freelist is one element type's shelves, one per capacity class.
+type freelist[T any] struct {
+	mu      sync.Mutex
+	classes [maxClass + 1][][]T
+}
+
+// classFor returns the smallest class whose capacity 1<<class holds n.
+func classFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// get returns a zeroed slice of length n, recycled when a buffer of n's
+// class is shelved, freshly allocated at the class capacity otherwise.
+func (f *freelist[T]) get(n int) []T {
+	c := classFor(n)
+	if c > maxClass {
+		return make([]T, n)
+	}
+	f.mu.Lock()
+	shelf := f.classes[c]
+	if len(shelf) == 0 {
+		f.mu.Unlock()
+		return make([]T, n, 1<<c)
+	}
+	s := shelf[len(shelf)-1]
+	shelf[len(shelf)-1] = nil
+	f.classes[c] = shelf[:len(shelf)-1]
+	f.mu.Unlock()
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// put shelves s under the largest class its capacity fully covers, so a
+// later get of that class can always reslice it to the class length.
+func (f *freelist[T]) put(s []T) {
+	c := cap(s)
+	if c == 0 {
+		return
+	}
+	class := bits.Len(uint(c)) - 1 // floor log2: 1<<class <= cap
+	if class > maxClass {
+		return
+	}
+	f.mu.Lock()
+	if len(f.classes[class]) < shelfCap {
+		f.classes[class] = append(f.classes[class], s[:0])
+	}
+	f.mu.Unlock()
+}
+
+var (
+	intFree   freelist[int]
+	int32Free freelist[int32]
+	boolFree  freelist[bool]
+)
+
+// GetInts returns a zeroed []int of length n from the freelist.
+func GetInts(n int) []int { return intFree.get(n) }
+
+// PutInts returns an int buffer to the freelist; the caller must not use it
+// afterwards.
+func PutInts(s []int) { intFree.put(s) }
+
+// GetInt32s returns a zeroed []int32 of length n from the freelist.
+func GetInt32s(n int) []int32 { return int32Free.get(n) }
+
+// PutInt32s returns an int32 buffer to the freelist; the caller must not
+// use it afterwards.
+func PutInt32s(s []int32) { int32Free.put(s) }
+
+// GetBools returns a zeroed []bool of length n from the freelist.
+func GetBools(n int) []bool { return boolFree.get(n) }
+
+// PutBools returns a bool buffer to the freelist; the caller must not use
+// it afterwards.
+func PutBools(s []bool) { boolFree.put(s) }

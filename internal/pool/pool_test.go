@@ -1,0 +1,100 @@
+package pool
+
+import (
+	"testing"
+)
+
+func TestGetReturnsZeroedLengthN(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 7, 64, 100, 1 << 12} {
+		s := GetInts(n)
+		if len(s) != n {
+			t.Fatalf("GetInts(%d): len = %d", n, len(s))
+		}
+		for i, v := range s {
+			if v != 0 {
+				t.Fatalf("GetInts(%d)[%d] = %d, want 0", n, i, v)
+			}
+		}
+		for i := range s {
+			s[i] = i + 1 // dirty it before returning
+		}
+		PutInts(s)
+	}
+	// A recycled buffer must come back zeroed even though it was dirtied.
+	s := GetInts(100)
+	for i, v := range s {
+		if v != 0 {
+			t.Fatalf("recycled GetInts(100)[%d] = %d, want 0", i, v)
+		}
+	}
+	PutInts(s)
+}
+
+func TestRecyclesBacking(t *testing.T) {
+	a := GetBools(500)
+	a[0] = true
+	PutBools(a)
+	b := GetBools(400) // same class (512), must reuse the shelved buffer
+	if cap(b) != cap(a[:cap(a)]) || &b[0] != &a[0] {
+		t.Fatalf("GetBools(400) did not recycle the shelved 500-cap buffer")
+	}
+	if b[0] {
+		t.Fatalf("recycled buffer not cleared")
+	}
+	PutBools(b)
+}
+
+func TestClassFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := classFor(n); got != want {
+			t.Fatalf("classFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestOversizedBypassesShelves(t *testing.T) {
+	huge := 1<<maxClass + 1
+	s := GetInt32s(huge)
+	if len(s) != huge {
+		t.Fatalf("oversized GetInt32s: len = %d", len(s))
+	}
+	PutInt32s(s) // dropped, not shelved — must not panic
+}
+
+// TestSteadyStateAllocFree is the pool's reason to exist: once warm, a
+// Get/Put round trip performs zero allocations. sync.Pool cannot pass this
+// test with slice values — boxing the header on Put allocates.
+func TestSteadyStateAllocFree(t *testing.T) {
+	PutInts(GetInts(1 << 10))
+	PutInt32s(GetInt32s(1 << 10))
+	PutBools(GetBools(1 << 10))
+	allocs := testing.AllocsPerRun(200, func() {
+		i := GetInts(1 << 10)
+		j := GetInt32s(1 << 10)
+		b := GetBools(1 << 10)
+		PutBools(b)
+		PutInt32s(j)
+		PutInts(i)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				s := GetInts(256)
+				s[i%256] = i
+				PutInts(s)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,85 @@
+package sparse
+
+import (
+	"testing"
+
+	"graphblas/internal/obs"
+	"graphblas/internal/parallel"
+)
+
+// TestFusedKernelsDisabledPathAllocFree is the allocation-regression gate
+// for the fused kernels, extending the obs package's
+// TestDisabledPathAllocFree contract: with tracing disabled and one worker,
+// each kernel's per-call allocation count is pinned exactly. The budgets
+// below are the kernels' intrinsic output allocations — the result vector
+// and its index/value storage, plus domain-generic scratch that cannot be
+// pooled because its element type varies per instantiation. Everything else
+// (presence flags, prefix sums, per-chunk counts) comes from internal/pool
+// and must not show up here. A budget increase in a review means a new
+// allocation crept onto the hot path; justify it or pool it.
+func TestFusedKernelsDisabledPathAllocFree(t *testing.T) {
+	parallel.SetMaxWorkersForTest(t, 1)
+	prev := obs.SetTracer(nil)
+	defer obs.SetTracer(prev)
+
+	const n = 64
+	// Deterministic fixtures: a fixed ~30%-dense matrix and ~50%-dense
+	// vectors, built once so AllocsPerRun measures only the kernels.
+	var is, js []int
+	var vs []float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if (i*31+j*17)%10 < 3 {
+				is = append(is, i)
+				js = append(js, j)
+				vs = append(vs, float64(i-j)+0.5)
+			}
+		}
+	}
+	a, ok := BuildCSR(n, n, is, js, vs, nil)
+	if !ok {
+		t.Fatal("BuildCSR failed")
+	}
+	u := NewVec[float64](n)
+	for i := 0; i < n; i++ {
+		if (i*13)%2 == 0 {
+			u.Idx = append(u.Idx, i)
+			u.Val = append(u.Val, float64(i)*0.25)
+		}
+	}
+	c := NewVec[float64](n)
+	for i := 0; i < n; i++ {
+		if (i*7)%3 == 0 {
+			c.Idx = append(c.Idx, i)
+			c.Val = append(c.Val, float64(i))
+		}
+	}
+	neg := func(x float64) float64 { return -x }
+	get := func(p int) float64 { return u.Val[p] }
+
+	cases := []struct {
+		name   string
+		budget float64
+		run    func()
+	}{
+		// out Vec + Idx + Val.
+		{"FusedVecMap", 3, func() { FusedVecMap(u.N, u.Idx, get, neg, nil) }},
+		// dense scatter workspace + dotCore's rowOut + the escaping
+		// ForWeighted body closure + FromDense's Vec, Idx, Val; the presence
+		// flags (scatter and rowHas) are pooled.
+		{"FusedDotMxV", 6, func() { FusedDotMxV(a, u.N, u.Idx, get, mulF, addF, nil) }},
+		// Serial at one worker: SPA (struct + val + stamp) + Gather's idx and
+		// val + out Vec; pushCore's cum prefix array is pooled.
+		{"FusedPushMxV", 6, func() { FusedPushMxV(a, u.Idx, get, mulF, addF, nil) }},
+		// out Vec + exact-length Idx + Val on the no-accum path.
+		{"FusedAssignAccum", 3, func() { FusedAssignAccum(c, u.Idx, get, nil) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run() // warm the pool shelves so steady state is measured
+			if allocs := testing.AllocsPerRun(100, tc.run); allocs != tc.budget {
+				t.Errorf("%s allocates %.1f per call, budget %.0f — a new hot-path allocation needs pooling or a reviewed budget bump", tc.name, allocs, tc.budget)
+			}
+		})
+	}
+}

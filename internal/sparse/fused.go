@@ -3,6 +3,7 @@ package sparse
 import (
 	"graphblas/internal/faults"
 	"graphblas/internal/obs"
+	"graphblas/internal/pool"
 )
 
 // Fused kernels: each consumes a *virtual* vector — (n, idx, get) where idx
@@ -26,6 +27,8 @@ import (
 // write mask pushed down into the kernel: positions the mask disallows are
 // skipped without evaluating f (the final mask merge would discard them
 // anyway; skipping the evaluation is the point of the pushdown).
+//
+//grblint:hotpath
 func FusedVecMap[DA, DC any](n int, idx []int, get func(p int) DA, f func(DA) DC, mask *VecMask) *Vec[DC] {
 	faults.Step("fuse.kernel.map")
 	done := obs.KernelStart("fuse.map")
@@ -47,16 +50,19 @@ func FusedVecMap[DA, DC any](n int, idx []int, get func(p int) DA, f func(DA) DC
 // then the shared row-parallel dot loop runs. Bit-exact with
 // materialize-then-DotMxV because the scatter visits positions in the same
 // order VecApply would and the row loop is dotCore either way.
+//
+//grblint:hotpath
 func FusedDotMxV[DA, DU, DC any](a *CSR[DA], n int, idx []int, get func(p int) DU, mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
 	faults.Step("fuse.kernel.mxv.dot")
 	done := obs.KernelStart("fuse.mxv.dot")
 	dense := make([]DU, n)
-	present := make([]bool, n)
+	present := pool.GetBools(n)
 	for p, i := range idx {
 		dense[i] = get(p)
 		present[i] = true
 	}
 	w := dotCore(a, dense, present, mul, add, mask)
+	pool.PutBools(present)
 	done(w.NVals())
 	return w
 }
@@ -66,6 +72,8 @@ func FusedDotMxV[DA, DU, DC any](a *CSR[DA], n int, idx []int, get func(p int) D
 // serial path, chunk-concurrently on the parallel one), so the producer's
 // values flow straight into the scatter without an intermediate vector.
 // Bit-exact with materialize-then-PushMxV (pushCore is shared).
+//
+//grblint:hotpath
 func FusedPushMxV[DA, DU, DC any](a *CSR[DA], idx []int, get func(p int) DU, mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
 	faults.Step("fuse.kernel.mxv.push")
 	done := obs.KernelStart("fuse.mxv.push")
@@ -81,6 +89,8 @@ func FusedPushMxV[DA, DU, DC any](a *CSR[DA], idx []int, get func(p int) DU, mul
 // one survive — exactly what AssignExpandVec over the identity index list
 // computes); without accum the assignment replaces the content wholesale,
 // so Z is the materialized stream. The caller applies its mask merge.
+//
+//grblint:hotpath
 func FusedAssignAccum[D any](c *Vec[D], idx []int, get func(p int) D, accum func(D, D) D) *Vec[D] {
 	faults.Step("fuse.kernel.assign.accum")
 	done := obs.KernelStart("fuse.assign.accum")

@@ -10,9 +10,12 @@ type SPA[T any] struct {
 	nz    []int // indices touched in the current generation, unsorted
 }
 
-// NewSPA returns a sparse accumulator over index space [0, n).
+// NewSPA returns a sparse accumulator over index space [0, n). The nonzero
+// list is pre-sized to n up front — the accumulator is already O(n) in val
+// and stamp, and a full-capacity nz list keeps Accumulate free of append
+// growth on the pinned-allocation kernel paths.
 func NewSPA[T any](n int) *SPA[T] {
-	return &SPA[T]{val: make([]T, n), stamp: make([]int, n), cur: 0}
+	return &SPA[T]{val: make([]T, n), stamp: make([]int, n), cur: 0, nz: make([]int, 0, n)}
 }
 
 // Reset begins a new accumulation generation; prior contents vanish in O(1)

@@ -14,15 +14,27 @@ import (
 // betweenness-centrality example relies on (Section VII-C: the structural
 // complement of numsp prunes already-discovered vertices during frontier
 // expansion).
+//
+//grblint:hotpath
 func SpGEMM[DA, DB, DC any](a *CSR[DA], b *CSR[DB], mul func(DA, DB) DC, add func(DC, DC) DC, mask *MatMask) *CSR[DC] {
 	done := obs.KernelStart("spgemm")
 	ri := make([][]int, a.NRows)
 	rv := make([][]DC, a.NRows)
 	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
 		spa := NewSPA[DC](b.NCols)
+		// The row-mask predicate closures are built once per chunk (they
+		// read the generation-stamped allowed set, which each row re-marks),
+		// not once per row — a per-row closure is a heap allocation per row
+		// and pins its captures (the hotalloc analyzer's loop-closure class).
 		var allowed *BitSPA
+		maskRow := func(int) bool { return true }
 		if mask != nil {
 			allowed = NewBitSPA(b.NCols)
+			if mask.Comp {
+				maskRow = func(j int) bool { return !allowed.Has(j) }
+			} else {
+				maskRow = func(j int) bool { return allowed.Has(j) }
+			}
 		}
 		// Chunk-local arena: every row of this chunk gathers into one pair
 		// of growing slices, so allocation count is O(log total) per chunk
@@ -34,15 +46,12 @@ func SpGEMM[DA, DB, DC any](a *CSR[DA], b *CSR[DB], mul func(DA, DB) DC, add fun
 		offs = append(offs, 0)
 		for i := lo; i < hi; i++ {
 			spa.Reset()
-			maskRow := func(int) bool { return true }
 			if mask != nil {
 				allowed.Reset()
 				if mask.Comp {
 					allowed.MarkAll(mask.StrRow(i))
-					maskRow = func(j int) bool { return !allowed.Has(j) }
 				} else {
 					allowed.MarkAll(mask.EffRow(i))
-					maskRow = allowed.Has
 				}
 			}
 			for pa := a.Ptr[i]; pa < a.Ptr[i+1]; pa++ {

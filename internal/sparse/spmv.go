@@ -5,6 +5,7 @@ import (
 
 	"graphblas/internal/obs"
 	"graphblas/internal/parallel"
+	"graphblas/internal/pool"
 )
 
 // DotMxV computes w(i) = ⊕_k mul(a(i,k), u(k)) — the pull-style (dot
@@ -16,6 +17,8 @@ import (
 // skipped entirely, which is the "pull with mask" optimization — the key
 // benefit of the API carrying the mask into the operation rather than
 // filtering afterwards.
+//
+//grblint:hotpath
 func DotMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
 	done := obs.KernelStart("mxv.dot")
 	dense, present := u.Dense()
@@ -25,10 +28,14 @@ func DotMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add fun
 }
 
 // dotCore is the row-parallel pull loop shared by DotMxV and FusedDotMxV:
-// the input vector is already scattered into dense/present.
+// the input vector is already scattered into dense/present. The presence
+// flags come from the pool; the value workspace is domain-generic and
+// cannot (its element type varies per instantiation).
+//
+//grblint:hotpath
 func dotCore[DA, DU, DC any](a *CSR[DA], dense []DU, present []bool, mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
 	rowOut := make([]DC, a.NRows)
-	rowHas := make([]bool, a.NRows)
+	rowHas := pool.GetBools(a.NRows)
 	parallel.ForWeighted(a.NRows, a.Ptr, func(lo, hi int) {
 		cur := allowsCursor{mask: mask}
 		for i := lo; i < hi; i++ {
@@ -56,7 +63,9 @@ func dotCore[DA, DU, DC any](a *CSR[DA], dense []DU, present []bool, mul func(DA
 			}
 		}
 	})
-	return FromDense(rowOut, rowHas)
+	w := FromDense(rowOut, rowHas)
+	pool.PutBools(rowHas)
+	return w
 }
 
 // PushMxV computes w(i) = ⊕_k mul(a(k,i), u(k)) — i.e. w = Aᵀ ⊕.⊗ u — by
@@ -66,6 +75,8 @@ func dotCore[DA, DU, DC any](a *CSR[DA], dense []DU, present []bool, mul func(DA
 // whole matrix.
 //
 // A non-nil mask filters target positions before accumulation.
+//
+//grblint:hotpath
 func PushMxV[DA, DU, DC any](a *CSR[DA], u *Vec[DU], mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
 	done := obs.KernelStart("mxv.push")
 	w := pushCore(a, u.Idx, func(p int) DU { return u.Val[p] }, mul, add, mask)
@@ -90,6 +101,8 @@ const pushParallelMinWork = 2048
 // chunk-major) and folded left-to-right in that order — the same fold the
 // serial SPA performs — rather than merging per-worker partial reductions,
 // which would reassociate floating-point ⊕.
+//
+//grblint:hotpath
 func pushCore[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul func(DA, DU) DC, add func(DC, DC) DC, mask *VecMask) *Vec[DC] {
 	var allowed *BitSPA
 	comp := false
@@ -104,7 +117,7 @@ func pushCore[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul fun
 		}
 	}
 	if workers := parallel.MaxWorkers(); workers > 1 && len(uIdx) > 1 {
-		cum := make([]int, len(uIdx)+1)
+		cum := pool.GetInts(len(uIdx) + 1)
 		for k, r := range uIdx {
 			cum[k+1] = cum[k] + (a.Ptr[r+1] - a.Ptr[r])
 		}
@@ -115,16 +128,20 @@ func pushCore[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul fun
 			bounds := parallel.PartitionByWeight(len(uIdx), workers, cum)
 			if len(bounds) > 2 {
 				if w, ok := pushParallel(a, uIdx, uval, mul, add, allowed, comp, bounds); ok {
+					pool.PutInts(cum)
 					return w
 				}
 			}
 		}
+		pool.PutInts(cum)
 	}
 	return pushSerial(a, uIdx, uval, mul, add, allowed, comp)
 }
 
 // pushSerial is the single SPA pass: a left fold over contributions in
 // frontier-traversal order, gathered in sorted target order.
+//
+//grblint:hotpath
 func pushSerial[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul func(DA, DU) DC, add func(DC, DC) DC, allowed *BitSPA, comp bool) *Vec[DC] {
 	spa := NewSPA[DC](a.NCols)
 	spa.Reset()
@@ -138,7 +155,7 @@ func pushSerial[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul f
 			spa.Accumulate(i, mul(a.Val[p], uv), add)
 		}
 	}
-	idx, val := spa.Gather(nil, nil)
+	idx, val := spa.Gather(make([]int, 0, spa.Len()), make([]DC, 0, spa.Len()))
 	return &Vec[DC]{N: a.NCols, Idx: idx, Val: val}
 }
 
@@ -150,13 +167,17 @@ func pushSerial[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul f
 // when slot offsets would overflow the int32 count arrays (callers fall
 // back to the serial pass); pushCore's total-work bound makes this
 // unreachable today, but the check keeps pushParallel safe standalone.
+// Index scratch (per-chunk counts, the column prefix sums, the presence
+// flags) is pooled; every exit returns it.
+//
+//grblint:hotpath
 func pushParallel[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul func(DA, DU) DC, add func(DC, DC) DC, allowed *BitSPA, comp bool, bounds []int) (*Vec[DC], bool) {
 	nchunks := len(bounds) - 1
 	ncols := a.NCols
 	// Phase A: each chunk counts its contributions per target column.
 	counts := make([][]int32, nchunks)
 	parallel.ForRanges(bounds, func(c, lo, hi int) {
-		cnt := make([]int32, ncols)
+		cnt := pool.GetInt32s(ncols)
 		for k := lo; k < hi; k++ {
 			r := uIdx[k]
 			for p := a.Ptr[r]; p < a.Ptr[r+1]; p++ {
@@ -171,7 +192,7 @@ func pushParallel[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul
 	})
 	// Phase B: per-target slot ranges; chunk-major order within a target is
 	// exactly global traversal order because chunks are contiguous.
-	colPtr := make([]int, ncols+1)
+	colPtr := pool.GetInts(ncols + 1)
 	for i := 0; i < ncols; i++ {
 		total := 0
 		for c := 0; c < nchunks; c++ {
@@ -181,6 +202,10 @@ func pushParallel[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul
 	}
 	slots := colPtr[ncols]
 	if slots > math.MaxInt32 {
+		for _, cnt := range counts {
+			pool.PutInt32s(cnt)
+		}
+		pool.PutInts(colPtr)
 		return nil, false
 	}
 	// Rewrite each chunk's counts in place into its start offsets.
@@ -212,7 +237,7 @@ func pushParallel[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul
 	})
 	// Phase D: left fold per target in slot order — the serial SPA's fold.
 	rowOut := make([]DC, ncols)
-	rowHas := make([]bool, ncols)
+	rowHas := pool.GetBools(ncols)
 	parallel.ForWeighted(ncols, colPtr, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s, e := colPtr[i], colPtr[i+1]
@@ -227,5 +252,11 @@ func pushParallel[DA, DU, DC any](a *CSR[DA], uIdx []int, uval func(int) DU, mul
 			rowHas[i] = true
 		}
 	})
-	return FromDense(rowOut, rowHas), true
+	w := FromDense(rowOut, rowHas)
+	for _, cnt := range counts {
+		pool.PutInt32s(cnt)
+	}
+	pool.PutInts(colPtr)
+	pool.PutBools(rowHas)
+	return w, true
 }

@@ -171,7 +171,16 @@ func (v *Vec[T]) Dense() ([]T, []bool) {
 
 // FromDense gathers the marked entries of a dense slice into a sparse vector.
 func FromDense[T any](d []T, present []bool) *Vec[T] {
-	v := NewVec[T](len(d))
+	// Count first so Idx/Val are allocated exactly once: the kernels that
+	// funnel through here are hot paths with pinned per-call allocation
+	// budgets, and append-growth from empty costs O(log nnz) reallocations.
+	nnz := 0
+	for _, p := range present {
+		if p {
+			nnz++
+		}
+	}
+	v := &Vec[T]{N: len(d), Idx: make([]int, 0, nnz), Val: make([]T, 0, nnz)}
 	for i := range d {
 		if present[i] {
 			v.Idx = append(v.Idx, i)

@@ -75,6 +75,8 @@ func (b *Batch[D]) Seal(nrows, ncols int) (*format.HyperDelta[D], error) {
 // engine's ingestion kernel: it draws a fault site and charges the governor
 // for the retained overlay, so the executor's snapshot/rollback machinery
 // covers a mid-absorption failure like any other kernel fault.
+//
+//grblint:hotpath
 func Absorb[D any](old, add *format.HyperDelta[D]) *format.HyperDelta[D] {
 	faults.Step("stream.kernel.absorb")
 	faults.GovernAlloc("stream.alloc.delta", old.ApproxBytes()+add.ApproxBytes())
@@ -87,6 +89,8 @@ func Absorb[D any](old, add *format.HyperDelta[D]) *format.HyperDelta[D] {
 // Compact merges the overlay into the main store (inserts land, tombstones
 // drop their targets) and returns the fresh CSR. Like Absorb it is a fault-
 // site-drawing kernel, run under the executor's transactional snapshot.
+//
+//grblint:hotpath
 func Compact[D any](main *sparse.CSR[D], delta *format.HyperDelta[D]) *sparse.CSR[D] {
 	faults.Step("stream.kernel.merge")
 	done := obs.KernelStart("stream.merge")
